@@ -1,0 +1,90 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Several figures are different projections of the same simulation
+campaign (Fig. 9 latency, Fig. 10 IOPS, Fig. 17 preference, Fig. 18
+evictions), so the campaign is computed once per (workloads, config)
+and cached.  Each benchmark renders its figure's rows, prints them,
+and writes them under ``benchmarks/results/`` so the numbers survive
+pytest's output capture.
+
+Scale knobs (environment variables):
+
+* ``SIBYL_BENCH_REQUESTS``  — requests per trace (default 10000)
+* ``SIBYL_BENCH_WORKLOADS`` — ``all`` (default) or ``quick`` (6-workload
+  motivation subset everywhere)
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Sequence, Tuple
+
+from repro.sim.experiment import compare_policies, tri_hybrid_comparison
+from repro.sim.report import format_table, geomean
+from repro.traces.workloads import MOTIVATION_WORKLOADS, workload_names
+
+N_REQUESTS = int(os.environ.get("SIBYL_BENCH_REQUESTS", "10000"))
+_MODE = os.environ.get("SIBYL_BENCH_WORKLOADS", "all")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def full_workload_list() -> Tuple[str, ...]:
+    if _MODE == "quick":
+        return tuple(MOTIVATION_WORKLOADS)
+    return tuple(workload_names("msrc"))
+
+
+def motivation_workloads() -> Tuple[str, ...]:
+    return tuple(MOTIVATION_WORKLOADS)
+
+
+@lru_cache(maxsize=None)
+def comparison(workloads: Tuple[str, ...], config: str) -> Dict:
+    """Cached full-policy comparison for a workload set + HSS config."""
+    return compare_policies(
+        list(workloads), config=config, n_requests=N_REQUESTS, seed=0
+    )
+
+
+@lru_cache(maxsize=None)
+def tri_comparison(workloads: Tuple[str, ...], config: str) -> Dict:
+    return tri_hybrid_comparison(
+        list(workloads), config=config, n_requests=N_REQUESTS, seed=0
+    )
+
+
+def metric_table(results: Dict, metric: str) -> list:
+    """Rows of {workload, policy_1: value, ...} plus a geomean row."""
+    policies = list(next(iter(results.values())).keys())
+    rows = []
+    for workload, by_policy in results.items():
+        row = {"workload": workload}
+        for policy in policies:
+            row[policy] = by_policy[policy][metric]
+        rows.append(row)
+    avg = {"workload": "GEOMEAN"}
+    for policy in policies:
+        values = [results[w][policy][metric] for w in results]
+        try:
+            avg[policy] = geomean(values)
+        except ValueError:
+            avg[policy] = sum(values) / len(values)
+    rows.append(avg)
+    return rows
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's table and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def render(name: str, results: Dict, metric: str, title: str) -> str:
+    text = format_table(metric_table(results, metric), title=title)
+    emit(name, text)
+    return text

@@ -1,0 +1,55 @@
+"""Extension (§11): endurance-aware multi-objective reward.
+
+The paper sketches optimising for endurance by adding "the number of
+writes to an endurance-critical device in the reward function" and
+leaves it to future work.  This bench quantifies the resulting
+latency/wear trade-off: sweeping the wear coefficient moves write
+traffic off the fast NVM at a measurable latency cost.
+"""
+
+from common import N_REQUESTS, emit
+
+from repro.core.agent import SibylAgent
+from repro.core.reward import EnduranceAwareReward
+from repro.sim.report import format_table
+from repro.sim.runner import build_hss, run_policy
+from repro.traces.workloads import make_trace
+
+WEAR_COEFFICIENTS = (0.0, 0.05, 0.2, 1.0)
+
+
+def sweep():
+    trace = make_trace("rsrch_0", n_requests=N_REQUESTS, seed=0)
+    rows = []
+    for coef in WEAR_COEFFICIENTS:
+        hss = build_hss("H&M", trace)
+        reward = (
+            "latency" if coef == 0.0
+            else EnduranceAwareReward(wear_coefficient=coef)
+        )
+        agent = SibylAgent(reward=reward, seed=0)
+        result = run_policy(agent, trace, hss=hss, warmup_fraction=0.3)
+        rows.append(
+            {
+                "wear_coef": coef,
+                "avg_latency_us": result.avg_latency_s * 1e6,
+                "fast_pages_written": hss.devices[0].stats.pages_written,
+                "fast_preference": result.profile.fast_preference,
+            }
+        )
+    return rows
+
+
+def test_ext_endurance_tradeoff(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ext_endurance",
+        format_table(
+            rows,
+            title="Extension (Sec 11): endurance/latency trade-off, "
+                  "rsrch_0 on H&M",
+            precision=2,
+        ),
+    )
+    # A strong wear penalty must reduce fast-device write traffic.
+    assert rows[-1]["fast_pages_written"] < rows[0]["fast_pages_written"]

@@ -1,0 +1,42 @@
+"""Fig. 10: request throughput (IOPS), all policies, H&M and H&L.
+
+Same campaign as Fig. 9, projected onto the throughput metric
+(normalised to Fast-Only).  Shape: Sibyl's throughput beats every
+baseline on average, and Slow-Only's H&L throughput collapses (the
+paper's 0.005-0.01 range on the right plot).
+"""
+
+from common import comparison, full_workload_list, render
+
+from repro.sim.report import geomean
+
+
+def _geomean(results, policy):
+    return geomean([
+        max(1e-9, row[policy]["iops"]) for row in results.values()
+    ])
+
+
+def test_fig10a_throughput_hm(benchmark):
+    results = benchmark.pedantic(
+        lambda: comparison(full_workload_list(), "H&M"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig10a_throughput_hm", results, "iops",
+        "Fig 10(a): normalized request throughput (IOPS), H&M",
+    )
+    assert _geomean(results, "Sibyl") > _geomean(results, "Slow-Only")
+
+
+def test_fig10b_throughput_hl(benchmark):
+    results = benchmark.pedantic(
+        lambda: comparison(full_workload_list(), "H&L"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig10b_throughput_hl", results, "iops",
+        "Fig 10(b): normalized request throughput (IOPS), H&L",
+    )
+    # Slow-Only throughput collapses when everything sits on the HDD.
+    assert _geomean(results, "Slow-Only") < 0.2

@@ -1,0 +1,49 @@
+"""Fig. 11: performance on unseen (FileBench) workloads.
+
+No policy — including Sibyl — is tuned on these workloads.  Shape:
+Sibyl outperforms the supervised-learning baselines (Archivist and
+RNN-HSS, which chase stale labels) on average in both configurations.
+"""
+
+from functools import lru_cache
+
+from common import N_REQUESTS, render
+
+from repro.sim.experiment import unseen_workload_comparison
+from repro.sim.report import geomean
+from repro.traces.workloads import workload_names
+
+UNSEEN = tuple(workload_names("filebench"))
+
+
+@lru_cache(maxsize=None)
+def unseen(config):
+    return unseen_workload_comparison(
+        list(UNSEEN), config=config, n_requests=N_REQUESTS
+    )
+
+
+def _geomean(results, policy):
+    return geomean([row[policy]["latency"] for row in results.values()])
+
+
+def test_fig11a_unseen_hm(benchmark):
+    results = benchmark.pedantic(lambda: unseen("H&M"), rounds=1, iterations=1)
+    render(
+        "fig11a_unseen_hm", results, "latency",
+        "Fig 11(a): unseen workloads, H&M (normalized latency)",
+    )
+    sibyl = _geomean(results, "Sibyl")
+    assert sibyl <= _geomean(results, "Archivist") * 1.05
+    assert sibyl <= _geomean(results, "RNN-HSS") * 1.05
+
+
+def test_fig11b_unseen_hl(benchmark):
+    results = benchmark.pedantic(lambda: unseen("H&L"), rounds=1, iterations=1)
+    render(
+        "fig11b_unseen_hl", results, "latency",
+        "Fig 11(b): unseen workloads, H&L (normalized latency)",
+    )
+    sibyl = _geomean(results, "Sibyl")
+    assert sibyl <= _geomean(results, "Archivist") * 1.05
+    assert sibyl <= _geomean(results, "RNN-HSS") * 1.05

@@ -1,0 +1,55 @@
+"""Fig. 12: mixed workloads (Table 5), Sibyl_Def vs Sibyl_Opt.
+
+Independent workloads run concurrently with random start offsets,
+stress-testing online adaptation.  Shape: both Sibyl variants are
+competitive with every baseline, and the tuned Sibyl_Opt (lower
+learning rate) does not trail Sibyl_Def on average.
+"""
+
+from functools import lru_cache
+
+from common import N_REQUESTS, render
+
+from repro.sim.experiment import mixed_workload_comparison
+from repro.sim.report import geomean
+from repro.traces.mixer import MIXES
+
+ALL_MIXES = tuple(sorted(MIXES))
+
+
+@lru_cache(maxsize=None)
+def mixed(config):
+    return mixed_workload_comparison(
+        list(ALL_MIXES),
+        config=config,
+        n_requests_per_component=max(2000, N_REQUESTS // 2),
+    )
+
+
+def _geomean(results, policy):
+    return geomean([row[policy]["latency"] for row in results.values()])
+
+
+def test_fig12a_mixed_hm(benchmark):
+    results = benchmark.pedantic(lambda: mixed("H&M"), rounds=1, iterations=1)
+    render(
+        "fig12a_mixed_hm", results, "latency",
+        "Fig 12(a): mixed workloads, H&M (normalized latency)",
+    )
+    sibyl_def = _geomean(results, "Sibyl_Def")
+    assert sibyl_def < _geomean(results, "Slow-Only")
+
+
+def test_fig12b_mixed_hl(benchmark):
+    results = benchmark.pedantic(lambda: mixed("H&L"), rounds=1, iterations=1)
+    render(
+        "fig12b_mixed_hl", results, "latency",
+        "Fig 12(b): mixed workloads, H&L (normalized latency)",
+    )
+    sibyl_def = _geomean(results, "Sibyl_Def")
+    baselines = min(
+        _geomean(results, p) for p in ("CDE", "HPS", "Archivist", "RNN-HSS")
+    )
+    # Sibyl stays within striking distance of (or beats) the best
+    # baseline even under unpredictable mixing.
+    assert sibyl_def <= baselines * 1.3

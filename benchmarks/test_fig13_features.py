@@ -1,0 +1,43 @@
+"""Fig. 13: Sibyl with different state-feature subsets (H&L).
+
+Shape targets: the full six-feature configuration achieves the lowest
+(or tied-lowest) average latency, and even single-feature Sibyl
+configurations produce working policies — the paper's point that RL
+extracts more from the same features than fixed heuristics can.
+"""
+
+from common import N_REQUESTS, emit, motivation_workloads
+
+from repro.sim.experiment import feature_ablation
+from repro.sim.report import format_table, geomean
+
+FEATURE_SETS = ("rt", "ft", "rt+ft", "rt+ft+mt", "rt+ft+pt", "all")
+
+
+def test_fig13_feature_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: feature_ablation(
+            motivation_workloads(), FEATURE_SETS,
+            config="H&L", n_requests=N_REQUESTS,
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for workload, by_set in results.items():
+        row = {"workload": workload}
+        row.update(by_set)
+        rows.append(row)
+    avg = {"workload": "GEOMEAN"}
+    for fs in FEATURE_SETS:
+        avg[fs] = geomean([results[w][fs] for w in results])
+    rows.append(avg)
+    emit(
+        "fig13_features",
+        format_table(
+            rows,
+            title="Fig 13: normalized latency by feature set, H&L",
+        ),
+    )
+    # The full feature set is competitive with the best subset.
+    best_subset = min(avg[fs] for fs in FEATURE_SETS if fs != "all")
+    assert avg["all"] <= best_subset * 1.2

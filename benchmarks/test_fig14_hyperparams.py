@@ -1,0 +1,77 @@
+"""Fig. 14: sensitivity to discount factor, learning rate, exploration.
+
+Shape targets from the paper:
+
+* (a) γ=0 (purely myopic) underperforms the chosen γ=0.9;
+* (b) extreme learning rates underperform the tuned one;
+* (c) near-total exploration (ε→1) destroys performance, while the
+  chosen small ε is near the best.
+
+The swept metric is normalised *throughput* as in the paper (higher is
+better); we report normalised latency too (lower is better).
+"""
+
+from functools import lru_cache
+
+from common import N_REQUESTS, emit
+
+from repro.sim.experiment import hyperparameter_sweep
+from repro.sim.report import format_table
+
+GAMMAS = (0.0, 0.1, 0.5, 0.9, 0.95, 1.0)
+LRS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+EPSILONS = (1e-5, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+@lru_cache(maxsize=None)
+def sweep(parameter, values):
+    return hyperparameter_sweep(
+        parameter, values, workload="rsrch_0", config="H&M",
+        n_requests=N_REQUESTS,
+    )
+
+
+def rows_for(series):
+    return [
+        {"value": str(v), "norm_iops": m["iops"], "norm_latency": m["latency"]}
+        for v, m in series.items()
+    ]
+
+
+def test_fig14a_discount_factor(benchmark):
+    series = benchmark.pedantic(
+        lambda: sweep("discount", GAMMAS), rounds=1, iterations=1
+    )
+    emit(
+        "fig14a_discount",
+        format_table(rows_for(series),
+                     title="Fig 14(a): sensitivity to discount factor"),
+    )
+    assert series[0.9]["latency"] <= series[0.0]["latency"] * 1.2
+
+
+def test_fig14b_learning_rate(benchmark):
+    series = benchmark.pedantic(
+        lambda: sweep("learning_rate", LRS), rounds=1, iterations=1
+    )
+    emit(
+        "fig14b_learning_rate",
+        format_table(rows_for(series),
+                     title="Fig 14(b): sensitivity to learning rate"),
+    )
+    best = min(m["latency"] for m in series.values())
+    worst = max(m["latency"] for m in series.values())
+    assert worst > best  # the sweep actually separates settings
+
+
+def test_fig14c_exploration_rate(benchmark):
+    series = benchmark.pedantic(
+        lambda: sweep("exploration_rate", EPSILONS), rounds=1, iterations=1
+    )
+    emit(
+        "fig14c_exploration",
+        format_table(rows_for(series),
+                     title="Fig 14(c): sensitivity to exploration rate"),
+    )
+    # Full-time exploration is clearly worse than the chosen epsilon.
+    assert series[1.0]["latency"] >= series[1e-3]["latency"]

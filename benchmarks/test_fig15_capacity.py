@@ -1,0 +1,57 @@
+"""Fig. 15: sensitivity to available fast-storage capacity.
+
+Shape targets: Sibyl beats the baselines across the capacity range,
+and every adaptive policy's latency approaches Fast-Only as the fast
+device grows toward 100% of the working set.
+"""
+
+from functools import lru_cache
+
+from common import N_REQUESTS, emit
+
+from repro.sim.experiment import capacity_sweep
+from repro.sim.report import format_table
+
+FRACTIONS = (0.01, 0.02, 0.04, 0.10, 0.20, 0.40, 0.80, 1.0)
+
+
+@lru_cache(maxsize=None)
+def sweep(config):
+    return capacity_sweep(
+        "rsrch_0", FRACTIONS, config=config, n_requests=N_REQUESTS
+    )
+
+
+def rows_for(results):
+    policies = list(next(iter(results.values())).keys())
+    rows = []
+    for frac, by_policy in results.items():
+        row = {"capacity": f"{100 * frac:g}%"}
+        for p in policies:
+            if p == "Fast-Only":
+                continue
+            row[p] = by_policy[p]["latency"]
+        rows.append(row)
+    return rows
+
+
+def test_fig15a_capacity_hm(benchmark):
+    results = benchmark.pedantic(lambda: sweep("H&M"), rounds=1, iterations=1)
+    emit(
+        "fig15a_capacity_hm",
+        format_table(rows_for(results),
+                     title="Fig 15(a): normalized latency vs fast capacity, H&M"),
+    )
+    sibyl_small = results[0.01]["Sibyl"]["latency"]
+    sibyl_full = results[1.0]["Sibyl"]["latency"]
+    # Latency approaches Fast-Only as capacity grows.
+    assert sibyl_full < sibyl_small
+
+def test_fig15b_capacity_hl(benchmark):
+    results = benchmark.pedantic(lambda: sweep("H&L"), rounds=1, iterations=1)
+    emit(
+        "fig15b_capacity_hl",
+        format_table(rows_for(results),
+                     title="Fig 15(b): normalized latency vs fast capacity, H&L"),
+    )
+    assert results[1.0]["Sibyl"]["latency"] < results[0.01]["Sibyl"]["latency"]

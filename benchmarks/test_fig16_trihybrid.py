@@ -1,0 +1,42 @@
+"""Fig. 16: tri-hybrid storage systems (H&M&L and H&M&L_SSD).
+
+Shape target: extending Sibyl to three devices (one extra action, one
+extra capacity feature) beats the statically-thresholded
+hot/cold/frozen heuristic on average — the paper reports 23.9-48.2%.
+"""
+
+from common import full_workload_list, render, tri_comparison
+
+from repro.sim.report import geomean
+
+
+def _geomean(results, policy):
+    return geomean([row[policy]["latency"] for row in results.values()])
+
+
+def test_fig16a_trihybrid_hml(benchmark):
+    results = benchmark.pedantic(
+        lambda: tri_comparison(full_workload_list(), "H&M&L"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig16a_trihybrid_hml", results, "latency",
+        "Fig 16(a): tri-hybrid H&M&L (normalized latency)",
+    )
+    assert _geomean(results, "Sibyl") < _geomean(
+        results, "Heuristic-Tri-Hybrid"
+    )
+
+
+def test_fig16b_trihybrid_hml_ssd(benchmark):
+    results = benchmark.pedantic(
+        lambda: tri_comparison(full_workload_list(), "H&M&L_SSD"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig16b_trihybrid_hml_ssd", results, "latency",
+        "Fig 16(b): tri-hybrid H&M&L_SSD (normalized latency)",
+    )
+    assert _geomean(results, "Sibyl") < _geomean(
+        results, "Heuristic-Tri-Hybrid"
+    ) * 1.05

@@ -1,0 +1,37 @@
+"""Fig. 2: motivation — baseline policies vs Oracle on six workloads.
+
+The paper's observation: every baseline trails the Oracle on most
+workloads and no single baseline wins everywhere, in both the
+performance-oriented (H&M) and cost-oriented (H&L) configurations.
+"""
+
+from common import comparison, motivation_workloads, render
+
+
+def test_fig2a_motivation_hm(benchmark):
+    results = benchmark.pedantic(
+        lambda: comparison(motivation_workloads(), "H&M"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig2a_motivation_hm", results, "latency",
+        "Fig 2(a): normalized avg request latency, H&M (vs Fast-Only)",
+    )
+    for workload, row in results.items():
+        oracle = row["Oracle"]["latency"]
+        for policy in ("CDE", "HPS", "Archivist", "RNN-HSS"):
+            assert row[policy]["latency"] >= oracle * 0.9
+
+
+def test_fig2b_motivation_hl(benchmark):
+    results = benchmark.pedantic(
+        lambda: comparison(motivation_workloads(), "H&L"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig2b_motivation_hl", results, "latency",
+        "Fig 2(b): normalized avg request latency, H&L (vs Fast-Only)",
+    )
+    # The latency gap is far larger in H&L (paper's 0-100+ axis).
+    slow_latencies = [row["Slow-Only"]["latency"] for row in results.values()]
+    assert max(slow_latencies) > 20

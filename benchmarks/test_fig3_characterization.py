@@ -1,0 +1,43 @@
+"""Fig. 3: randomness/hotness scatter of the MSRC workloads.
+
+Prints each workload's (average access count, average request size)
+coordinates plus its quadrant label — the data behind the paper's
+scatter plot.
+"""
+
+from common import N_REQUESTS, emit
+
+from repro.sim.report import format_table
+from repro.traces.stats import compute_stats
+from repro.traces.workloads import MSRC_WORKLOADS, make_trace
+
+
+def build_scatter():
+    rows = []
+    for name in MSRC_WORKLOADS:
+        stats = compute_stats(make_trace(name, n_requests=N_REQUESTS, seed=0))
+        rows.append(
+            {
+                "workload": name,
+                "avg_access_count": stats.avg_access_count,
+                "avg_request_size_kib": stats.avg_request_size_kib,
+                "quadrant": (
+                    ("hot" if stats.is_hot else "cold")
+                    + "/"
+                    + ("sequential" if stats.is_sequential else "random")
+                ),
+            }
+        )
+    return rows
+
+
+def test_fig3_randomness_hotness(benchmark):
+    rows = benchmark.pedantic(build_scatter, rounds=1, iterations=1)
+    emit(
+        "fig3_characterization",
+        format_table(rows, title="Fig 3: workload randomness and hotness",
+                     precision=1),
+    )
+    quadrants = {r["quadrant"] for r in rows}
+    # The paper's scatter spans multiple quadrants.
+    assert len(quadrants) >= 3

@@ -1,0 +1,29 @@
+"""Fig. 8: effect of experience-buffer size on Sibyl's performance.
+
+The paper sweeps 1..100000 entries and finds performance saturating at
+1000 (the chosen capacity).  We sweep the same axis and check the tiny
+buffers do not beat the chosen one.
+"""
+
+from common import N_REQUESTS, emit
+
+from repro.sim.experiment import buffer_size_sweep
+from repro.sim.report import format_series
+
+SIZES = (1, 10, 100, 1000, 10000)
+
+
+def test_fig8_experience_buffer_size(benchmark):
+    series = benchmark.pedantic(
+        lambda: buffer_size_sweep(SIZES, workload="rsrch_0",
+                                  config="H&M", n_requests=N_REQUESTS),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "fig8_buffer_size",
+        format_series(series, label="norm_latency",
+                      title="Fig 8: normalized latency vs buffer size (H&M)"),
+    )
+    # Saturation shape: the paper's chosen 1000-entry buffer performs
+    # at least as well as the degenerate single-entry buffer.
+    assert series[1000] <= series[1] * 1.1

@@ -1,0 +1,55 @@
+"""Fig. 9: average request latency, all policies, H&M and H&L.
+
+The headline result.  Shape targets from the paper:
+
+* Sibyl outperforms every baseline on average in both configurations
+  (21.6% over the best baseline in H&M, 19.9% in H&L);
+* Sibyl reaches ~80% of Oracle performance;
+* Slow-Only's normalised latency is small in H&M (~3-5x) and enormous
+  in H&L (tens to hundreds).
+"""
+
+from common import comparison, full_workload_list, render
+
+from repro.sim.report import geomean
+
+
+def _geomean(results, policy):
+    return geomean([row[policy]["latency"] for row in results.values()])
+
+
+def test_fig9a_latency_hm(benchmark):
+    results = benchmark.pedantic(
+        lambda: comparison(full_workload_list(), "H&M"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig9a_latency_hm", results, "latency",
+        "Fig 9(a): normalized avg request latency, H&M (vs Fast-Only)",
+    )
+    sibyl = _geomean(results, "Sibyl")
+    best_baseline = min(
+        _geomean(results, p) for p in ("CDE", "HPS", "Archivist", "RNN-HSS")
+    )
+    # Sibyl at least matches the best baseline on average.
+    assert sibyl <= best_baseline * 1.05
+    # Sibyl achieves a large fraction of Oracle performance.
+    assert _geomean(results, "Oracle") / sibyl > 0.5
+
+
+def test_fig9b_latency_hl(benchmark):
+    results = benchmark.pedantic(
+        lambda: comparison(full_workload_list(), "H&L"),
+        rounds=1, iterations=1,
+    )
+    render(
+        "fig9b_latency_hl", results, "latency",
+        "Fig 9(b): normalized avg request latency, H&L (vs Fast-Only)",
+    )
+    sibyl = _geomean(results, "Sibyl")
+    best_baseline = min(
+        _geomean(results, p) for p in ("CDE", "HPS", "Archivist", "RNN-HSS")
+    )
+    assert sibyl <= best_baseline * 1.05
+    # The H&L device gap dwarfs H&M's.
+    assert _geomean(results, "Slow-Only") > 10

@@ -1,0 +1,63 @@
+"""§10: overhead analysis — storage cost table and measured latencies.
+
+Reproduces the paper's analytic numbers exactly (780 MACs, 1,597,440
+training MACs, 124.4 "KiB" total) and additionally *measures* the
+numpy implementation's inference and training-step wall times on this
+machine (the paper's ~10 ns / ~2 µs are for bare MAC loops on their
+CPU; interpreted numpy is orders slower but still far below device
+latencies).
+"""
+
+import numpy as np
+
+from common import emit
+
+from repro.core.hyperparams import SIBYL_DEFAULT
+from repro.core.overhead import compute_overhead
+from repro.rl.c51 import C51Config, C51Network
+from repro.sim.report import format_table
+
+
+def test_sec10_overhead_table(benchmark):
+    report = benchmark.pedantic(compute_overhead, rounds=1, iterations=1)
+    rows = [
+        {"quantity": "inference neurons", "value": report.inference_neurons},
+        {"quantity": "weights", "value": report.weights},
+        {"quantity": "inference MACs", "value": report.inference_macs},
+        {"quantity": "training MACs/step", "value": report.training_macs_per_step},
+        {"quantity": "network storage (paper KiB)",
+         "value": report.network_storage_reported_kib},
+        {"quantity": "buffer storage (paper KiB)",
+         "value": report.buffer_storage_reported_kib},
+        {"quantity": "TOTAL (paper KiB)", "value": report.total_reported_kib},
+        {"quantity": "metadata bits/page", "value": report.metadata_bits_per_page},
+        {"quantity": "metadata overhead fraction",
+         "value": report.metadata_overhead_fraction},
+    ]
+    emit("sec10_overhead", format_table(rows, title="Sec 10: overhead analysis",
+                                        precision=5))
+    assert report.total_reported_kib == 124.4
+    assert report.inference_macs == 780
+    assert report.training_macs_per_step == 1_597_440
+
+
+def test_sec10_inference_latency(benchmark):
+    net = C51Network(C51Config(), rng=np.random.default_rng(0))
+    obs = np.zeros((1, 6))
+    benchmark(net.best_action, obs)
+
+
+def test_sec10_training_step_latency(benchmark):
+    net = C51Network(
+        C51Config(learning_rate=SIBYL_DEFAULT.learning_rate),
+        rng=np.random.default_rng(0),
+    )
+    rng = np.random.default_rng(1)
+    obs = rng.random((128, 6))
+    actions = rng.integers(0, 2, 128)
+    rewards = rng.random(128)
+
+    def step():
+        net.train_batch(obs, actions, rewards, obs)
+
+    benchmark(step)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Adaptivity to device characteristics: bring your own device.
+
+The paper's motivation (§3, §8.4): a heuristic's placement behaviour
+is *fixed at design time* — it issues the same decisions whatever the
+devices underneath — while Sibyl observes the devices through the
+latency reward and shifts its policy when the hardware changes.
+
+This example defines a custom slow device — a fictional QLC archive
+SSD with slow, GC-heavy writes — and runs the same workload on two
+systems: the stock H&M pair and an H&QLC pair.  CDE's placement mix is
+identical on both (it cannot see the device change); Sibyl's is not.
+
+Run:  python examples/custom_device.py
+"""
+
+from repro import CDEPolicy, SibylAgent, make_trace, run_policy
+from repro.hss import (
+    DeviceSpec,
+    HybridStorageSystem,
+    SSDConfig,
+    SSDDevice,
+    make_device,
+)
+from repro.traces import working_set_pages
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+#: A fictional archive-class QLC SSD: slow reads, terrible writes.
+QLC_SPEC = DeviceSpec(
+    name="QLC",
+    description="Fictional archive QLC SSD",
+    read_overhead_s=800e-6,
+    write_overhead_s=2_000e-6,  # huge programme latency
+    read_bandwidth_bps=150 * MB,
+    write_bandwidth_bps=80 * MB,
+    capacity_bytes=4000 * GB,
+)
+QLC_CONFIG = SSDConfig(
+    buffer_pages=64,  # nearly no write buffer
+    buffered_write_latency_s=200e-6,
+    gc_threshold=0.4,  # aggressive GC
+    gc_trigger_pages=64,
+    gc_latency_s=12e-3,
+)
+
+N_REQUESTS = 15_000
+
+
+def build_custom_system(trace):
+    devices = [make_device("H"), SSDDevice(QLC_SPEC, QLC_CONFIG)]
+    fast_capacity = max(1, int(0.10 * working_set_pages(trace)))
+    return HybridStorageSystem(devices, [fast_capacity, None])
+
+
+def main() -> None:
+    trace = make_trace("usr_0", n_requests=N_REQUESTS, seed=0)
+    print("Same workload (usr_0), two hybrid systems: "
+          "H&M (stock) vs H&QLC (custom slow device)\n")
+
+    print(f"{'policy':<8} {'system':<7} {'avg latency':>12} "
+          f"{'fast pref':>10} {'evict/req':>10}")
+    prefs = {}
+    for label, hss_builder in (
+        ("H&M", None),
+        ("H&QLC", build_custom_system),
+    ):
+        for policy in (CDEPolicy(), SibylAgent(seed=0)):
+            hss = hss_builder(trace) if hss_builder else None
+            result = run_policy(
+                policy, trace, config="H&M", hss=hss, warmup_fraction=0.3
+            )
+            prefs[(result.policy, label)] = result.profile.fast_preference
+            print(
+                f"{result.policy:<8} {label:<7} "
+                f"{result.avg_latency_s * 1e6:>10.1f}us "
+                f"{result.profile.fast_preference:>10.2f} "
+                f"{result.eviction_fraction:>10.3f}"
+            )
+
+    cde_shift = abs(prefs[("CDE", "H&M")] - prefs[("CDE", "H&QLC")])
+    sibyl_shift = abs(prefs[("Sibyl", "H&M")] - prefs[("Sibyl", "H&QLC")])
+    print(
+        f"\nCDE's placement mix barely moves when the slow device changes "
+        f"(shift: {cde_shift:.3f}) — its thresholds were fixed at design "
+        f"time.  Sibyl re-learns for the new device (shift: "
+        f"{sibyl_shift:.3f}), which is the paper's adaptivity argument "
+        "(§3, §8.4): no threshold was re-tuned, the device spoke through "
+        "the latency reward."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Explainability analysis (§9): what did Sibyl actually learn?
+
+Reproduces the paper's two explainability lenses on a pair of
+contrasting workloads:
+
+* fast-device preference per configuration (Fig. 17) — Sibyl is more
+  aggressive when the inter-device latency gap is larger;
+* per-request Q-value probes — how the agent ranks fast vs slow for a
+  hot page versus a cold page.
+
+Run:  python examples/explainability.py
+"""
+
+import numpy as np
+
+from repro import SibylAgent, make_trace, run_policy
+from repro.core.explain import preference_table
+from repro.hss import OpType, Request
+from repro.sim.report import format_table
+
+N_REQUESTS = 8_000
+WORKLOADS = ("prxy_1", "stg_1")  # hot/random vs cold/sequential
+
+
+def main() -> None:
+    profiles = {}
+    agents = {}
+    for config in ("H&M", "H&L"):
+        for workload in WORKLOADS:
+            trace = make_trace(workload, n_requests=N_REQUESTS, seed=0)
+            agent = SibylAgent(seed=0)
+            result = run_policy(agent, trace, config=config)
+            profiles[f"{workload} [{config}]"] = result.profile
+            agents[(workload, config)] = agent
+
+    print(format_table(
+        preference_table(profiles),
+        title="Fig 17-style: Sibyl's fast-storage preference",
+        precision=3,
+    ))
+
+    # Q-value probe: ask the trained H&M agent how it ranks placements
+    # for a hot, recently-reused page vs a cold, never-seen page.
+    agent = agents[("prxy_1", "H&M")]
+    hss = agent.hss
+    hot_page = max(
+        range(0, 1 << 16),
+        key=lambda p: hss.tracker.access_count(p),
+    )
+    hot_q = agent.q_snapshot(Request(0.0, OpType.WRITE, hot_page, 1))
+    cold_q = agent.q_snapshot(Request(0.0, OpType.WRITE, 999_999_999, 8))
+    print("\nQ-value probes (prxy_1, H&M agent):")
+    print(f"  hot page  {hot_page}: Q(fast)={hot_q[0]:.3f} "
+          f"Q(slow)={hot_q[1]:.3f} -> "
+          f"{'fast' if np.argmax(hot_q) == 0 else 'slow'}")
+    print(f"  cold page          : Q(fast)={cold_q[0]:.3f} "
+          f"Q(slow)={cold_q[1]:.3f} -> "
+          f"{'fast' if np.argmax(cold_q) == 0 else 'slow'}")
+    print(
+        "\nThe preference table shows the §9 effect: the same agent is "
+        "more fast-aggressive under H&L (large latency gap) than under "
+        "H&M, and hotter workloads earn higher fast preference."
+    )
+
+
+if __name__ == "__main__":
+    main()

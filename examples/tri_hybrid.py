@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Extensibility: the same agent on a three-device storage hierarchy.
+
+The paper's §8.7 argument: extending a heuristic to three devices means
+hand-tuning hot/cold/frozen thresholds and wiring up inter-tier
+eviction, while extending Sibyl means *adding one action* (and one
+capacity feature) — the agent discovers the tiering policy itself.
+
+This example runs both on an Optane + SATA-SSD + HDD (H&M&L) hierarchy
+and prints where each policy ends up placing data.
+
+Run:  python examples/tri_hybrid.py
+"""
+
+from repro import (
+    FastOnlyPolicy,
+    SibylAgent,
+    TriHeuristicPolicy,
+    make_trace,
+    run_policy,
+)
+
+N_REQUESTS = 10_000
+CONFIG = "H&M&L"
+
+
+def describe(result) -> str:
+    shares = [
+        f"{dev}:{result.profile.device_share(i):.0%}"
+        for i, dev in enumerate(CONFIG.split("&"))
+    ]
+    return " ".join(shares)
+
+
+def main() -> None:
+    trace = make_trace("usr_0", n_requests=N_REQUESTS, seed=0)
+    reference = run_policy(FastOnlyPolicy(), trace, config=CONFIG)
+
+    heuristic = run_policy(
+        TriHeuristicPolicy(), trace, config=CONFIG, warmup_fraction=0.3
+    )
+    sibyl_agent = SibylAgent(seed=0)
+    sibyl = run_policy(
+        sibyl_agent, trace, config=CONFIG, warmup_fraction=0.3
+    )
+
+    print(f"Tri-hybrid configuration: {CONFIG} "
+          "(H capped at 5%, M at 10% of the working set)\n")
+    for result in (heuristic, sibyl):
+        print(
+            f"{result.policy:<22} latency={result.avg_latency_s * 1e6:8.1f}us "
+            f"({result.normalized_latency(reference):5.2f}x Fast-Only)  "
+            f"placements: {describe(result)}"
+        )
+
+    gain = heuristic.avg_latency_s / sibyl.avg_latency_s - 1.0
+    print(
+        f"\nSibyl outperforms the hot/cold/frozen heuristic by {gain:.1%} "
+        "on this workload."
+    )
+    print(
+        "Extending Sibyl to the third device required zero policy design: "
+        f"the agent's network simply has {sibyl_agent.training_net.config.n_actions} "
+        f"output actions and {sibyl_agent.extractor.n_features} input features."
+    )
+
+
+if __name__ == "__main__":
+    main()

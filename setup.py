@@ -1,0 +1,5 @@
+"""Thin setup.py shim so editable installs work on toolchains without wheel."""
+
+from setuptools import setup
+
+setup()

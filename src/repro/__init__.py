@@ -1,0 +1,103 @@
+"""repro — a from-scratch reproduction of Sibyl (ISCA 2022).
+
+Sibyl is an online reinforcement-learning data-placement agent for
+hybrid storage systems.  This package provides the agent, the HSS
+simulator it runs against, the workload/trace infrastructure, every
+baseline the paper compares with, and a benchmark harness regenerating
+each table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import SibylAgent, make_trace, run_policy
+
+    trace = make_trace("rsrch_0", n_requests=20_000)
+    result = run_policy(SibylAgent(), trace, config="H&M")
+    print(result.avg_latency_s, result.iops)
+"""
+
+from .baselines import (
+    ArchivistPolicy,
+    CDEPolicy,
+    FastOnlyPolicy,
+    HPSPolicy,
+    OraclePolicy,
+    PlacementPolicy,
+    RNNHSSPolicy,
+    SlowOnlyPolicy,
+    TriHeuristicPolicy,
+    available_policies,
+    make_policy,
+)
+from .core import (
+    SIBYL_DEFAULT,
+    SIBYL_OPT,
+    FeatureExtractor,
+    LatencyReward,
+    SibylAgent,
+    SibylHyperParams,
+    compute_overhead,
+)
+from .hss import (
+    HybridStorageSystem,
+    OpType,
+    Request,
+    make_device,
+    make_devices,
+)
+from .sim import (
+    RunResult,
+    build_hss,
+    format_table,
+    run_normalized,
+    run_policy,
+)
+from .traces import (
+    ALL_WORKLOADS,
+    MSRC_WORKLOADS,
+    WorkloadSpec,
+    compute_stats,
+    generate_trace,
+    make_mixed_trace,
+    make_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ArchivistPolicy",
+    "CDEPolicy",
+    "FastOnlyPolicy",
+    "FeatureExtractor",
+    "HPSPolicy",
+    "HybridStorageSystem",
+    "LatencyReward",
+    "MSRC_WORKLOADS",
+    "OpType",
+    "OraclePolicy",
+    "PlacementPolicy",
+    "RNNHSSPolicy",
+    "Request",
+    "RunResult",
+    "SIBYL_DEFAULT",
+    "SIBYL_OPT",
+    "SibylAgent",
+    "SibylHyperParams",
+    "SlowOnlyPolicy",
+    "TriHeuristicPolicy",
+    "WorkloadSpec",
+    "available_policies",
+    "build_hss",
+    "compute_overhead",
+    "compute_stats",
+    "format_table",
+    "generate_trace",
+    "make_device",
+    "make_devices",
+    "make_mixed_trace",
+    "make_policy",
+    "make_trace",
+    "run_normalized",
+    "run_policy",
+    "__version__",
+]

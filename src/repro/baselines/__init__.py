@@ -1,0 +1,53 @@
+"""Every placement policy the paper evaluates, behind one interface."""
+
+from typing import Callable, Dict, List
+
+from .archivist import ArchivistPolicy
+from .base import PlacementPolicy
+from .cde import CDEPolicy
+from .extremes import FastOnlyPolicy, SlowOnlyPolicy, StaticPolicy
+from .hps import HPSPolicy
+from .oracle import OraclePolicy
+from .rnn_hss import RNNHSSPolicy
+from .tri_heuristic import TriHeuristicPolicy
+
+__all__ = [
+    "ArchivistPolicy",
+    "CDEPolicy",
+    "FastOnlyPolicy",
+    "HPSPolicy",
+    "OraclePolicy",
+    "PlacementPolicy",
+    "RNNHSSPolicy",
+    "SlowOnlyPolicy",
+    "StaticPolicy",
+    "TriHeuristicPolicy",
+    "available_policies",
+    "make_policy",
+]
+
+_FACTORIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    "slow-only": SlowOnlyPolicy,
+    "fast-only": FastOnlyPolicy,
+    "cde": CDEPolicy,
+    "hps": HPSPolicy,
+    "archivist": ArchivistPolicy,
+    "rnn-hss": RNNHSSPolicy,
+    "oracle": OraclePolicy,
+    "tri-heuristic": TriHeuristicPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Names of the built-in baseline policies (Sibyl lives in repro.core)."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> PlacementPolicy:
+    """Instantiate a baseline policy by name."""
+    try:
+        return _FACTORIES[name.lower()](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None

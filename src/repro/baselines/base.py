@@ -1,0 +1,69 @@
+"""The placement-policy interface shared by Sibyl and every baseline.
+
+A policy sees each storage request before it is served, chooses the
+target device (the RL "action"), and — after the HSS has served the
+request — receives the outcome (latency, evictions) as feedback.  Only
+Sibyl actually learns from the feedback; heuristics ignore it, which is
+precisely the paper's point about their rigidity (§8.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hss.request import Request
+from ..hss.system import HybridStorageSystem, ServeResult
+
+__all__ = ["PlacementPolicy"]
+
+
+class PlacementPolicy:
+    """Base class for data-placement policies.
+
+    Lifecycle: ``attach(hss)`` once per run, then for every request the
+    runner calls ``place`` followed by ``feedback``.  ``reset`` returns
+    the policy to an untrained/initial state so runs are independent.
+    """
+
+    #: Short display name used by reports and benchmarks.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.hss: Optional[HybridStorageSystem] = None
+
+    def attach(self, hss: HybridStorageSystem) -> None:
+        """Bind the policy to the HSS it will manage."""
+        self.hss = hss
+
+    def prepare(self, trace) -> None:
+        """Optional pre-run hook receiving the full trace.
+
+        Only the Oracle baseline uses this ("complete knowledge of
+        future I/O-access patterns", §7); online policies must not look
+        at the future and leave it a no-op.
+        """
+
+    def place(self, request: Request) -> int:
+        """Choose the device index the requested data should live on."""
+        raise NotImplementedError
+
+    def feedback(self, request: Request, action: int, result: ServeResult) -> None:
+        """Observe the served request's outcome (no-op for heuristics)."""
+
+    def reset(self) -> None:
+        """Forget all learned/accumulated state."""
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def n_devices(self) -> int:
+        if self.hss is None:
+            raise RuntimeError(f"policy {self.name!r} is not attached to an HSS")
+        return self.hss.n_devices
+
+    def _require_hss(self) -> HybridStorageSystem:
+        if self.hss is None:
+            raise RuntimeError(f"policy {self.name!r} is not attached to an HSS")
+        return self.hss
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,54 @@
+"""CDE — Cold Data Eviction (Matsui et al., §3/§7).
+
+The paper summarises CDE as: "allocates hot or random write requests in
+the faster storage, whereas cold and sequential write requests are
+evicted to the slower device."  The classification is static —
+hot/random thresholds are fixed at design time, which is exactly the
+rigidity the motivation section criticises: CDE "places more data in
+the fast storage, which leads to a large number of evictions in both
+HSS configurations" (§9).
+
+Concretely:
+
+* a **write** goes to fast storage when the request is *random* (small:
+  below ``random_size_pages``) or the first page is *hot* (access count
+  at or above ``hot_access_count``); otherwise it goes to slow storage;
+* a **read** is served in place — CDE is a write-allocation policy and
+  performs no read-triggered promotion.
+"""
+
+from __future__ import annotations
+
+from ..hss.request import Request
+from .base import PlacementPolicy
+
+__all__ = ["CDEPolicy"]
+
+
+class CDEPolicy(PlacementPolicy):
+    """Heuristic write-allocation policy with static thresholds."""
+
+    name = "CDE"
+
+    def __init__(
+        self, random_size_pages: int = 4, hot_access_count: int = 4
+    ) -> None:
+        super().__init__()
+        if random_size_pages < 1:
+            raise ValueError("random_size_pages must be >= 1")
+        if hot_access_count < 1:
+            raise ValueError("hot_access_count must be >= 1")
+        self.random_size_pages = random_size_pages
+        self.hot_access_count = hot_access_count
+
+    def place(self, request: Request) -> int:
+        hss = self._require_hss()
+        if request.is_write:
+            is_random = request.size < self.random_size_pages
+            is_hot = (
+                hss.tracker.access_count(request.page) >= self.hot_access_count
+            )
+            return hss.fastest if (is_random or is_hot) else hss.slowest
+        # Reads: keep the page where it is (no promotion).
+        location = hss.page_location(request.page)
+        return hss.slowest if location is None else location

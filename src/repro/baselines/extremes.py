@@ -1,0 +1,52 @@
+"""The extreme baselines: Fast-Only and Slow-Only (§7).
+
+* Fast-Only — all data resides in the fast device (an HSS with
+  unlimited fast capacity).  Every figure in the paper normalises to
+  this policy.
+* Slow-Only — all data resides in the slow device (no fast device).
+
+Both are trivially optimal placement policies for their (hypothetical)
+hardware, and bracket every realisable policy from above and below.
+When running Fast-Only the harness lifts the fast device's capacity
+restriction, matching the paper's definition.
+"""
+
+from __future__ import annotations
+
+from ..hss.request import Request
+from .base import PlacementPolicy
+
+__all__ = ["FastOnlyPolicy", "SlowOnlyPolicy", "StaticPolicy"]
+
+
+class StaticPolicy(PlacementPolicy):
+    """Always place on a fixed device index."""
+
+    def __init__(self, device: int, name: str) -> None:
+        super().__init__()
+        self.device = device
+        self.name = name
+
+    def place(self, request: Request) -> int:
+        hss = self._require_hss()
+        device = self.device if self.device >= 0 else hss.n_devices - 1
+        if not 0 <= device < hss.n_devices:
+            raise ValueError(f"device {self.device} not present in this HSS")
+        return device
+
+
+class FastOnlyPolicy(StaticPolicy):
+    """Everything on the fastest device; requires unbounded fast capacity."""
+
+    #: The runner checks this flag and removes the fast-capacity limit.
+    requires_unbounded_fast = True
+
+    def __init__(self) -> None:
+        super().__init__(device=0, name="Fast-Only")
+
+
+class SlowOnlyPolicy(StaticPolicy):
+    """Everything on the slowest device (no fast device at all)."""
+
+    def __init__(self) -> None:
+        super().__init__(device=-1, name="Slow-Only")

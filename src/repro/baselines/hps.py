@@ -1,0 +1,68 @@
+"""HPS — History-based Page Selection (Meswani et al., §3/§7).
+
+The paper summarises HPS as: "uses the access count of pages to
+periodically migrate cold pages to the slower storage device."  It is
+an epoch-based frequency policy: at the end of every epoch it rebuilds
+the *hot set* — the most-accessed pages that fit in the fast device —
+and during the next epoch pages in the hot set are placed fast while
+everything else is (lazily, on next touch) migrated slow.
+
+Like CDE, the thresholds and epoch length are fixed at design time, so
+HPS cannot react to device characteristics — the reward-free rigidity
+§8.4 contrasts with Sibyl.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..hss.request import Request
+from .base import PlacementPolicy
+
+__all__ = ["HPSPolicy"]
+
+
+class HPSPolicy(PlacementPolicy):
+    """Epoch-based hot-set placement keyed on access counts."""
+
+    name = "HPS"
+
+    def __init__(self, epoch_requests: int = 1000, hot_fraction: float = 0.9) -> None:
+        super().__init__()
+        if epoch_requests < 1:
+            raise ValueError("epoch_requests must be >= 1")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        self.epoch_requests = epoch_requests
+        self.hot_fraction = hot_fraction
+        self._epoch_counts: Dict[int, int] = {}
+        self._hot_set: Set[int] = set()
+        self._seen = 0
+
+    def _rebuild_hot_set(self) -> None:
+        hss = self._require_hss()
+        cap = hss.capacity_pages[hss.fastest]
+        budget = (
+            int(cap * self.hot_fraction)
+            if cap is not None
+            else len(self._epoch_counts)
+        )
+        ranked = sorted(
+            self._epoch_counts.items(), key=lambda kv: kv[1], reverse=True
+        )
+        self._hot_set = {page for page, _count in ranked[:budget]}
+        self._epoch_counts.clear()
+
+    def place(self, request: Request) -> int:
+        hss = self._require_hss()
+        self._seen += 1
+        for page in request.pages:
+            self._epoch_counts[page] = self._epoch_counts.get(page, 0) + 1
+        if self._seen % self.epoch_requests == 0:
+            self._rebuild_hot_set()
+        return hss.fastest if request.page in self._hot_set else hss.slowest
+
+    def reset(self) -> None:
+        self._epoch_counts.clear()
+        self._hot_set.clear()
+        self._seen = 0

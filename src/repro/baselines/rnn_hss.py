@@ -1,0 +1,136 @@
+"""RNN-HSS — recurrent hotness prediction, adapted from Kleio (§3/§7).
+
+Kleio trains per-page RNNs to predict hot pages in hybrid memory; the
+paper adapts it to storage as "RNN-HSS", noting two structural
+limitations that we preserve faithfully:
+
+* it is **supervised**, trained on profiled access history rather than
+  system feedback, so it "do[es] not consider any system-level
+  feedback" (§8.1);
+* per-page RNNs are prohibitively expensive, so (like the paper's
+  adaptation) we train a *shared* RNN over per-page access-history
+  sequences, refreshed at epoch boundaries.
+
+Per epoch, the RNN consumes each candidate page's recent history —
+a sequence of (accesses-in-window, wrote-in-window) feature pairs — and
+classifies the page hot or cold for the next epoch.  Hot pages are
+placed fast on their next touch; cold pages slow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from ..hss.request import Request
+from ..rl.rnn import ElmanRNN
+from .base import PlacementPolicy
+
+__all__ = ["RNNHSSPolicy"]
+
+
+class RNNHSSPolicy(PlacementPolicy):
+    """Shared-RNN hotness classifier with epoch-wise refresh."""
+
+    name = "RNN-HSS"
+
+    def __init__(
+        self,
+        epoch_requests: int = 1000,
+        history_windows: int = 8,
+        hidden_size: int = 16,
+        hot_label_fraction: float = 0.3,
+        max_train_pages: int = 256,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if epoch_requests < 1:
+            raise ValueError("epoch_requests must be >= 1")
+        if history_windows < 2:
+            raise ValueError("history_windows must be >= 2")
+        if not 0.0 < hot_label_fraction < 1.0:
+            raise ValueError("hot_label_fraction must be in (0, 1)")
+        self.epoch_requests = epoch_requests
+        self.history_windows = history_windows
+        self.hidden_size = hidden_size
+        self.hot_label_fraction = hot_label_fraction
+        self.max_train_pages = max_train_pages
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.rnn = ElmanRNN(2, hidden_size, 2, rng=self.rng)
+        self._seen = 0
+        self._window = 0
+        # page -> per-window [reads+writes, writes] history (bounded deque).
+        self._history: Dict[int, List[List[float]]] = {}
+        self._hot_set: Set[int] = set()
+        self._trained = False
+
+    # ----------------------------------------------------------- tracking
+    def _touch(self, request: Request) -> None:
+        page = request.page
+        hist = self._history.setdefault(
+            page, [[0.0, 0.0] for _ in range(self.history_windows)]
+        )
+        hist[-1][0] += 1.0
+        if request.is_write:
+            hist[-1][1] += 1.0
+
+    def _roll_windows(self) -> None:
+        for hist in self._history.values():
+            hist.pop(0)
+            hist.append([0.0, 0.0])
+
+    def _sequence(self, page: int) -> np.ndarray:
+        hist = self._history.get(
+            page, [[0.0, 0.0] for _ in range(self.history_windows)]
+        )
+        seq = np.asarray(hist, dtype=np.float64)
+        # Log-compress counts for stable RNN inputs.
+        return np.log1p(seq)
+
+    # ----------------------------------------------------------- training
+    def _refresh(self) -> None:
+        """Train the shared RNN and re-classify pages for the next epoch."""
+        pages = list(self._history)
+        if len(pages) < 8:
+            return
+        totals = np.array(
+            [sum(w[0] for w in self._history[p]) for p in pages]
+        )
+        cutoff = np.quantile(totals, 1.0 - self.hot_label_fraction)
+        labels = (totals >= max(1.0, cutoff)).astype(np.int64)
+        # Sample a bounded training set (per-page RNNs are the expense
+        # the paper calls impractical; we cap instead).
+        idx = np.arange(len(pages))
+        if len(idx) > self.max_train_pages:
+            idx = self.rng.choice(idx, size=self.max_train_pages, replace=False)
+        for i in idx:
+            self.rnn.train_sequence(self._sequence(pages[i]), int(labels[i]))
+        self._trained = True
+        # Classify all pages for the coming epoch.
+        self._hot_set = {
+            p for p in pages if self.rnn.predict(self._sequence(p)) == 1
+        }
+
+    # ------------------------------------------------------------- policy
+    def place(self, request: Request) -> int:
+        hss = self._require_hss()
+        self._seen += 1
+        self._touch(request)
+        if self._seen % (self.epoch_requests // self.history_windows + 1) == 0:
+            self._roll_windows()
+        if self._seen % self.epoch_requests == 0:
+            self._refresh()
+        if not self._trained:
+            return hss.slowest
+        return hss.fastest if request.page in self._hot_set else hss.slowest
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        self.rnn = ElmanRNN(2, self.hidden_size, 2, rng=self.rng)
+        self._seen = 0
+        self._window = 0
+        self._history = {}
+        self._hot_set = set()
+        self._trained = False

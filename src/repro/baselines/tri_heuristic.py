@@ -1,0 +1,58 @@
+"""Heuristic tri-hybrid placement (Matsui et al. tri-hybrid SSD, §8.7).
+
+The paper's tri-HSS comparison point is "a state-of-the-art heuristic-
+based policy that divides data into hot, cold, and frozen and places
+them respectively into H, M, and L devices."  It is a static extension
+of CDE: the designer fixes hotness thresholds at design time and must
+"explicitly handle the eviction and promotion between the three
+devices" — the extensibility burden that Sibyl removes by just adding
+an action.
+
+Classification (generalising to any device count N ≥ 2):
+
+* access count ≥ ``hot_threshold``                          → device 0 (H)
+* ``cold_threshold`` ≤ count < ``hot_threshold``             → device 1 (M)
+* count < ``cold_threshold`` ("frozen")                      → last device
+* random small writes are treated as hot (CDE heritage);
+  large sequential writes of frozen data bypass to the last device.
+"""
+
+from __future__ import annotations
+
+from ..hss.request import Request
+from .base import PlacementPolicy
+
+__all__ = ["TriHeuristicPolicy"]
+
+
+class TriHeuristicPolicy(PlacementPolicy):
+    """Static hot/cold/frozen thresholds mapped onto an N-device HSS."""
+
+    name = "Heuristic-Tri-Hybrid"
+
+    def __init__(
+        self,
+        hot_threshold: int = 8,
+        cold_threshold: int = 2,
+        random_size_pages: int = 4,
+    ) -> None:
+        super().__init__()
+        if cold_threshold < 1 or hot_threshold <= cold_threshold:
+            raise ValueError("need hot_threshold > cold_threshold >= 1")
+        if random_size_pages < 1:
+            raise ValueError("random_size_pages must be >= 1")
+        self.hot_threshold = hot_threshold
+        self.cold_threshold = cold_threshold
+        self.random_size_pages = random_size_pages
+
+    def place(self, request: Request) -> int:
+        hss = self._require_hss()
+        count = hss.tracker.access_count(request.page)
+        middle = min(1, hss.slowest)
+        if request.is_write and request.size < self.random_size_pages:
+            return hss.fastest  # random writes are hot (CDE rule)
+        if count >= self.hot_threshold:
+            return hss.fastest
+        if count >= self.cold_threshold:
+            return middle
+        return hss.slowest

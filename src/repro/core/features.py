@@ -1,0 +1,248 @@
+"""Sibyl's state features (Table 1) and their binned encoding.
+
+For every request Sibyl observes a 6-dimensional tuple
+
+    O_t = (size_t, type_t, intr_t, cnt_t, cap_t, curr_t)
+
+quantised into a small number of bins to shrink the state space (§5):
+
+====== ============================================== ===== ========
+feature description                                    bins  encoding
+====== ============================================== ===== ========
+size_t  request size in pages (sequential vs random)     8   8 bits
+type_t  read/write                                       2   4 bits
+intr_t  access interval of the requested page           64   8 bits
+cnt_t   access count of the requested page              64   8 bits
+cap_t   remaining capacity in the fast device            8   8 bits
+curr_t  current placement of the requested page          2   4 bits
+====== ============================================== ===== ========
+
+For tri-HSS extensibility the paper adds "the remaining capacity in the
+M device as a state feature" (§8.7): the extractor emits one capacity
+feature per bounded device, so the observation grows to 7 dims for three
+devices with no other change.
+
+Fig. 13's ablation labels map onto Table 1 as follows (the paper states
+``rt`` and ``ft`` each use "only one feature, just like CDE and HPS
+do"; CDE keys on request randomness, HPS on access history):
+
+* ``rt``  — request features only (size_t, type_t)
+* ``ft``  — frequency feature only (cnt_t)
+* ``mt``  — temporal reuse (intr_t)
+* ``pt``  — placement (curr_t)
+* capacity features are always included once any feature set is chosen,
+  except in the single-feature ``rt``/``ft`` configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hss.request import Request
+from ..hss.system import HybridStorageSystem
+
+__all__ = [
+    "FeatureSpec",
+    "FeatureExtractor",
+    "FEATURE_SETS",
+    "STATE_ENCODING_BITS",
+    "log2_bin",
+    "linear_bin",
+]
+
+#: Encoding widths from Table 1, used by the overhead analysis (§10.2).
+STATE_ENCODING_BITS: Dict[str, int] = {
+    "size": 8,
+    "type": 4,
+    "intr": 8,
+    "cnt": 8,
+    "cap": 8,
+    "curr": 4,
+}
+
+#: Fig. 13 feature-set ablation (see module docstring for the mapping).
+FEATURE_SETS: Dict[str, Tuple[str, ...]] = {
+    "rt": ("size", "type"),
+    "ft": ("cnt",),
+    "rt+ft": ("size", "type", "cnt"),
+    "rt+ft+mt": ("size", "type", "cnt", "intr"),
+    "rt+ft+pt": ("size", "type", "cnt", "curr"),
+    "all": ("size", "type", "intr", "cnt", "cap", "curr"),
+}
+
+
+def log2_bin(value: float, n_bins: int) -> int:
+    """Logarithmic binning: bin i covers [2^i, 2^(i+1)); clamps at the top.
+
+    Values below 1 land in bin 0; "no history" callers pass ``inf`` to
+    land in the last bin.
+    """
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    if value < 1:
+        return 0
+    if math.isinf(value):
+        return n_bins - 1
+    return min(n_bins - 1, int(math.log2(value)))
+
+
+def linear_bin(fraction: float, n_bins: int) -> int:
+    """Linear binning of a [0, 1] fraction into ``n_bins`` buckets."""
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    fraction = min(1.0, max(0.0, fraction))
+    return min(n_bins - 1, int(fraction * n_bins))
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Bin counts per feature; defaults follow Table 1."""
+
+    size_bins: int = 8
+    type_bins: int = 2
+    intr_bins: int = 64
+    cnt_bins: int = 64
+    cap_bins: int = 8
+    curr_bins: int = 2  # grows to n_devices automatically
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "size_bins",
+            "type_bins",
+            "intr_bins",
+            "cnt_bins",
+            "cap_bins",
+            "curr_bins",
+        ):
+            if getattr(self, field_name) < 2:
+                raise ValueError(f"{field_name} must be >= 2")
+
+
+class FeatureExtractor:
+    """Turns (request, HSS state) into Sibyl's normalised observation.
+
+    Bin indices are normalised to [0, 1] (``bin / (bins - 1)``) before
+    being fed to the network — the paper's "normalizing and casting the
+    data to low precision data types" preprocessing step (§6.2.2).
+    """
+
+    def __init__(
+        self,
+        hss: HybridStorageSystem,
+        feature_set: str = "all",
+        spec: Optional[FeatureSpec] = None,
+    ) -> None:
+        if feature_set not in FEATURE_SETS:
+            raise ValueError(
+                f"unknown feature set {feature_set!r}; "
+                f"available: {sorted(FEATURE_SETS)}"
+            )
+        self.hss = hss
+        self.feature_set = feature_set
+        self.features = FEATURE_SETS[feature_set]
+        self.spec = spec or FeatureSpec()
+        # One capacity feature per bounded (evictable) device: dual-HSS
+        # has one (the fast device), tri-HSS has two (§8.7).
+        self._bounded_devices = [
+            i
+            for i, cap in enumerate(hss.capacity_pages)
+            if cap is not None
+        ]
+        self._curr_bins = max(self.spec.curr_bins, hss.n_devices)
+
+    # ---------------------------------------------------------- dimension
+    @property
+    def n_features(self) -> int:
+        n = len(self.features)
+        if "cap" in self.features:
+            n += len(self._bounded_devices) - 1  # cap counted once already
+        return n
+
+    def feature_names(self) -> List[str]:
+        names: List[str] = []
+        for f in self.features:
+            if f == "cap":
+                names.extend(f"cap[{d}]" for d in self._bounded_devices)
+            else:
+                names.append(f)
+        return names
+
+    # ------------------------------------------------------------ extract
+    def bins(self, request: Request) -> List[int]:
+        """Raw bin indices for the current request (pre-serve)."""
+        hss = self.hss
+        page = request.page
+        out: List[int] = []
+        for f in self.features:
+            if f == "size":
+                out.append(log2_bin(request.size, self.spec.size_bins))
+            elif f == "type":
+                out.append(int(request.is_write))
+            elif f == "intr":
+                interval = hss.tracker.access_interval(page)
+                out.append(
+                    log2_bin(
+                        float("inf") if interval is None else interval,
+                        self.spec.intr_bins,
+                    )
+                )
+            elif f == "cnt":
+                out.append(
+                    log2_bin(hss.tracker.access_count(page) + 1, self.spec.cnt_bins)
+                )
+            elif f == "cap":
+                for d in self._bounded_devices:
+                    out.append(
+                        linear_bin(
+                            hss.remaining_capacity_fraction(d), self.spec.cap_bins
+                        )
+                    )
+            elif f == "curr":
+                loc = hss.page_location(page)
+                out.append(hss.slowest if loc is None else loc)
+            else:  # pragma: no cover - guarded by FEATURE_SETS
+                raise AssertionError(f"unhandled feature {f}")
+        return out
+
+    def observe(self, request: Request) -> np.ndarray:
+        """Normalised observation vector in [0, 1]^n_features."""
+        bins = self.bins(request)
+        maxima = self._bin_maxima()
+        return np.array(
+            [b / m if m > 0 else 0.0 for b, m in zip(bins, maxima)],
+            dtype=np.float64,
+        )
+
+    def _bin_maxima(self) -> List[int]:
+        maxima: List[int] = []
+        for f in self.features:
+            if f == "size":
+                maxima.append(self.spec.size_bins - 1)
+            elif f == "type":
+                maxima.append(self.spec.type_bins - 1)
+            elif f == "intr":
+                maxima.append(self.spec.intr_bins - 1)
+            elif f == "cnt":
+                maxima.append(self.spec.cnt_bins - 1)
+            elif f == "cap":
+                maxima.extend(
+                    [self.spec.cap_bins - 1] * len(self._bounded_devices)
+                )
+            elif f == "curr":
+                maxima.append(self._curr_bins - 1)
+        return maxima
+
+    # ------------------------------------------------------------ storage
+    def state_bits(self) -> int:
+        """Encoded state width in bits (§6.2.1 reports 40 for Table 1)."""
+        total = 0
+        for f in self.features:
+            if f == "cap":
+                total += STATE_ENCODING_BITS["cap"] * len(self._bounded_devices)
+            else:
+                total += STATE_ENCODING_BITS[f]
+        return total

@@ -1,0 +1,135 @@
+"""Experience replay buffer (§6.2.1).
+
+Sibyl stores ⟨State, Action, Reward, NextState⟩ transitions in a
+bounded buffer in host DRAM and trains on randomly sampled batches
+("experience replay").  Two paper-specific details are reproduced:
+
+* **Deduplication** — "To minimize its design overhead, we deduplicate
+  data in the stored experiences": identical transitions are stored
+  once with a multiplicity count (sampling remains weighted by
+  multiplicity so the training distribution is unchanged).
+* **Sizing** — the default capacity is 1000 entries, where Fig. 8 shows
+  performance saturating; at 100 bits/experience this is the 100 KiB
+  of DRAM accounted in §10.2.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Experience", "ExperienceBuffer"]
+
+#: Bits per stored experience: 40 (state) + 4 (action) + 16 (reward,
+#: half-precision) + 40 (next state), §6.2.1.
+EXPERIENCE_BITS = 100
+
+Experience = Tuple[np.ndarray, int, float, np.ndarray]
+
+
+class ExperienceBuffer:
+    """Bounded FIFO of deduplicated transitions.
+
+    When full, the oldest *unique* transition is dropped, so the buffer
+    always reflects the most recent system behaviour — the property that
+    lets Sibyl adapt online to workload phase changes (§8.3).
+    """
+
+    def __init__(self, capacity: int = 1000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        # key -> (experience, multiplicity); insertion order = age.
+        self._entries: "OrderedDict[bytes, List]" = OrderedDict()
+        self._total_added = 0
+
+    # ------------------------------------------------------------- helpers
+    @staticmethod
+    def _key(obs: np.ndarray, action: int, reward: float, next_obs: np.ndarray) -> bytes:
+        # Quantise the reward to half precision — the stored format —
+        # so dedup matches what the hardware buffer would hold.
+        r16 = np.float16(reward).tobytes()
+        return (
+            np.asarray(obs, dtype=np.float32).tobytes()
+            + bytes([action & 0xFF])
+            + r16
+            + np.asarray(next_obs, dtype=np.float32).tobytes()
+        )
+
+    # ------------------------------------------------------------- mutate
+    def add(
+        self,
+        obs: np.ndarray,
+        action: int,
+        reward: float,
+        next_obs: np.ndarray,
+    ) -> None:
+        """Insert a transition, deduplicating identical ones."""
+        if action < 0:
+            raise ValueError("action must be >= 0")
+        key = self._key(obs, action, reward, next_obs)
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry[1] += 1
+            self._entries.move_to_end(key)
+        else:
+            exp: Experience = (
+                np.asarray(obs, dtype=np.float64).copy(),
+                int(action),
+                float(reward),
+                np.asarray(next_obs, dtype=np.float64).copy(),
+            )
+            self._entries[key] = [exp, 1]
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        self._total_added += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._total_added = 0
+
+    # ------------------------------------------------------------- sample
+    def sample(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample a batch (with replacement, weighted by multiplicity).
+
+        Returns stacked arrays (obs, actions, rewards, next_obs).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not self._entries:
+            raise ValueError("cannot sample from an empty buffer")
+        rng = rng or np.random.default_rng()
+        entries = list(self._entries.values())
+        weights = np.array([e[1] for e in entries], dtype=np.float64)
+        weights /= weights.sum()
+        idx = rng.choice(len(entries), size=batch_size, p=weights)
+        obs = np.stack([entries[i][0][0] for i in idx])
+        actions = np.array([entries[i][0][1] for i in idx], dtype=np.int64)
+        rewards = np.array([entries[i][0][2] for i in idx], dtype=np.float64)
+        next_obs = np.stack([entries[i][0][3] for i in idx])
+        return obs, actions, rewards, next_obs
+
+    # ------------------------------------------------------------- sizing
+    def __len__(self) -> int:
+        """Number of *unique* experiences currently held."""
+        return len(self._entries)
+
+    @property
+    def total_added(self) -> int:
+        """Transitions ever inserted (including deduplicated ones)."""
+        return self._total_added
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def storage_bits(self) -> int:
+        """DRAM footprint at the paper's 100 bits/experience (§10.2)."""
+        return self.capacity * EXPERIENCE_BITS
+
+    def storage_kib(self) -> float:
+        return self.storage_bits() / 8.0 / 1024.0

@@ -1,0 +1,194 @@
+"""Base storage-device model.
+
+Each device is a latency model with a single service queue.  Service
+time for a request depends on the operation, the transfer size, and
+internal device state (write-buffer occupancy, garbage-collection debt,
+head position for HDDs).  Queueing delay arises when requests arrive
+while the device is still busy — the mechanism through which eviction
+and migration traffic slows down foreground requests, which is exactly
+the dynamic Sibyl's latency reward is designed to observe (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .request import PAGE_SIZE_BYTES, OpType
+
+__all__ = ["DeviceSpec", "DeviceStats", "StorageDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Datasheet-style characterisation of a storage device (Table 3).
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``H``, ``M``, ``L``, ``L_SSD``).
+    description:
+        Human-readable model name from the paper.
+    read_overhead_s / write_overhead_s:
+        Fixed per-request access latency (controller, flash/array read,
+        protocol) in seconds.
+    read_bandwidth_bps / write_bandwidth_bps:
+        Sustained sequential transfer rates in bytes/second.
+    capacity_bytes:
+        Raw device capacity (the HSS restricts the *usable* fast capacity
+        per-workload; see :class:`~repro.hss.system.HybridStorageSystem`).
+    """
+
+    name: str
+    description: str
+    read_overhead_s: float
+    write_overhead_s: float
+    read_bandwidth_bps: float
+    write_bandwidth_bps: float
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.read_overhead_s < 0 or self.write_overhead_s < 0:
+            raise ValueError("latency overheads must be >= 0")
+        if self.read_bandwidth_bps <= 0 or self.write_bandwidth_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.capacity_bytes // PAGE_SIZE_BYTES
+
+    def transfer_time(self, op: OpType, n_pages: int) -> float:
+        """Pure data-movement time for ``n_pages`` (no overheads)."""
+        nbytes = n_pages * PAGE_SIZE_BYTES
+        bw = self.read_bandwidth_bps if op == OpType.READ else self.write_bandwidth_bps
+        return nbytes / bw
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate counters maintained by every device."""
+
+    reads: int = 0
+    writes: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    busy_time_s: float = 0.0
+    queue_wait_s: float = 0.0
+    gc_events: int = 0
+    gc_time_s: float = 0.0
+    buffered_writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.pages_read = 0
+        self.pages_written = 0
+        self.busy_time_s = 0.0
+        self.queue_wait_s = 0.0
+        self.gc_events = 0
+        self.gc_time_s = 0.0
+        self.buffered_writes = 0
+
+
+class StorageDevice:
+    """A storage device with one FIFO service queue.
+
+    Subclasses override :meth:`service_time` to model technology-specific
+    behaviour (flash GC, HDD seeks).  The base class provides the shared
+    queueing discipline: ``access`` computes the request's end-to-end
+    latency (queue wait + service) at a given wall-clock time and
+    advances the device's busy horizon.
+    """
+
+    #: Fraction of background (migration/eviction) service time that
+    #: delays foreground requests.  Storage management layers prioritise
+    #: foreground I/O and schedule migration into idle gaps, so
+    #: background work interferes only partially — but it *does*
+    #: interfere, which is what the reward's eviction penalty measures.
+    background_interference: float = 0.35
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.stats = DeviceStats()
+        self._next_free_s = 0.0
+
+    # ----------------------------------------------------------- interface
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def next_free_s(self) -> float:
+        """Earliest time a newly arriving request could start service."""
+        return self._next_free_s
+
+    def service_time(self, now: float, op: OpType, n_pages: int) -> float:
+        """Technology-specific service time; override in subclasses."""
+        overhead = (
+            self.spec.read_overhead_s
+            if op == OpType.READ
+            else self.spec.write_overhead_s
+        )
+        return overhead + self.spec.transfer_time(op, n_pages)
+
+    def characteristic_read_latency_s(self) -> float:
+        """Typical random one-page read latency (reward normalisation).
+
+        Subclasses with mechanical positioning (HDD) include the average
+        positioning cost; flash devices are overhead-dominated.
+        """
+        return self.spec.read_overhead_s + self.spec.transfer_time(OpType.READ, 1)
+
+    # ------------------------------------------------------------- access
+    def access(self, now: float, op: OpType, n_pages: int) -> float:
+        """Serve a request arriving at ``now``; return its total latency.
+
+        Latency = time spent waiting behind earlier requests (including
+        background migration traffic) + service time.
+        """
+        if n_pages < 1:
+            raise ValueError("n_pages must be >= 1")
+        start = max(now, self._next_free_s)
+        wait = start - now
+        service = self.service_time(start, op, n_pages)
+        self._next_free_s = start + service
+        self.stats.queue_wait_s += wait
+        self.stats.busy_time_s += service
+        if op == OpType.READ:
+            self.stats.reads += 1
+            self.stats.pages_read += n_pages
+        else:
+            self.stats.writes += 1
+            self.stats.pages_written += n_pages
+        return wait + service
+
+    def background_access(self, now: float, op: OpType, n_pages: int) -> float:
+        """Issue background (migration/eviction) traffic.
+
+        Background work delays later foreground requests by only
+        ``background_interference`` of its service time (foreground I/O
+        is prioritised; migration fills idle gaps), but the *full*
+        service time is returned — it is the L_e the reward's eviction
+        penalty charges (Eq. 1).
+        """
+        if n_pages < 1:
+            raise ValueError("n_pages must be >= 1")
+        start = max(now, self._next_free_s)
+        service = self.service_time(start, op, n_pages)
+        self._next_free_s = start + self.background_interference * service
+        self.stats.busy_time_s += service
+        if op == OpType.READ:
+            self.stats.pages_read += n_pages
+        else:
+            self.stats.pages_written += n_pages
+        return service
+
+    def reset(self) -> None:
+        """Clear queue state and counters (fresh simulation run)."""
+        self._next_free_s = 0.0
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.spec.name!r})"

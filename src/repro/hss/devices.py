@@ -1,0 +1,139 @@
+"""Device presets matching Table 3 of the paper.
+
+Four devices configure the paper's HSSs:
+
+* ``H``    — Intel Optane SSD P4800X (PCIe NVMe, SLC 3D-XPoint)
+* ``M``    — Intel SSD D3-S4510 (SATA, TLC 3D NAND)
+* ``L``    — Seagate Barracuda ST1000DM010 (SATA, 7200 RPM HDD)
+* ``L_SSD``— ADATA SU630 (SATA, DRAM-less TLC)
+
+Overheads are derived from the datasheet numbers the paper reports:
+random-read IOPS set the per-request access latency, sequential MB/s set
+the transfer rate.  The absolute values are representative, not
+testbed-exact — what matters for reproducing the paper's results is the
+*ordering and rough magnitude of the latency gaps* (H ≪ M ≪ L_SSD ≪ L
+for random access), which these presets preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .device import DeviceSpec, StorageDevice
+from .hdd import HDDConfig, HDDDevice
+from .ssd import SSDConfig, SSDDevice
+
+__all__ = [
+    "make_device",
+    "make_devices",
+    "available_devices",
+    "H_SPEC",
+    "M_SPEC",
+    "L_SPEC",
+    "L_SSD_SPEC",
+]
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+#: Intel Optane SSD P4800X — 375 GB, R/W 2.4/2.0 GB/s, ~550k/500k IOPS.
+H_SPEC = DeviceSpec(
+    name="H",
+    description="Intel Optane SSD P4800X (high-end)",
+    read_overhead_s=10e-6,
+    write_overhead_s=12e-6,
+    read_bandwidth_bps=2.4 * GB,
+    write_bandwidth_bps=2.0 * GB,
+    capacity_bytes=375 * GB,
+)
+
+#: Intel SSD D3-S4510 — 1.92 TB SATA TLC, R/W 550/510 MB/s.
+M_SPEC = DeviceSpec(
+    name="M",
+    description="Intel SSD D3-S4510 (middle-end)",
+    read_overhead_s=90e-6,
+    write_overhead_s=120e-6,
+    read_bandwidth_bps=550 * MB,
+    write_bandwidth_bps=510 * MB,
+    capacity_bytes=1920 * GB,
+)
+
+#: Seagate Barracuda ST1000DM010 — 1 TB 7200 RPM, 210 MB/s sustained.
+L_SPEC = DeviceSpec(
+    name="L",
+    description="Seagate HDD ST1000DM010 (low-end)",
+    read_overhead_s=50e-6,
+    write_overhead_s=50e-6,
+    read_bandwidth_bps=210 * MB,
+    write_bandwidth_bps=210 * MB,
+    capacity_bytes=1000 * GB,
+)
+
+#: ADATA SU630 — 960 GB SATA TLC (DRAM-less), max R/W 520/450 MB/s.
+L_SSD_SPEC = DeviceSpec(
+    name="L_SSD",
+    description="ADATA SU630 SSD (low-end SSD)",
+    read_overhead_s=150e-6,
+    write_overhead_s=300e-6,
+    read_bandwidth_bps=520 * MB,
+    write_bandwidth_bps=450 * MB,
+    capacity_bytes=960 * GB,
+)
+
+_H_SSD_CONFIG = SSDConfig(
+    buffer_pages=4096,
+    buffered_write_latency_s=8e-6,
+    gc_threshold=0.85,  # Optane has no NAND-style GC; near-full penalty only
+    gc_trigger_pages=4096,
+    gc_latency_s=0.2e-3,
+)
+_M_SSD_CONFIG = SSDConfig(
+    buffer_pages=2048,
+    buffered_write_latency_s=25e-6,
+    gc_threshold=0.7,
+    gc_trigger_pages=256,
+    gc_latency_s=2e-3,
+)
+_L_SSD_CONFIG = SSDConfig(
+    buffer_pages=256,  # DRAM-less: tiny SLC cache
+    buffered_write_latency_s=60e-6,
+    gc_threshold=0.6,
+    gc_trigger_pages=128,
+    gc_latency_s=6e-3,
+)
+
+_FACTORIES: Dict[str, Callable[[], StorageDevice]] = {
+    "H": lambda: SSDDevice(H_SPEC, _H_SSD_CONFIG),
+    "M": lambda: SSDDevice(M_SPEC, _M_SSD_CONFIG),
+    "L": lambda: HDDDevice(L_SPEC, HDDConfig()),
+    "L_SSD": lambda: SSDDevice(L_SSD_SPEC, _L_SSD_CONFIG),
+}
+
+
+def available_devices() -> List[str]:
+    """Names of all device presets."""
+    return sorted(_FACTORIES)
+
+
+def make_device(name: str) -> StorageDevice:
+    """Instantiate a fresh device by preset name (``H``/``M``/``L``/``L_SSD``)."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; available: {available_devices()}"
+        ) from None
+
+
+def make_devices(names: List[str] | str) -> List[StorageDevice]:
+    """Instantiate an ordered device list from names or a ``&``-string.
+
+    ``make_devices("H&M")`` and ``make_devices(["H", "M"])`` both return
+    ``[H, M]``, fastest first, matching the paper's configuration naming
+    (H&M, H&L, H&M&L, H&M&L_SSD).
+    """
+    if isinstance(names, str):
+        names = names.split("&")
+    if len(names) < 1:
+        raise ValueError("need at least one device")
+    return [make_device(n) for n in names]

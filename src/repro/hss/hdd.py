@@ -1,0 +1,117 @@
+"""Hard-disk latency model: seek, rotational delay, streaming transfer.
+
+The low-end device in the paper's cost-oriented configuration is a
+7200 RPM Seagate Barracuda (Table 3).  HDD latency is dominated by
+mechanical positioning: a distance-dependent seek plus half a rotation
+on average, after which data streams at the sustained transfer rate.
+Sequential accesses skip positioning entirely, which is why heuristics
+like CDE route sequential data to slow devices — and what Sibyl must
+learn from the reward alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec, StorageDevice
+from .request import OpType
+
+__all__ = ["HDDConfig", "HDDDevice"]
+
+
+@dataclass(frozen=True)
+class HDDConfig:
+    """Mechanical parameters of the disk.
+
+    Attributes
+    ----------
+    min_seek_s / max_seek_s:
+        Track-to-track and full-stroke seek times.  The seek for a given
+        move scales with the square root of the LBA distance fraction, a
+        standard disk model.
+    rpm:
+        Spindle speed; the average rotational delay is half a revolution.
+    sequential_window_pages:
+        A request starting at most this many pages *ahead* of the head
+        is considered sequential (no positioning cost).  Backward jumps
+        always pay at least a rotation.
+    track_span_pages:
+        Jumps within this distance stay on the same cylinder: no seek,
+        but the platter must rotate back under the head.
+    """
+
+    min_seek_s: float = 0.5e-3
+    max_seek_s: float = 10e-3
+    rpm: float = 7200.0
+    sequential_window_pages: int = 64
+    track_span_pages: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.min_seek_s < 0 or self.max_seek_s < self.min_seek_s:
+            raise ValueError("need 0 <= min_seek_s <= max_seek_s")
+        if self.rpm <= 0:
+            raise ValueError("rpm must be positive")
+        if self.sequential_window_pages < 0:
+            raise ValueError("sequential_window_pages must be >= 0")
+        if self.track_span_pages < 0:
+            raise ValueError("track_span_pages must be >= 0")
+
+    @property
+    def avg_rotational_s(self) -> float:
+        return 0.5 * 60.0 / self.rpm
+
+
+class HDDDevice(StorageDevice):
+    """Disk with head-position tracking.
+
+    The HSS informs the device of the *device-local* page address of each
+    access via :attr:`target_page` before calling ``access``; the model
+    keeps its own head position between requests.
+    """
+
+    def __init__(self, spec: DeviceSpec, config: HDDConfig | None = None) -> None:
+        super().__init__(spec)
+        self.config = config or HDDConfig()
+        self._head_page = 0
+        #: Set by the HSS before each access; device-local page address.
+        self.target_page = 0
+
+    def _positioning_time(self, page: int) -> float:
+        delta = page - self._head_page
+        # Truly sequential: the head reaches the target by streaming
+        # forward a short distance.  Backward jumps always lose (most
+        # of) a rotation, however near the target track is.
+        if 0 <= delta <= self.config.sequential_window_pages:
+            return 0.0
+        distance = abs(delta)
+        if distance <= self.config.track_span_pages:
+            return self.config.avg_rotational_s  # same cylinder, re-rotate
+        frac = min(1.0, distance / max(1, self.spec.capacity_pages))
+        seek = self.config.min_seek_s + (
+            self.config.max_seek_s - self.config.min_seek_s
+        ) * math.sqrt(frac)
+        return seek + self.config.avg_rotational_s
+
+    def characteristic_read_latency_s(self) -> float:
+        avg_seek = 0.5 * (self.config.min_seek_s + self.config.max_seek_s)
+        return (
+            avg_seek
+            + self.config.avg_rotational_s
+            + super().characteristic_read_latency_s()
+        )
+
+    def service_time(self, now: float, op: OpType, n_pages: int) -> float:
+        positioning = self._positioning_time(self.target_page)
+        self._head_page = self.target_page + n_pages
+        overhead = (
+            self.spec.read_overhead_s
+            if op == OpType.READ
+            else self.spec.write_overhead_s
+        )
+        return positioning + overhead + self.spec.transfer_time(op, n_pages)
+
+    def reset(self) -> None:
+        super().reset()
+        self._head_page = 0
+        self.target_page = 0

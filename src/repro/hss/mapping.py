@@ -1,0 +1,120 @@
+"""Logical-page → device mapping table.
+
+The storage management layer exposes one contiguous logical address
+space and internally maps each 4 KiB logical page to the device holding
+it (Fig. 1).  This module provides that mapping plus the per-device
+recency ordering needed by victim selection.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["PageTable"]
+
+
+class PageTable:
+    """Tracks page residency across ``n_devices`` devices.
+
+    Invariants (property-tested in ``tests/hss/test_mapping.py``):
+
+    * a page resides on exactly one device or is unmapped;
+    * per-device resident sets are disjoint;
+    * ``len(resident(d))`` equals the number of pages mapped to ``d``.
+    """
+
+    def __init__(self, n_devices: int) -> None:
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        self.n_devices = n_devices
+        self._location: Dict[int, int] = {}
+        # OrderedDicts double as LRU queues: oldest entry first.
+        self._resident: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(n_devices)
+        ]
+
+    # ------------------------------------------------------------- queries
+    def location(self, page: int) -> Optional[int]:
+        """Device index holding ``page``, or None if unmapped."""
+        return self._location.get(page)
+
+    def is_mapped(self, page: int) -> bool:
+        return page in self._location
+
+    def used_pages(self, device: int) -> int:
+        """Number of pages resident on ``device``."""
+        return len(self._resident[device])
+
+    def resident_pages(self, device: int) -> Iterator[int]:
+        """Pages on ``device`` in LRU order (least recent first)."""
+        return iter(self._resident[device])
+
+    def lru_page(self, device: int) -> Optional[int]:
+        """Least-recently-used page on ``device`` (None if empty)."""
+        try:
+            return next(iter(self._resident[device]))
+        except StopIteration:
+            return None
+
+    @property
+    def total_pages(self) -> int:
+        return len(self._location)
+
+    # ------------------------------------------------------------ mutation
+    def place(self, page: int, device: int) -> Optional[int]:
+        """Map ``page`` to ``device``; return its previous device (or None).
+
+        Placement counts as a "touch": the page becomes the most recently
+        used page on its new device.
+        """
+        self._check_device(device)
+        previous = self._location.get(page)
+        if previous is not None:
+            del self._resident[previous][page]
+        self._location[page] = device
+        self._resident[device][page] = None
+        return previous
+
+    def touch(self, page: int) -> None:
+        """Mark ``page`` most-recently-used on its current device."""
+        device = self._location.get(page)
+        if device is None:
+            raise KeyError(f"page {page} is not mapped")
+        self._resident[device].move_to_end(page)
+
+    def remove(self, page: int) -> int:
+        """Unmap ``page``; return the device it was on."""
+        device = self._location.pop(page)
+        del self._resident[device][page]
+        return device
+
+    def move(self, page: int, to_device: int) -> int:
+        """Relocate a mapped page; return the source device."""
+        self._check_device(to_device)
+        source = self._location.get(page)
+        if source is None:
+            raise KeyError(f"page {page} is not mapped")
+        if source == to_device:
+            self._resident[source].move_to_end(page)
+            return source
+        del self._resident[source][page]
+        self._location[page] = to_device
+        self._resident[to_device][page] = None
+        return source
+
+    def place_many(self, pages: Iterable[int], device: int) -> None:
+        for page in pages:
+            self.place(page, device)
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < self.n_devices:
+            raise ValueError(
+                f"device index {device} out of range [0, {self.n_devices})"
+            )
+
+    def __len__(self) -> int:
+        return len(self._location)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._location

@@ -1,0 +1,100 @@
+"""Storage request model.
+
+The unified logical address space of the HSS (Fig. 1) is divided into
+4 KiB logical pages.  A trace is a sequence of :class:`Request` objects:
+a timestamp (seconds, relative to trace start), an operation (read or
+write), a starting logical page number, and a size in pages.  This
+matches the MSRC block-trace schema after byte offsets are converted to
+page numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["OpType", "Request", "PAGE_SIZE_BYTES", "expand_pages"]
+
+#: Data placement granularity used throughout the paper (§2.1, §10.2).
+PAGE_SIZE_BYTES = 4096
+
+
+class OpType(enum.IntEnum):
+    """Read/write request type (the paper's ``type_t`` feature)."""
+
+    READ = 0
+    WRITE = 1
+
+    @classmethod
+    def parse(cls, token: str) -> "OpType":
+        """Parse MSRC-style tokens (``Read``/``Write``/``R``/``W``)."""
+        t = token.strip().lower()
+        if t in ("r", "read", "rs", "0"):
+            return cls.READ
+        if t in ("w", "write", "ws", "1"):
+            return cls.WRITE
+        raise ValueError(f"unrecognised operation token: {token!r}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One block-layer I/O request.
+
+    Attributes
+    ----------
+    timestamp:
+        Issue time in seconds from trace start.  The inter-arrival gap
+        between consecutive requests represents host compute time (§3).
+    op:
+        Read or write.
+    page:
+        Starting logical page number (4 KiB granularity).
+    size:
+        Number of contiguous pages touched by the request.
+    """
+
+    timestamp: float
+    op: OpType
+    page: int
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be >= 0, got {self.timestamp}")
+        if self.page < 0:
+            raise ValueError(f"page must be >= 0, got {self.page}")
+        if self.size < 1:
+            raise ValueError(f"size must be >= 1, got {self.size}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == OpType.WRITE
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size * PAGE_SIZE_BYTES
+
+    @property
+    def pages(self) -> range:
+        """All logical pages touched by this request."""
+        return range(self.page, self.page + self.size)
+
+    @property
+    def last_page(self) -> int:
+        return self.page + self.size - 1
+
+
+def expand_pages(requests: List[Request]) -> Iterator[Tuple[int, int]]:
+    """Yield ``(request_index, page)`` for every page touch in a trace.
+
+    Used by the oracle policy and by workload statistics that need
+    page-granularity access sequences.
+    """
+    for idx, req in enumerate(requests):
+        for page in req.pages:
+            yield idx, page

@@ -1,0 +1,134 @@
+"""Flash SSD latency model: write buffer and garbage collection.
+
+The paper emphasises that real devices show *dynamic latency variation*
+from "internal caching, garbage collection, error handling, multi-level
+cell reading" (§1), and that the latency reward lets Sibyl observe these
+effects indirectly.  This model reproduces the two dominant dynamics:
+
+* **Write buffer.**  Writes that fit in the controller's DRAM/SLC buffer
+  complete at a much lower latency; the buffer drains at the sustained
+  write bandwidth.  Bursts larger than the buffer see the full flash
+  programme latency.
+* **Garbage collection.**  Once the drive's utilisation crosses a
+  threshold, every ``gc_trigger_pages`` page-programmes force a GC cycle
+  that stalls the queue for ``gc_latency_s``, scaled by how far past the
+  threshold utilisation is (more valid data → more copying per erase).
+
+Utilisation is fed by the HSS, which tells the device how many logical
+pages currently map to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec, StorageDevice
+from .request import OpType
+
+__all__ = ["SSDConfig", "SSDDevice"]
+
+
+@dataclass(frozen=True)
+class SSDConfig:
+    """SSD-specific latency knobs layered over :class:`DeviceSpec`.
+
+    Attributes
+    ----------
+    buffer_pages:
+        Capacity of the write buffer in 4 KiB pages.
+    buffered_write_latency_s:
+        Per-request latency when a write is absorbed by the buffer.
+    gc_threshold:
+        Utilisation (0..1) above which garbage collection activates.
+    gc_trigger_pages:
+        Page-programmes between GC cycles when GC is active.
+    gc_latency_s:
+        Queue stall per GC cycle at the threshold; grows linearly with
+        utilisation beyond the threshold up to 4x at 100%.
+    """
+
+    buffer_pages: int = 1024
+    buffered_write_latency_s: float = 15e-6
+    gc_threshold: float = 0.7
+    gc_trigger_pages: int = 256
+    gc_latency_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.buffer_pages < 0:
+            raise ValueError("buffer_pages must be >= 0")
+        if self.buffered_write_latency_s < 0:
+            raise ValueError("buffered_write_latency_s must be >= 0")
+        if not 0.0 < self.gc_threshold <= 1.0:
+            raise ValueError("gc_threshold must be in (0, 1]")
+        if self.gc_trigger_pages <= 0:
+            raise ValueError("gc_trigger_pages must be positive")
+        if self.gc_latency_s < 0:
+            raise ValueError("gc_latency_s must be >= 0")
+
+
+class SSDDevice(StorageDevice):
+    """Flash device with write-buffer absorption and GC stalls."""
+
+    def __init__(self, spec: DeviceSpec, config: SSDConfig | None = None) -> None:
+        super().__init__(spec)
+        self.config = config or SSDConfig()
+        self._buffer_occupancy = 0.0
+        self._buffer_last_drain_s = 0.0
+        self._writes_since_gc = 0
+        #: Utilisation (0..1) of the capacity the HSS allots this device;
+        #: updated by the HSS after every placement/eviction.
+        self.utilization = 0.0
+
+    # ---------------------------------------------------------- internals
+    def _drain_buffer(self, now: float) -> None:
+        """Drain the write buffer at the sustained write bandwidth."""
+        elapsed = max(0.0, now - self._buffer_last_drain_s)
+        drain_pages = elapsed * self.spec.write_bandwidth_bps / 4096.0
+        self._buffer_occupancy = max(0.0, self._buffer_occupancy - drain_pages)
+        self._buffer_last_drain_s = now
+
+    def _gc_stall(self, n_pages: int) -> float:
+        """GC stall contributed by programming ``n_pages`` now."""
+        if self.utilization < self.config.gc_threshold:
+            self._writes_since_gc = 0
+            return 0.0
+        self._writes_since_gc += n_pages
+        if self._writes_since_gc < self.config.gc_trigger_pages:
+            return 0.0
+        cycles = self._writes_since_gc // self.config.gc_trigger_pages
+        self._writes_since_gc %= self.config.gc_trigger_pages
+        # More valid data past the threshold -> more copy traffic per erase.
+        over = (self.utilization - self.config.gc_threshold) / max(
+            1e-9, 1.0 - self.config.gc_threshold
+        )
+        stall = cycles * self.config.gc_latency_s * (1.0 + 3.0 * over)
+        self.stats.gc_events += cycles
+        self.stats.gc_time_s += stall
+        return stall
+
+    # ------------------------------------------------------------ service
+    def service_time(self, now: float, op: OpType, n_pages: int) -> float:
+        if op == OpType.READ:
+            return self.spec.read_overhead_s + self.spec.transfer_time(op, n_pages)
+
+        self._drain_buffer(now)
+        stall = self._gc_stall(n_pages)
+        if (
+            self.config.buffer_pages > 0
+            and self._buffer_occupancy + n_pages <= self.config.buffer_pages
+        ):
+            self._buffer_occupancy += n_pages
+            self.stats.buffered_writes += 1
+            base = self.config.buffered_write_latency_s + n_pages * (
+                4096.0 / self.spec.write_bandwidth_bps
+            ) * 0.25  # buffered transfers still move data over the interface
+        else:
+            base = self.spec.write_overhead_s + self.spec.transfer_time(op, n_pages)
+        return base + stall
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer_occupancy = 0.0
+        self._buffer_last_drain_s = 0.0
+        self._writes_since_gc = 0
+        self.utilization = 0.0

@@ -1,0 +1,119 @@
+"""Activation functions for the feed-forward networks used by Sibyl.
+
+The paper uses the *swish* activation (Ramachandran et al.) for all
+fully-connected layers because it "outperforms ReLU" for Sibyl's data
+placement task (§6.2.2).  Each activation is implemented as a small
+stateless object exposing ``forward`` and ``backward`` so the network can
+run without any autograd framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Activation", "Swish", "ReLU", "Identity", "Tanh", "get_activation"]
+
+
+class Activation:
+    """Base class for stateless activations.
+
+    ``forward`` maps pre-activations ``z`` to activations ``a``;
+    ``backward`` maps upstream gradients ``grad`` (w.r.t. ``a``) to
+    gradients w.r.t. ``z`` given the ``z`` passed on the forward pass.
+    """
+
+    name = "base"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Swish(Activation):
+    """swish(z) = z * sigmoid(beta * z); beta=1 (a.k.a. SiLU)."""
+
+    name = "swish"
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+
+    def _sigmoid(self, z: np.ndarray) -> np.ndarray:
+        # Numerically stable sigmoid.
+        out = np.empty_like(z, dtype=np.float64)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return z * self._sigmoid(self.beta * z)
+
+    def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        s = self._sigmoid(self.beta * z)
+        # d/dz [z * s(bz)] = s(bz) + b*z*s(bz)*(1-s(bz))
+        return grad * (s + self.beta * z * s * (1.0 - s))
+
+
+class ReLU(Activation):
+    """Rectified linear unit, kept for the ablation against swish."""
+
+    name = "relu"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0)
+
+    def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        return grad * (z > 0.0)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent, used by the RNN-HSS baseline's recurrent cell."""
+
+    name = "tanh"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.tanh(z)
+
+    def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        t = np.tanh(z)
+        return grad * (1.0 - t * t)
+
+
+class Identity(Activation):
+    """Linear output layer (Q-value logits)."""
+
+    name = "identity"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return z
+
+    def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+
+_REGISTRY = {
+    "swish": Swish,
+    "silu": Swish,
+    "relu": ReLU,
+    "tanh": Tanh,
+    "identity": Identity,
+    "linear": Identity,
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name (``swish``, ``relu``, ``tanh``, ...)."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

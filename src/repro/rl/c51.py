@@ -1,0 +1,245 @@
+"""Categorical Deep Q-Network (C51) in numpy.
+
+Sibyl's policy is a Categorical DQN (Bellemare et al., "A Distributional
+Perspective on Reinforcement Learning"), chosen because learning the full
+*distribution* of returns "helps Sibyl capture more information from the
+environment to make better data placement decisions" (§6.2.1).
+
+The value distribution is represented by ``n_atoms`` fixed support points
+(atoms) ``z_i`` uniformly spaced over ``[v_min, v_max]``.  The network
+outputs one logit per (action, atom); a per-action softmax turns logits
+into a probability mass function, and ``Q(s, a) = Σ_i p_i(s, a) · z_i``.
+
+Training uses the distributional Bellman projection: the target
+distribution ``r + γ·z`` (from a separate *target network*, which for
+Sibyl is the inference network that lags the training network) is
+projected back onto the fixed support, and the training network minimises
+the cross-entropy to that projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .network import FeedForwardNetwork, mlp
+from .optim import Optimizer, get_optimizer
+
+__all__ = ["C51Config", "C51Network", "project_distribution"]
+
+
+@dataclass(frozen=True)
+class C51Config:
+    """Hyper-parameters of the categorical DQN.
+
+    Defaults follow Table 2 of the paper (γ=0.9, α=1e-4) with the
+    paper's 6-feature observation, two-action placement, and the 20/30
+    hidden layers of Fig. 7(b).
+    """
+
+    n_observations: int = 6
+    n_actions: int = 2
+    hidden_sizes: Tuple[int, ...] = (20, 30)
+    n_atoms: int = 51
+    v_min: float = 0.0
+    v_max: float = 12.0
+    discount: float = 0.9
+    learning_rate: float = 1e-4
+    optimizer: str = "sgd"
+    activation: str = "swish"
+
+    def __post_init__(self) -> None:
+        if self.n_observations <= 0 or self.n_actions <= 0:
+            raise ValueError("observation/action dimensions must be positive")
+        if self.n_atoms < 2:
+            raise ValueError("need at least two atoms")
+        if self.v_max <= self.v_min:
+            raise ValueError("v_max must exceed v_min")
+        if not 0.0 <= self.discount <= 1.0:
+            raise ValueError("discount must lie in [0, 1]")
+
+
+def project_distribution(
+    next_probs: np.ndarray,
+    rewards: np.ndarray,
+    dones: np.ndarray,
+    support: np.ndarray,
+    discount: float,
+) -> np.ndarray:
+    """Project ``r + γ·z`` onto the fixed support (the C51 Lb operator).
+
+    Parameters
+    ----------
+    next_probs:
+        ``(batch, n_atoms)`` pmf of the chosen next-state action.
+    rewards:
+        ``(batch,)`` immediate rewards.
+    dones:
+        ``(batch,)`` booleans; terminal transitions bootstrap nothing.
+    support:
+        ``(n_atoms,)`` atom locations, uniformly spaced.
+    discount:
+        γ.
+
+    Returns
+    -------
+    ``(batch, n_atoms)`` projected target pmf; each row sums to 1.
+    """
+    next_probs = np.asarray(next_probs, dtype=np.float64)
+    rewards = np.asarray(rewards, dtype=np.float64).reshape(-1, 1)
+    dones = np.asarray(dones, dtype=bool).reshape(-1, 1)
+    batch, n_atoms = next_probs.shape
+    v_min, v_max = float(support[0]), float(support[-1])
+    delta_z = (v_max - v_min) / (n_atoms - 1)
+
+    # Bellman-updated atom positions, clipped to the support range.
+    tz = rewards + np.where(dones, 0.0, discount) * support.reshape(1, -1)
+    tz = np.clip(tz, v_min, v_max)
+    b = (tz - v_min) / delta_z  # fractional atom index
+    lower = np.floor(b).astype(np.int64)
+    upper = np.ceil(b).astype(np.int64)
+    # When b is integral, lower == upper: give all mass to that atom.
+    same = lower == upper
+
+    m = np.zeros((batch, n_atoms), dtype=np.float64)
+    rows = np.repeat(np.arange(batch), n_atoms)
+    w_upper = (b - lower) * next_probs
+    w_lower = (upper - b) * next_probs
+    w_lower[same] += next_probs[same]
+    np.add.at(m, (rows, lower.ravel()), w_lower.ravel())
+    np.add.at(m, (rows, upper.ravel()), w_upper.ravel())
+    return m
+
+
+class C51Network:
+    """A categorical-DQN head over a feed-forward trunk.
+
+    This class is used twice by Sibyl: once as the *training network*
+    (updated by SGD) and once as the *inference network* (updated only
+    through periodic weight copies).
+    """
+
+    def __init__(
+        self,
+        config: C51Config,
+        rng: Optional[np.random.Generator] = None,
+        network: Optional[FeedForwardNetwork] = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng or np.random.default_rng()
+        sizes = (
+            [config.n_observations]
+            + list(config.hidden_sizes)
+            + [config.n_actions * config.n_atoms]
+        )
+        self.network = network or mlp(
+            sizes, hidden_activation=config.activation, rng=self.rng
+        )
+        if self.network.out_features != config.n_actions * config.n_atoms:
+            raise ValueError("network output size must be n_actions * n_atoms")
+        self.support = np.linspace(
+            config.v_min, config.v_max, config.n_atoms, dtype=np.float64
+        )
+        self.optimizer: Optimizer = get_optimizer(
+            config.optimizer, config.learning_rate
+        )
+        self.train_steps = 0
+
+    # ------------------------------------------------------------ inference
+    def logits(self, obs: np.ndarray, train: bool = False) -> np.ndarray:
+        """``(batch, n_actions, n_atoms)`` raw logits."""
+        out = self.network.forward(obs, train=train)
+        return out.reshape(-1, self.config.n_actions, self.config.n_atoms)
+
+    def distributions(self, obs: np.ndarray, train: bool = False) -> np.ndarray:
+        """Per-action pmfs, ``(batch, n_actions, n_atoms)``."""
+        logits = self.logits(obs, train=train)
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def q_values(self, obs: np.ndarray) -> np.ndarray:
+        """Expected returns ``(batch, n_actions)``."""
+        return self.distributions(obs) @ self.support
+
+    def best_action(self, obs: np.ndarray) -> int:
+        """Greedy action for a single observation."""
+        q = self.q_values(np.atleast_2d(obs))
+        return int(np.argmax(q[0]))
+
+    def best_actions(self, obs: np.ndarray) -> np.ndarray:
+        """Greedy actions for a batch of observations."""
+        return np.argmax(self.q_values(obs), axis=1)
+
+    # ------------------------------------------------------------- training
+    def train_batch(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_observations: np.ndarray,
+        dones: Optional[np.ndarray] = None,
+        target: Optional["C51Network"] = None,
+    ) -> float:
+        """One SGD step on a batch of transitions; returns the mean loss.
+
+        ``target`` supplies the bootstrap distribution; Sibyl passes its
+        inference network here (the lagged copy), falling back to the
+        training network itself when omitted.
+        """
+        observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
+        next_observations = np.atleast_2d(
+            np.asarray(next_observations, dtype=np.float64)
+        )
+        actions = np.asarray(actions, dtype=np.int64).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        batch = observations.shape[0]
+        if dones is None:
+            dones = np.zeros(batch, dtype=bool)
+        else:
+            dones = np.asarray(dones, dtype=bool).ravel()
+        if not (len(actions) == len(rewards) == len(dones) == batch):
+            raise ValueError("batch size mismatch across transition fields")
+        if actions.min(initial=0) < 0 or actions.max(initial=0) >= self.config.n_actions:
+            raise ValueError("action index out of range")
+
+        bootstrap = target if target is not None else self
+        next_dist = bootstrap.distributions(next_observations)
+        next_q = next_dist @ self.support
+        next_best = np.argmax(next_q, axis=1)
+        next_probs = next_dist[np.arange(batch), next_best]
+        target_pmf = project_distribution(
+            next_probs, rewards, dones, self.support, self.config.discount
+        )
+
+        # Forward with caching, then softmax cross-entropy gradient on the
+        # chosen action's atoms only.
+        logits = self.logits(observations, train=True)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        chosen = probs[np.arange(batch), actions]
+        loss = -np.sum(
+            target_pmf * np.log(np.clip(chosen, 1e-12, None)), axis=1
+        ).mean()
+
+        grad = np.zeros_like(logits)
+        grad[np.arange(batch), actions] = (chosen - target_pmf) / batch
+        self.network.zero_grad()
+        self.network.backward(
+            grad.reshape(batch, self.config.n_actions * self.config.n_atoms)
+        )
+        self.optimizer.step(self.network.parameters, self.network.gradients)
+        self.train_steps += 1
+        return float(loss)
+
+    # --------------------------------------------------------------- sync
+    def copy_weights_from(self, other: "C51Network") -> None:
+        """Copy the training network weights into this (inference) network."""
+        self.network.copy_weights_from(other.network)
+
+    def clone(self) -> "C51Network":
+        """Create an identical network (Sibyl's inference-network spawn)."""
+        return C51Network(self.config, rng=self.rng, network=self.network.clone())

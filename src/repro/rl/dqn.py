@@ -1,0 +1,123 @@
+"""Plain (expected-value) Deep Q-Network.
+
+The paper selects C51 over value-estimate DQN variants (§6.2.1); this
+module implements the standard DQN so the benchmark suite can run the
+ablation comparing the two, and so downstream users can swap heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .network import FeedForwardNetwork, mlp
+from .optim import Optimizer, get_optimizer
+
+__all__ = ["DQNConfig", "DQNNetwork"]
+
+
+@dataclass(frozen=True)
+class DQNConfig:
+    """Hyper-parameters for the expected-value DQN head."""
+
+    n_observations: int = 6
+    n_actions: int = 2
+    hidden_sizes: Tuple[int, ...] = (20, 30)
+    discount: float = 0.9
+    learning_rate: float = 1e-4
+    optimizer: str = "sgd"
+    activation: str = "swish"
+
+    def __post_init__(self) -> None:
+        if self.n_observations <= 0 or self.n_actions <= 0:
+            raise ValueError("observation/action dimensions must be positive")
+        if not 0.0 <= self.discount <= 1.0:
+            raise ValueError("discount must lie in [0, 1]")
+
+
+class DQNNetwork:
+    """Q-network with a Huber-loss TD update and target-network bootstrap."""
+
+    def __init__(
+        self,
+        config: DQNConfig,
+        rng: Optional[np.random.Generator] = None,
+        network: Optional[FeedForwardNetwork] = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng or np.random.default_rng()
+        sizes = [config.n_observations] + list(config.hidden_sizes) + [config.n_actions]
+        self.network = network or mlp(
+            sizes, hidden_activation=config.activation, rng=self.rng
+        )
+        self.optimizer: Optimizer = get_optimizer(
+            config.optimizer, config.learning_rate
+        )
+        self.train_steps = 0
+
+    # ------------------------------------------------------------ inference
+    def q_values(self, obs: np.ndarray) -> np.ndarray:
+        return self.network.forward(obs)
+
+    def best_action(self, obs: np.ndarray) -> int:
+        return int(np.argmax(self.q_values(np.atleast_2d(obs))[0]))
+
+    def best_actions(self, obs: np.ndarray) -> np.ndarray:
+        return np.argmax(self.q_values(obs), axis=1)
+
+    # ------------------------------------------------------------- training
+    def train_batch(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_observations: np.ndarray,
+        dones: Optional[np.ndarray] = None,
+        target: Optional["DQNNetwork"] = None,
+        huber_delta: float = 1.0,
+    ) -> float:
+        """One TD(0) step with Huber loss; returns the mean loss."""
+        observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
+        next_observations = np.atleast_2d(
+            np.asarray(next_observations, dtype=np.float64)
+        )
+        actions = np.asarray(actions, dtype=np.int64).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        batch = observations.shape[0]
+        if dones is None:
+            dones = np.zeros(batch, dtype=bool)
+        else:
+            dones = np.asarray(dones, dtype=bool).ravel()
+        if actions.min(initial=0) < 0 or actions.max(initial=0) >= self.config.n_actions:
+            raise ValueError("action index out of range")
+
+        bootstrap = target if target is not None else self
+        next_q = bootstrap.q_values(next_observations).max(axis=1)
+        td_target = rewards + np.where(dones, 0.0, self.config.discount) * next_q
+
+        q = self.network.forward(observations, train=True)
+        chosen = q[np.arange(batch), actions]
+        err = chosen - td_target
+        # Huber loss and gradient.
+        quadratic = np.abs(err) <= huber_delta
+        loss = np.where(
+            quadratic, 0.5 * err * err, huber_delta * (np.abs(err) - 0.5 * huber_delta)
+        ).mean()
+        dloss = np.where(quadratic, err, huber_delta * np.sign(err)) / batch
+
+        grad = np.zeros_like(q)
+        grad[np.arange(batch), actions] = dloss
+        self.network.zero_grad()
+        self.network.backward(grad)
+        self.optimizer.step(self.network.parameters, self.network.gradients)
+        self.train_steps += 1
+        return float(loss)
+
+    # --------------------------------------------------------------- sync
+    def copy_weights_from(self, other: "DQNNetwork") -> None:
+        self.network.copy_weights_from(other.network)
+
+    def clone(self) -> "DQNNetwork":
+        return DQNNetwork(self.config, rng=self.rng, network=self.network.clone())

@@ -1,0 +1,234 @@
+"""A minimal feed-forward neural network in numpy.
+
+The paper's networks (§6.2.2, Fig. 7b) are tiny: an input layer of six
+state features, two fully-connected hidden layers of 20 and 30 neurons
+with swish activations, and a linear output head.  This module provides
+``Dense`` layers and a ``FeedForwardNetwork`` container with explicit
+forward/backward passes, weight (de)serialisation, and the weight-copy
+operation Sibyl uses to sync the inference network with the training
+network (Algorithm 1 line 19).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .activations import Activation, Identity, get_activation
+
+__all__ = ["Dense", "FeedForwardNetwork", "mlp", "count_macs", "count_parameters"]
+
+
+class Dense:
+    """A fully-connected layer ``a = act(x @ W + b)``.
+
+    Weights are initialised with He-uniform scaling, which behaves well
+    for both swish and ReLU activations at this network size.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Activation | str = "identity",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if isinstance(activation, str):
+            activation = get_activation(activation)
+        self.activation = activation
+        rng = rng or np.random.default_rng()
+        limit = np.sqrt(6.0 / in_features)
+        self.weight = rng.uniform(-limit, limit, size=(in_features, out_features))
+        self.bias = np.zeros(out_features, dtype=np.float64)
+        # Forward-pass caches used by backward().
+        self._x: Optional[np.ndarray] = None
+        self._z: Optional[np.ndarray] = None
+        # Gradient buffers, parallel to (weight, bias).
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        z = x @ self.weight + self.bias
+        if train:
+            self._x = x
+            self._z = z
+        return self.activation.forward(z)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop ``grad_out`` (w.r.t. this layer's output) to the input.
+
+        Accumulates weight/bias gradients into ``grad_weight``/``grad_bias``.
+        Requires a preceding ``forward(..., train=True)``.
+        """
+        if self._x is None or self._z is None:
+            raise RuntimeError("backward() called before forward(train=True)")
+        grad_z = self.activation.backward(self._z, grad_out)
+        self.grad_weight += self._x.T @ grad_z
+        self.grad_bias += grad_z.sum(axis=0)
+        return grad_z @ self.weight.T
+
+    def zero_grad(self) -> None:
+        self.grad_weight.fill(0.0)
+        self.grad_bias.fill(0.0)
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dense({self.in_features}, {self.out_features}, "
+            f"activation={self.activation.name})"
+        )
+
+
+class FeedForwardNetwork:
+    """A stack of :class:`Dense` layers with manual backprop.
+
+    This is the structure shared by Sibyl's training and inference
+    networks, Archivist's classifier, and the RNN-HSS output head.
+    """
+
+    def __init__(self, layers: Sequence[Dense]) -> None:
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.out_features != nxt.in_features:
+                raise ValueError(
+                    f"layer size mismatch: {prev.out_features} -> {nxt.in_features}"
+                )
+        self.layers = list(layers)
+
+    # ---------------------------------------------------------------- shape
+    @property
+    def in_features(self) -> int:
+        return self.layers[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.layers[-1].out_features
+
+    # ------------------------------------------------------------- compute
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = np.atleast_2d(grad_out)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # ------------------------------------------------------------- weights
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters]
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients]
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Return copies of all parameter arrays (for checkpointing)."""
+        return [p.copy() for p in self.parameters]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = self.parameters
+        if len(weights) != len(params):
+            raise ValueError(
+                f"expected {len(params)} weight arrays, got {len(weights)}"
+            )
+        for p, w in zip(params, weights):
+            if p.shape != np.shape(w):
+                raise ValueError(f"shape mismatch: {p.shape} vs {np.shape(w)}")
+            p[...] = w
+
+    def copy_weights_from(self, other: "FeedForwardNetwork") -> None:
+        """Sibyl's periodic training->inference weight transfer."""
+        self.set_weights(other.parameters)
+
+    def clone(self) -> "FeedForwardNetwork":
+        """Structural + weight copy (used to spawn the inference network)."""
+        clones = []
+        for layer in self.layers:
+            c = Dense(layer.in_features, layer.out_features, layer.activation)
+            c.weight = layer.weight.copy()
+            c.bias = layer.bias.copy()
+            clones.append(c)
+        return FeedForwardNetwork(clones)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            out[f"layer{i}.weight"] = layer.weight.copy()
+            out[f"layer{i}.bias"] = layer.bias.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            layer.weight[...] = state[f"layer{i}.weight"]
+            layer.bias[...] = state[f"layer{i}.bias"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"FeedForwardNetwork([{inner}])"
+
+
+def mlp(
+    sizes: Sequence[int],
+    hidden_activation: str = "swish",
+    output_activation: str = "identity",
+    rng: Optional[np.random.Generator] = None,
+) -> FeedForwardNetwork:
+    """Build an MLP from layer sizes, e.g. ``mlp([6, 20, 30, 2])``.
+
+    This mirrors the paper's network: ``mlp([6, 20, 30, n_actions])``
+    with swish hidden activations (§6.2.2).
+    """
+    if len(sizes) < 2:
+        raise ValueError("need at least input and output sizes")
+    layers = []
+    for i, (n_in, n_out) in enumerate(zip(sizes, sizes[1:])):
+        last = i == len(sizes) - 2
+        act = output_activation if last else hidden_activation
+        layers.append(Dense(n_in, n_out, act, rng=rng))
+    return FeedForwardNetwork(layers)
+
+
+def count_macs(network: FeedForwardNetwork, batch_size: int = 1) -> int:
+    """Multiply-accumulate operations for one forward pass (§10.1).
+
+    The paper counts 780 MACs per inference for the 6-20-30-2 network and
+    1,597,440 MACs per training step (128-sample batches, 8 batches are a
+    separate multiplier applied by the caller).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    return batch_size * sum(
+        layer.in_features * layer.out_features for layer in network.layers
+    )
+
+
+def count_parameters(network: FeedForwardNetwork, include_bias: bool = False) -> int:
+    """Number of weights (the paper's 780 count excludes biases)."""
+    total = sum(layer.in_features * layer.out_features for layer in network.layers)
+    if include_bias:
+        total += sum(layer.out_features for layer in network.layers)
+    return total

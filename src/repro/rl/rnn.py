@@ -1,0 +1,126 @@
+"""A minimal Elman RNN in numpy, used by the RNN-HSS baseline.
+
+RNN-HSS (adapted from Kleio, §7 "Baselines") predicts page hotness with a
+recurrent network.  We implement a single-layer Elman RNN with tanh
+recurrence and a linear classification head, trained with truncated
+backpropagation through time (BPTT) and cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .optim import Optimizer, get_optimizer
+
+__all__ = ["ElmanRNN"]
+
+
+class ElmanRNN:
+    """``h_t = tanh(x_t @ W_xh + h_{t-1} @ W_hh + b_h)`` with a softmax head.
+
+    Small by design: RNN-HSS classifies per-page access sequences into
+    hot/cold, so the input is a short feature vector per time step and the
+    output is a 2-class distribution after the final step.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_hidden: int,
+        n_outputs: int,
+        learning_rate: float = 1e-2,
+        optimizer: str = "adam",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if min(n_inputs, n_hidden, n_outputs) <= 0:
+            raise ValueError("all dimensions must be positive")
+        self.n_inputs = n_inputs
+        self.n_hidden = n_hidden
+        self.n_outputs = n_outputs
+        rng = rng or np.random.default_rng()
+        scale_x = np.sqrt(1.0 / n_inputs)
+        scale_h = np.sqrt(1.0 / n_hidden)
+        self.w_xh = rng.uniform(-scale_x, scale_x, size=(n_inputs, n_hidden))
+        self.w_hh = rng.uniform(-scale_h, scale_h, size=(n_hidden, n_hidden))
+        self.b_h = np.zeros(n_hidden)
+        self.w_hy = rng.uniform(-scale_h, scale_h, size=(n_hidden, n_outputs))
+        self.b_y = np.zeros(n_outputs)
+        self.optimizer: Optimizer = get_optimizer(optimizer, learning_rate)
+
+    # ------------------------------------------------------------ forward
+    def forward(
+        self, sequence: np.ndarray
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Run one sequence ``(T, n_inputs)``; return (probs, hidden states)."""
+        sequence = np.atleast_2d(np.asarray(sequence, dtype=np.float64))
+        if sequence.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input features, got {sequence.shape[1]}"
+            )
+        h = np.zeros(self.n_hidden)
+        hiddens = [h]
+        for x in sequence:
+            h = np.tanh(x @ self.w_xh + h @ self.w_hh + self.b_h)
+            hiddens.append(h)
+        logits = h @ self.w_hy + self.b_y
+        logits = logits - logits.max()
+        exp = np.exp(logits)
+        return exp / exp.sum(), hiddens
+
+    def predict(self, sequence: np.ndarray) -> int:
+        """Class index for one sequence."""
+        probs, _ = self.forward(sequence)
+        return int(np.argmax(probs))
+
+    def predict_proba(self, sequence: np.ndarray) -> np.ndarray:
+        probs, _ = self.forward(sequence)
+        return probs
+
+    # ------------------------------------------------------------ training
+    def train_sequence(
+        self, sequence: np.ndarray, label: int, bptt_steps: int = 16
+    ) -> float:
+        """One truncated-BPTT update on a labelled sequence; returns loss."""
+        if not 0 <= label < self.n_outputs:
+            raise ValueError(f"label {label} out of range")
+        sequence = np.atleast_2d(np.asarray(sequence, dtype=np.float64))
+        probs, hiddens = self.forward(sequence)
+        loss = -np.log(max(probs[label], 1e-12))
+
+        dlogits = probs.copy()
+        dlogits[label] -= 1.0
+        h_final = hiddens[-1]
+        g_w_hy = np.outer(h_final, dlogits)
+        g_b_y = dlogits.copy()
+
+        g_w_xh = np.zeros_like(self.w_xh)
+        g_w_hh = np.zeros_like(self.w_hh)
+        g_b_h = np.zeros_like(self.b_h)
+        dh = dlogits @ self.w_hy.T
+        steps = min(bptt_steps, sequence.shape[0])
+        for t in range(sequence.shape[0] - 1, sequence.shape[0] - 1 - steps, -1):
+            h_t, h_prev = hiddens[t + 1], hiddens[t]
+            dz = dh * (1.0 - h_t * h_t)
+            g_w_xh += np.outer(sequence[t], dz)
+            g_w_hh += np.outer(h_prev, dz)
+            g_b_h += dz
+            dh = dz @ self.w_hh.T
+
+        params = [self.w_xh, self.w_hh, self.b_h, self.w_hy, self.b_y]
+        grads = [g_w_xh, g_w_hh, g_b_h, g_w_hy, g_b_y]
+        # Clip to keep BPTT stable on long hot sequences.
+        grads = [np.clip(g, -5.0, 5.0) for g in grads]
+        self.optimizer.step(params, grads)
+        return float(loss)
+
+    @property
+    def parameter_count(self) -> int:
+        return (
+            self.w_xh.size
+            + self.w_hh.size
+            + self.b_h.size
+            + self.w_hy.size
+            + self.b_y.size
+        )

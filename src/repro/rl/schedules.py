@@ -1,0 +1,79 @@
+"""Exploration-rate schedules.
+
+Sibyl uses a fixed epsilon-greedy exploration rate (ε = 0.001, Table 2).
+We additionally provide linear and exponential decay schedules used in
+the ablation benchmarks and available to downstream users.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Schedule",
+    "ConstantSchedule",
+    "LinearDecay",
+    "ExponentialDecay",
+]
+
+
+class Schedule:
+    """Maps a step index to a value (e.g. exploration rate)."""
+
+    def value(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        return self.value(step)
+
+
+class ConstantSchedule(Schedule):
+    """The paper's default: a constant ε."""
+
+    def __init__(self, constant: float) -> None:
+        if constant < 0:
+            raise ValueError(f"schedule value must be >= 0, got {constant}")
+        self.constant = float(constant)
+
+    def value(self, step: int) -> float:
+        return self.constant
+
+
+class LinearDecay(Schedule):
+    """Linearly anneal from ``start`` to ``end`` over ``decay_steps``."""
+
+    def __init__(self, start: float, end: float, decay_steps: int) -> None:
+        if decay_steps <= 0:
+            raise ValueError("decay_steps must be positive")
+        if start < 0 or end < 0:
+            raise ValueError("schedule values must be >= 0")
+        self.start = float(start)
+        self.end = float(end)
+        self.decay_steps = int(decay_steps)
+
+    def value(self, step: int) -> float:
+        if step <= 0:
+            return self.start
+        if step >= self.decay_steps:
+            return self.end
+        frac = step / self.decay_steps
+        return self.start + frac * (self.end - self.start)
+
+
+class ExponentialDecay(Schedule):
+    """Multiply by ``rate`` every ``decay_steps`` steps, floored at ``end``."""
+
+    def __init__(
+        self, start: float, end: float, rate: float, decay_steps: int = 1
+    ) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        if decay_steps <= 0:
+            raise ValueError("decay_steps must be positive")
+        self.start = float(start)
+        self.end = float(end)
+        self.rate = float(rate)
+        self.decay_steps = int(decay_steps)
+
+    def value(self, step: int) -> float:
+        if step <= 0:
+            return self.start
+        return max(self.end, self.start * self.rate ** (step / self.decay_steps))

@@ -1,0 +1,43 @@
+"""Simulation harness: runners, experiment sweeps, and reporting."""
+
+from .adaptation import WindowMetrics, run_with_timeline
+from .experiment import (
+    DEFAULT_WARMUP,
+    ORACLE_HORIZONS,
+    buffer_size_sweep,
+    capacity_sweep,
+    compare_policies,
+    feature_ablation,
+    hyperparameter_sweep,
+    mixed_workload_comparison,
+    run_oracle_best,
+    standard_policies,
+    tri_hybrid_comparison,
+    unseen_workload_comparison,
+)
+from .report import format_series, format_table, geomean
+from .runner import RunResult, build_hss, run_normalized, run_policy
+
+__all__ = [
+    "DEFAULT_WARMUP",
+    "ORACLE_HORIZONS",
+    "RunResult",
+    "WindowMetrics",
+    "buffer_size_sweep",
+    "build_hss",
+    "capacity_sweep",
+    "compare_policies",
+    "feature_ablation",
+    "format_series",
+    "format_table",
+    "geomean",
+    "hyperparameter_sweep",
+    "mixed_workload_comparison",
+    "run_normalized",
+    "run_oracle_best",
+    "run_policy",
+    "run_with_timeline",
+    "standard_policies",
+    "tri_hybrid_comparison",
+    "unseen_workload_comparison",
+]

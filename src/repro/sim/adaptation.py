@@ -1,0 +1,101 @@
+"""Windowed adaptation timelines: watch a policy learn online.
+
+The paper argues Sibyl "continuously optimizes its data placement
+policy online" (§1) and adapts across workload phases (§8.3).  This
+module runs a policy while recording per-window metrics, producing the
+learning-curve view used to study the adaptation transient: average
+latency, fast-placement share, and eviction rate per window of
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..baselines.base import PlacementPolicy
+from ..hss.request import Request
+from ..hss.system import HybridStorageSystem
+from .runner import build_hss
+
+__all__ = ["WindowMetrics", "run_with_timeline"]
+
+
+@dataclass(frozen=True)
+class WindowMetrics:
+    """Aggregated behaviour over one window of requests."""
+
+    start_index: int
+    n_requests: int
+    avg_latency_s: float
+    fast_share: float
+    eviction_fraction: float
+
+    @property
+    def end_index(self) -> int:
+        return self.start_index + self.n_requests
+
+
+def run_with_timeline(
+    policy: PlacementPolicy,
+    trace: Sequence[Request],
+    config: str = "H&M",
+    window: int = 1000,
+    capacity_fractions: Optional[Sequence[float]] = None,
+    hss: Optional[HybridStorageSystem] = None,
+) -> List[WindowMetrics]:
+    """Run ``policy`` over ``trace`` and return per-window metrics.
+
+    Uses the same closed-loop replay as :func:`repro.sim.run_policy`;
+    the returned list has one entry per completed (possibly partial
+    final) window.
+    """
+    trace = list(trace)
+    if not trace:
+        raise ValueError("empty trace")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if hss is None:
+        unbounded = getattr(policy, "requires_unbounded_fast", False)
+        hss = build_hss(
+            config, trace, capacity_fractions=capacity_fractions,
+            unbounded=unbounded,
+        )
+    policy.reset()
+    policy.attach(hss)
+    policy.prepare(trace)
+
+    timeline: List[WindowMetrics] = []
+    completion_s = 0.0
+    latency_acc = 0.0
+    fast_count = 0
+    eviction_count = 0
+    window_start = 0
+    in_window = 0
+    for i, request in enumerate(trace):
+        action = policy.place(request)
+        now = max(request.timestamp, completion_s)
+        result = hss.serve(request, action, now=now)
+        completion_s = now + result.latency_s
+        policy.feedback(request, action, result)
+
+        latency_acc += result.latency_s
+        fast_count += int(action == hss.fastest)
+        eviction_count += int(result.eviction_occurred)
+        in_window += 1
+        if in_window == window or i == len(trace) - 1:
+            timeline.append(
+                WindowMetrics(
+                    start_index=window_start,
+                    n_requests=in_window,
+                    avg_latency_s=latency_acc / in_window,
+                    fast_share=fast_count / in_window,
+                    eviction_fraction=eviction_count / in_window,
+                )
+            )
+            window_start = i + 1
+            latency_acc = 0.0
+            fast_count = 0
+            eviction_count = 0
+            in_window = 0
+    return timeline

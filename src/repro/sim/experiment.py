@@ -1,0 +1,322 @@
+"""Experiment definitions: the sweeps behind each paper figure.
+
+Each function corresponds to one evaluation axis and returns plain
+dicts ready for :mod:`repro.sim.report`.  Benchmarks call these with
+reduced trace lengths; examples and users can scale ``n_requests`` up.
+
+All experiments measure the steady-state window (default: requests
+after a 30% warmup) — the short-trace equivalent of the paper's
+multi-hour runs, applied identically to every policy (see
+``run_policy``'s docstring).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines import (
+    ArchivistPolicy,
+    CDEPolicy,
+    HPSPolicy,
+    OraclePolicy,
+    RNNHSSPolicy,
+    SlowOnlyPolicy,
+    TriHeuristicPolicy,
+)
+from ..baselines.base import PlacementPolicy
+from ..core.agent import SibylAgent
+from ..core.hyperparams import SIBYL_DEFAULT, SIBYL_OPT, SibylHyperParams
+from ..hss.request import Request
+from ..traces.mixer import make_mixed_trace
+from ..traces.workloads import make_trace
+from .runner import run_normalized, run_policy
+
+__all__ = [
+    "DEFAULT_WARMUP",
+    "ORACLE_HORIZONS",
+    "standard_policies",
+    "run_oracle_best",
+    "compare_policies",
+    "capacity_sweep",
+    "hyperparameter_sweep",
+    "feature_ablation",
+    "buffer_size_sweep",
+    "tri_hybrid_comparison",
+    "mixed_workload_comparison",
+    "unseen_workload_comparison",
+]
+
+#: Steady-state measurement window start (fraction of the trace).
+DEFAULT_WARMUP = 0.3
+
+#: Reuse-horizon scales searched by the Oracle ("complete knowledge of
+#: future access patterns" includes knowing the best admission horizon).
+ORACLE_HORIZONS = (2.0, 8.0, 64.0, 1e9)
+
+
+def standard_policies(
+    include_sibyl: bool = True,
+    seed: int = 0,
+    hyperparams: SibylHyperParams = SIBYL_DEFAULT,
+) -> List[PlacementPolicy]:
+    """The paper's Fig. 9 lineup minus Fast-Only (reference) and Oracle
+    (handled by :func:`run_oracle_best`)."""
+    policies: List[PlacementPolicy] = [
+        SlowOnlyPolicy(),
+        CDEPolicy(),
+        HPSPolicy(),
+        ArchivistPolicy(seed=seed),
+        RNNHSSPolicy(seed=seed),
+    ]
+    if include_sibyl:
+        policies.append(SibylAgent(hyperparams=hyperparams, seed=seed))
+    return policies
+
+
+def run_oracle_best(
+    trace: Sequence[Request],
+    config: str,
+    capacity_fractions: Optional[Sequence[float]] = None,
+    warmup_fraction: float = DEFAULT_WARMUP,
+):
+    """Best Oracle run across admission horizons (lowest avg latency).
+
+    The Oracle has complete future knowledge, which includes choosing
+    how aggressively to admit into fast storage; searching a small
+    horizon grid realises that.
+    """
+    best = None
+    for horizon in ORACLE_HORIZONS:
+        result = run_policy(
+            OraclePolicy(horizon_scale=horizon),
+            trace,
+            config=config,
+            capacity_fractions=capacity_fractions,
+            warmup_fraction=warmup_fraction,
+        )
+        if best is None or result.avg_latency_s < best.avg_latency_s:
+            best = result
+    return best
+
+
+def _with_oracle(
+    lineup: Sequence[PlacementPolicy],
+    trace: Sequence[Request],
+    config: str,
+    capacity_fractions: Optional[Sequence[float]] = None,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, float]]:
+    """run_normalized + a best-of-horizons Oracle entry."""
+    out = run_normalized(
+        lineup,
+        trace,
+        config=config,
+        capacity_fractions=capacity_fractions,
+        warmup_fraction=warmup_fraction,
+    )
+    oracle = run_oracle_best(
+        trace, config, capacity_fractions, warmup_fraction
+    )
+    reference_latency = out["Fast-Only"]["avg_latency_s"]
+    reference_iops = out["Fast-Only"]["raw_iops"]
+    out["Oracle"] = {
+        "latency": oracle.avg_latency_s / reference_latency,
+        "iops": oracle.iops / reference_iops if reference_iops else 0.0,
+        "eviction_fraction": oracle.eviction_fraction,
+        "fast_preference": oracle.profile.fast_preference,
+        "avg_latency_s": oracle.avg_latency_s,
+    }
+    return out
+
+
+def compare_policies(
+    workloads: Sequence[str],
+    config: str = "H&M",
+    n_requests: int = 20_000,
+    seed: int = 0,
+    policies: Optional[Callable[[], List[PlacementPolicy]]] = None,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 2/9/10/18-style comparison: {workload: {policy: metrics}}."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workloads:
+        trace = make_trace(name, n_requests=n_requests, seed=seed)
+        lineup = policies() if policies else standard_policies(seed=seed)
+        out[name] = _with_oracle(
+            lineup, trace, config, warmup_fraction=warmup_fraction
+        )
+    return out
+
+
+def capacity_sweep(
+    workload: str,
+    fractions: Sequence[float],
+    config: str = "H&M",
+    n_requests: int = 20_000,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[float, Dict[str, Dict[str, float]]]:
+    """Fig. 15: normalised latency vs available fast-storage capacity."""
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    out: Dict[float, Dict[str, Dict[str, float]]] = {}
+    for frac in fractions:
+        if frac <= 0:
+            raise ValueError("capacity fractions must be positive")
+        lineup: List[PlacementPolicy] = [
+            CDEPolicy(),
+            HPSPolicy(),
+            ArchivistPolicy(seed=seed),
+            RNNHSSPolicy(seed=seed),
+            SibylAgent(seed=seed),
+        ]
+        out[frac] = _with_oracle(
+            lineup,
+            trace,
+            config,
+            capacity_fractions=(frac,),
+            warmup_fraction=warmup_fraction,
+        )
+    return out
+
+
+def hyperparameter_sweep(
+    parameter: str,
+    values: Sequence,
+    workload: str = "rsrch_0",
+    config: str = "H&M",
+    n_requests: int = 20_000,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[object, Dict[str, float]]:
+    """Fig. 14: Sibyl's normalised metrics as one hyper-parameter varies."""
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    out: Dict[object, Dict[str, float]] = {}
+    for value in values:
+        hp = SIBYL_DEFAULT.replace(**{parameter: value})
+        agent = SibylAgent(hyperparams=hp, seed=seed)
+        out[value] = run_normalized(
+            [agent], trace, config=config, warmup_fraction=warmup_fraction
+        )["Sibyl"]
+    return out
+
+
+def feature_ablation(
+    workloads: Sequence[str],
+    feature_sets: Sequence[str],
+    config: str = "H&L",
+    n_requests: int = 20_000,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 13: {workload: {feature_set: normalised latency}} on H&L."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        trace = make_trace(name, n_requests=n_requests, seed=seed)
+        row: Dict[str, float] = {}
+        for fs in feature_sets:
+            agent = SibylAgent(feature_set=fs, seed=seed)
+            agent.name = f"Sibyl[{fs}]"
+            row[fs] = run_normalized(
+                [agent], trace, config=config, warmup_fraction=warmup_fraction
+            )[agent.name]["latency"]
+        out[name] = row
+    return out
+
+
+def buffer_size_sweep(
+    sizes: Sequence[int],
+    workload: str = "rsrch_0",
+    config: str = "H&M",
+    n_requests: int = 20_000,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[int, float]:
+    """Fig. 8: normalised latency vs experience-buffer capacity."""
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    out: Dict[int, float] = {}
+    for size in sizes:
+        hp = SIBYL_DEFAULT.replace(
+            buffer_capacity=size,
+            batch_size=min(SIBYL_DEFAULT.batch_size, max(1, size)),
+        )
+        agent = SibylAgent(hyperparams=hp, seed=seed)
+        out[size] = run_normalized(
+            [agent], trace, config=config, warmup_fraction=warmup_fraction
+        )["Sibyl"]["latency"]
+    return out
+
+
+def tri_hybrid_comparison(
+    workloads: Sequence[str],
+    config: str = "H&M&L",
+    n_requests: int = 20_000,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 16: heuristic tri-hybrid vs 3-action Sibyl."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workloads:
+        trace = make_trace(name, n_requests=n_requests, seed=seed)
+        lineup: List[PlacementPolicy] = [
+            TriHeuristicPolicy(),
+            SibylAgent(seed=seed),
+        ]
+        out[name] = run_normalized(
+            lineup, trace, config=config, warmup_fraction=warmup_fraction
+        )
+    return out
+
+
+def mixed_workload_comparison(
+    mixes: Sequence[str],
+    config: str = "H&M",
+    n_requests_per_component: int = 8_000,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 12: Sibyl_Def vs Sibyl_Opt vs baselines on Table 5 mixes."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for mix in mixes:
+        trace = make_mixed_trace(
+            mix, n_requests_per_component=n_requests_per_component, seed=seed
+        )
+        sibyl_def = SibylAgent(seed=seed)
+        sibyl_def.name = "Sibyl_Def"
+        sibyl_opt = SibylAgent(hyperparams=SIBYL_OPT, seed=seed)
+        sibyl_opt.name = "Sibyl_Opt"
+        lineup: List[PlacementPolicy] = [
+            SlowOnlyPolicy(),
+            CDEPolicy(),
+            HPSPolicy(),
+            ArchivistPolicy(seed=seed),
+            RNNHSSPolicy(seed=seed),
+            sibyl_def,
+            sibyl_opt,
+        ]
+        out[mix] = _with_oracle(
+            lineup, trace, config, warmup_fraction=warmup_fraction
+        )
+    return out
+
+
+def unseen_workload_comparison(
+    workloads: Sequence[str],
+    config: str = "H&M",
+    n_requests: int = 20_000,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 11: generalisation to FileBench workloads never tuned on."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workloads:
+        trace = make_trace(name, n_requests=n_requests, seed=seed)
+        lineup: List[PlacementPolicy] = [
+            SlowOnlyPolicy(),
+            ArchivistPolicy(seed=seed),
+            RNNHSSPolicy(seed=seed),
+            SibylAgent(seed=seed),
+        ]
+        out[name] = _with_oracle(
+            lineup, trace, config, warmup_fraction=warmup_fraction
+        )
+    return out

@@ -1,0 +1,73 @@
+"""Plain-text reporting of paper tables and figure series.
+
+The benchmark harness prints the same rows/series the paper plots; the
+helpers here render aligned ASCII tables and labelled series so bench
+output is directly comparable to the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series", "geomean"]
+
+Number = Union[int, float]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    headers: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    headers = list(headers) if headers else list(rows[0].keys())
+    cells = [
+        [_fmt(row.get(h, ""), precision) for h in headers] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(c[i]) for c in cells)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row_cells, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[object, Number],
+    label: str = "value",
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render an x→y series (one figure line) as two aligned columns."""
+    rows = [
+        {"x": str(x), label: y} for x, y in series.items()
+    ]
+    return format_table(rows, headers=["x", label], precision=precision, title=title)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional summary for normalised latencies."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

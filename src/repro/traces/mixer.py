@@ -1,0 +1,120 @@
+"""Workload mixing (§8.3, Table 5).
+
+The mixed-workload study runs two or three independent workloads
+concurrently "while randomly varying their relative start times",
+creating unpredictable request interleavings and extra eviction
+pressure.  ``mix_traces`` remaps each component trace into a disjoint
+region of the logical address space (the workloads are independent
+applications) and merges by timestamp after applying random start
+offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..hss.request import Request
+from .workloads import make_trace
+
+__all__ = ["MIXES", "MixSpec", "mix_traces", "make_mixed_trace"]
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One row of Table 5."""
+
+    name: str
+    components: Sequence[str]
+    description: str
+
+
+#: Table 5 of the paper.
+MIXES: Dict[str, MixSpec] = {
+    "mix1": MixSpec(
+        "mix1",
+        ("prxy_0", "ntrx_rw"),
+        "both write-intensive",
+    ),
+    "mix2": MixSpec(
+        "mix2",
+        ("rsrch_0", "oltp_rw"),
+        "write-intensive + read-intensive",
+    ),
+    "mix3": MixSpec(
+        "mix3",
+        ("proj_3", "YCSB_C"),
+        "both read-intensive",
+    ),
+    "mix4": MixSpec(
+        "mix4",
+        ("src1_0", "fileserver"),
+        "both balanced read/write",
+    ),
+    "mix5": MixSpec(
+        "mix5",
+        ("prxy_0", "oltp_rw", "fileserver"),
+        "write-intensive + read-intensive + balanced",
+    ),
+    "mix6": MixSpec(
+        "mix6",
+        ("src1_0", "YCSB_C", "fileserver"),
+        "balanced x2 + read-intensive",
+    ),
+}
+
+
+def mix_traces(
+    traces: Sequence[List[Request]],
+    seed: int = 0,
+    max_start_offset_s: float = 1.0,
+) -> List[Request]:
+    """Interleave independent traces into one merged trace.
+
+    Each component is shifted to a disjoint address region and delayed by
+    a random start offset in ``[0, max_start_offset_s)``; the merge is a
+    stable sort by the adjusted timestamps.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to mix")
+    rng = np.random.default_rng(seed)
+    merged: List[Request] = []
+    region_base = 0
+    for trace in traces:
+        if not trace:
+            continue
+        span = max(r.last_page for r in trace) + 1
+        offset_s = float(rng.uniform(0.0, max_start_offset_s))
+        for req in trace:
+            merged.append(
+                Request(
+                    timestamp=req.timestamp + offset_s,
+                    op=req.op,
+                    page=req.page + region_base,
+                    size=req.size,
+                )
+            )
+        region_base += span
+    merged.sort(key=lambda r: r.timestamp)
+    return merged
+
+
+def make_mixed_trace(
+    mix_name: str,
+    n_requests_per_component: int = 10_000,
+    seed: int = 0,
+) -> List[Request]:
+    """Instantiate a Table 5 mix by name (``mix1`` .. ``mix6``)."""
+    try:
+        spec = MIXES[mix_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {mix_name!r}; available: {sorted(MIXES)}"
+        ) from None
+    traces = [
+        make_trace(component, n_requests=n_requests_per_component, seed=seed + i)
+        for i, component in enumerate(spec.components)
+    ]
+    return mix_traces(traces, seed=seed)

@@ -1,0 +1,95 @@
+"""Workload characterisation (Table 4, Fig. 3, Fig. 4).
+
+The paper characterises workloads by *hotness* (average per-page access
+count) and *randomness* (average request size) and shows a timeline of
+accessed addresses for rsrch_0.  These functions recompute those
+statistics from any request trace — used both to validate the synthetic
+generator against its Table 4 targets and to regenerate the paper's
+characterisation artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..hss.request import PAGE_SIZE_BYTES, Request
+
+__all__ = ["TraceStats", "compute_stats", "timeline", "working_set_pages"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace (one Table 4 row)."""
+
+    n_requests: int
+    write_fraction: float
+    avg_request_size_kib: float
+    avg_access_count: float
+    unique_pages: int
+    duration_s: float
+
+    @property
+    def read_fraction(self) -> float:
+        return 1.0 - self.write_fraction
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.avg_request_size_kib >= 16.0
+
+    @property
+    def is_hot(self) -> bool:
+        return self.avg_access_count >= 10.0
+
+
+def compute_stats(trace: List[Request]) -> TraceStats:
+    """Compute Table 4-style statistics for a trace."""
+    if not trace:
+        raise ValueError("empty trace")
+    writes = sum(1 for r in trace if r.is_write)
+    total_size_pages = sum(r.size for r in trace)
+    counts: Dict[int, int] = {}
+    for req in trace:
+        for page in req.pages:
+            counts[page] = counts.get(page, 0) + 1
+    unique = len(counts)
+    touches = sum(counts.values())
+    return TraceStats(
+        n_requests=len(trace),
+        write_fraction=writes / len(trace),
+        avg_request_size_kib=total_size_pages
+        * PAGE_SIZE_BYTES
+        / 1024.0
+        / len(trace),
+        avg_access_count=touches / unique,
+        unique_pages=unique,
+        duration_s=trace[-1].timestamp - trace[0].timestamp,
+    )
+
+
+def working_set_pages(trace: List[Request]) -> int:
+    """Number of distinct logical pages the trace touches.
+
+    The paper sizes the fast device as a fraction of this working set
+    (10% in §3, 5%/10% for H/M in the tri-HSS study §8.7).
+    """
+    pages = set()
+    for req in trace:
+        pages.update(req.pages)
+    return len(pages)
+
+
+def timeline(
+    trace: List[Request], max_points: int = 5000
+) -> List[Tuple[float, int, int]]:
+    """Fig. 4-style execution timeline: (time, logical address, size).
+
+    Down-samples uniformly to at most ``max_points`` samples so long
+    traces stay plottable.
+    """
+    if max_points <= 0:
+        raise ValueError("max_points must be positive")
+    stride = max(1, len(trace) // max_points)
+    return [
+        (req.timestamp, req.page, req.size) for req in trace[::stride]
+    ]

@@ -1,0 +1,48 @@
+"""Tests for the CDE heuristic."""
+
+import pytest
+
+from repro.baselines.cde import CDEPolicy
+from repro.hss.request import OpType, Request
+
+
+@pytest.fixture
+def policy(hm_system):
+    p = CDEPolicy(random_size_pages=4, hot_access_count=4)
+    p.attach(hm_system)
+    return p
+
+
+class TestCDE:
+    def test_random_write_goes_fast(self, policy):
+        # size 1 < 4 pages -> random -> fast.
+        assert policy.place(Request(0.0, OpType.WRITE, 10, 1)) == 0
+
+    def test_sequential_cold_write_goes_slow(self, policy):
+        assert policy.place(Request(0.0, OpType.WRITE, 10, 16)) == 1
+
+    def test_hot_sequential_write_goes_fast(self, policy, hm_system):
+        for _ in range(5):
+            hm_system.tracker.record(10)
+        assert policy.place(Request(0.0, OpType.WRITE, 10, 16)) == 0
+
+    def test_read_served_in_place(self, policy, hm_system):
+        hm_system.serve(Request(0.0, OpType.WRITE, 7, 1), action=0)
+        assert policy.place(Request(1.0, OpType.READ, 7, 1)) == 0
+        hm_system.serve(Request(2.0, OpType.WRITE, 8, 1), action=1)
+        assert policy.place(Request(3.0, OpType.READ, 8, 1)) == 1
+
+    def test_unmapped_read_goes_slow(self, policy):
+        assert policy.place(Request(0.0, OpType.READ, 99, 1)) == 1
+
+    def test_tri_hss_uses_extremes(self, tri_system):
+        p = CDEPolicy()
+        p.attach(tri_system)
+        assert p.place(Request(0.0, OpType.WRITE, 1, 1)) == 0
+        assert p.place(Request(0.0, OpType.WRITE, 2, 32)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CDEPolicy(random_size_pages=0)
+        with pytest.raises(ValueError):
+            CDEPolicy(hot_access_count=0)

@@ -1,0 +1,59 @@
+"""Tests for Fast-Only / Slow-Only / static policies."""
+
+import pytest
+
+from repro.baselines.extremes import FastOnlyPolicy, SlowOnlyPolicy, StaticPolicy
+from repro.hss.request import OpType, Request
+
+
+def req(page=1):
+    return Request(0.0, OpType.WRITE, page)
+
+
+class TestStaticPolicy:
+    def test_fixed_device(self, hm_system):
+        p = StaticPolicy(device=1, name="always-m")
+        p.attach(hm_system)
+        assert p.place(req()) == 1
+
+    def test_unattached_raises(self):
+        with pytest.raises(RuntimeError):
+            StaticPolicy(0, "x").place(req())
+
+    def test_out_of_range_device(self, hm_system):
+        p = StaticPolicy(device=5, name="bad")
+        p.attach(hm_system)
+        with pytest.raises(ValueError):
+            p.place(req())
+
+
+class TestFastOnly:
+    def test_always_fastest(self, hm_system):
+        p = FastOnlyPolicy()
+        p.attach(hm_system)
+        assert all(p.place(req(i)) == 0 for i in range(10))
+
+    def test_requires_unbounded_flag(self):
+        assert FastOnlyPolicy.requires_unbounded_fast is True
+
+    def test_name(self):
+        assert FastOnlyPolicy().name == "Fast-Only"
+
+
+class TestSlowOnly:
+    def test_always_slowest_dual(self, hm_system):
+        p = SlowOnlyPolicy()
+        p.attach(hm_system)
+        assert p.place(req()) == 1
+
+    def test_always_slowest_tri(self, tri_system):
+        p = SlowOnlyPolicy()
+        p.attach(tri_system)
+        assert p.place(req()) == 2
+
+    def test_feedback_is_noop(self, hm_system):
+        p = SlowOnlyPolicy()
+        p.attach(hm_system)
+        a = p.place(req())
+        result = hm_system.serve(req(), a)
+        p.feedback(req(), a, result)  # must not raise

@@ -1,0 +1,71 @@
+"""Tests for the HPS heuristic."""
+
+import pytest
+
+from repro.baselines.hps import HPSPolicy
+from repro.hss.request import OpType, Request
+
+
+def write(page, ts=0.0):
+    return Request(ts, OpType.WRITE, page, 1)
+
+
+class TestHPS:
+    def test_everything_slow_before_first_epoch(self, hm_system):
+        p = HPSPolicy(epoch_requests=100)
+        p.attach(hm_system)
+        assert p.place(write(1)) == 1
+
+    def test_hot_pages_fast_after_epoch(self, hm_system):
+        p = HPSPolicy(epoch_requests=10)
+        p.attach(hm_system)
+        # Page 5 is touched in every request of the first epoch.
+        for i in range(10):
+            p.place(write(5, ts=float(i)))
+        assert p.place(write(5, ts=11.0)) == 0
+        assert p.place(write(77, ts=12.0)) == 1
+
+    def test_hot_set_respects_capacity_budget(self, hm_system):
+        # Fast capacity is 64 pages; hot_fraction=0.5 -> 32-page budget.
+        p = HPSPolicy(epoch_requests=200, hot_fraction=0.5)
+        p.attach(hm_system)
+        for i in range(200):
+            p.place(write(i % 100, ts=float(i)))
+        assert len(p._hot_set) <= 32
+
+    def test_epoch_counts_cleared(self, hm_system):
+        p = HPSPolicy(epoch_requests=10)
+        p.attach(hm_system)
+        for i in range(10):
+            p.place(write(5, ts=float(i)))
+        assert p._epoch_counts == {}
+
+    def test_adapts_to_phase_change(self, hm_system):
+        # hot_fraction 0.02 of 64-page capacity -> top-1 page budget.
+        p = HPSPolicy(epoch_requests=10, hot_fraction=0.02)
+        p.attach(hm_system)
+        for i in range(10):
+            p.place(write(1, ts=float(i)))
+        assert p.place(write(1)) == 0
+        # New phase: page 2 becomes hot, page 1 dies.
+        for i in range(10):
+            p.place(write(2, ts=10.0 + i))
+        assert p.place(write(2)) == 0
+        assert p.place(write(1)) == 1
+
+    def test_reset(self, hm_system):
+        p = HPSPolicy(epoch_requests=5)
+        p.attach(hm_system)
+        for i in range(6):
+            p.place(write(3, ts=float(i)))
+        p.reset()
+        assert p._hot_set == set()
+        assert p._seen == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HPSPolicy(epoch_requests=0)
+        with pytest.raises(ValueError):
+            HPSPolicy(hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HPSPolicy(hot_fraction=1.5)

@@ -1,0 +1,79 @@
+"""Tests for the future-knowledge Oracle."""
+
+import pytest
+
+from repro.baselines.oracle import OraclePolicy
+from repro.hss.eviction import BeladyVictimSelector
+from repro.hss.request import OpType, Request
+from repro.sim.runner import run_policy
+from repro.traces.workloads import make_trace
+
+
+def read(page, ts=0.0, size=1):
+    return Request(ts, OpType.READ, page, size)
+
+
+class TestPreparation:
+    def test_place_before_prepare_raises(self, hm_system):
+        p = OraclePolicy()
+        p.attach(hm_system)
+        with pytest.raises(RuntimeError):
+            p.place(read(1))
+
+    def test_prepare_installs_belady_selector(self, hm_system):
+        p = OraclePolicy()
+        p.attach(hm_system)
+        p.prepare([read(1), read(2)])
+        assert isinstance(hm_system.victim_selector, BeladyVictimSelector)
+
+    def test_future_index_built_per_page_touch(self, hm_system):
+        p = OraclePolicy()
+        p.attach(hm_system)
+        p.prepare([read(1, size=2), read(1, ts=1.0)])
+        assert p._future[1] == [0, 2]
+        assert p._future[2] == [1]
+
+
+class TestPlacement:
+    def test_imminent_reuse_goes_fast(self, hm_system):
+        p = OraclePolicy(horizon_scale=1.0)
+        p.attach(hm_system)
+        trace = [read(1, ts=0.0), read(1, ts=1.0), read(2, ts=2.0)]
+        p.prepare(trace)
+        assert p.place(trace[0]) == 0  # page 1 reused next access
+
+    def test_never_reused_goes_slow(self, hm_system):
+        p = OraclePolicy()
+        p.attach(hm_system)
+        trace = [read(1), read(2, ts=1.0)]
+        p.prepare(trace)
+        assert p.place(trace[0]) == 1
+
+    def test_distant_reuse_goes_slow(self, hm_system):
+        p = OraclePolicy(horizon_scale=0.01)  # horizon < 1 page access
+        p.attach(hm_system)
+        filler = [read(100 + i, ts=2.0 + i) for i in range(80)]
+        trace = [read(1)] + filler + [read(1, ts=99.0)]
+        p.prepare(trace)
+        assert p.place(trace[0]) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OraclePolicy(horizon_scale=0.0)
+
+    def test_reset_clears_foresight(self, hm_system):
+        p = OraclePolicy()
+        p.attach(hm_system)
+        p.prepare([read(1)])
+        p.reset()
+        assert p._future == {}
+
+
+class TestOracleQuality:
+    def test_oracle_beats_naive_static_on_real_trace(self):
+        trace = make_trace("rsrch_0", n_requests=3000, seed=1)
+        from repro.baselines.extremes import SlowOnlyPolicy
+
+        oracle = run_policy(OraclePolicy(horizon_scale=8.0), trace, config="H&M")
+        slow = run_policy(SlowOnlyPolicy(), trace, config="H&M")
+        assert oracle.avg_latency_s < slow.avg_latency_s

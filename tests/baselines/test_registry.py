@@ -1,0 +1,76 @@
+"""Tests for the baseline policy registry and the shared interface."""
+
+import pytest
+
+from repro.baselines import (
+    ArchivistPolicy,
+    CDEPolicy,
+    FastOnlyPolicy,
+    HPSPolicy,
+    OraclePolicy,
+    PlacementPolicy,
+    RNNHSSPolicy,
+    SlowOnlyPolicy,
+    TriHeuristicPolicy,
+    available_policies,
+    make_policy,
+)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_policies() == [
+            "archivist",
+            "cde",
+            "fast-only",
+            "hps",
+            "oracle",
+            "rnn-hss",
+            "slow-only",
+            "tri-heuristic",
+        ]
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("cde", CDEPolicy),
+            ("hps", HPSPolicy),
+            ("archivist", ArchivistPolicy),
+            ("rnn-hss", RNNHSSPolicy),
+            ("oracle", OraclePolicy),
+            ("fast-only", FastOnlyPolicy),
+            ("slow-only", SlowOnlyPolicy),
+            ("tri-heuristic", TriHeuristicPolicy),
+        ],
+    )
+    def test_factory(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_kwargs_forwarded(self):
+        p = make_policy("cde", hot_access_count=9)
+        assert p.hot_access_count == 9
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("belady")
+
+
+class TestInterface:
+    def test_base_place_not_implemented(self, hm_system):
+        p = PlacementPolicy()
+        p.attach(hm_system)
+        with pytest.raises(NotImplementedError):
+            p.place(None)
+
+    def test_n_devices_requires_attach(self):
+        with pytest.raises(RuntimeError):
+            _ = PlacementPolicy().n_devices
+
+    def test_prepare_default_noop(self, hm_system):
+        p = CDEPolicy()
+        p.attach(hm_system)
+        p.prepare([])  # must not raise
+
+    def test_every_policy_has_unique_name(self):
+        names = [make_policy(n).name for n in available_policies()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,55 @@
+"""Tests for the hot/cold/frozen tri-hybrid heuristic (§8.7)."""
+
+import pytest
+
+from repro.baselines.tri_heuristic import TriHeuristicPolicy
+from repro.hss.request import OpType, Request
+
+
+def req(page, op=OpType.READ, size=1):
+    return Request(0.0, op, page, size)
+
+
+@pytest.fixture
+def policy(tri_system):
+    p = TriHeuristicPolicy(hot_threshold=8, cold_threshold=2,
+                           random_size_pages=4)
+    p.attach(tri_system)
+    return p
+
+
+class TestClassification:
+    def test_frozen_page_to_last_device(self, policy):
+        assert policy.place(req(1)) == 2
+
+    def test_cold_page_to_middle(self, policy, tri_system):
+        for _ in range(3):
+            tri_system.tracker.record(1)
+        assert policy.place(req(1)) == 1
+
+    def test_hot_page_to_fastest(self, policy, tri_system):
+        for _ in range(10):
+            tri_system.tracker.record(1)
+        assert policy.place(req(1)) == 0
+
+    def test_random_write_is_hot(self, policy):
+        assert policy.place(req(1, OpType.WRITE, size=1)) == 0
+
+    def test_large_cold_write_is_frozen(self, policy):
+        assert policy.place(req(1, OpType.WRITE, size=32)) == 2
+
+    def test_works_on_dual_hss(self, hm_system):
+        """Generalises to two devices: middle collapses onto slow."""
+        p = TriHeuristicPolicy()
+        p.attach(hm_system)
+        for _ in range(3):
+            hm_system.tracker.record(1)
+        assert p.place(req(1)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriHeuristicPolicy(hot_threshold=2, cold_threshold=2)
+        with pytest.raises(ValueError):
+            TriHeuristicPolicy(cold_threshold=0)
+        with pytest.raises(ValueError):
+            TriHeuristicPolicy(random_size_pages=0)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.hss.devices import make_devices
+from repro.hss.system import HybridStorageSystem
+from repro.traces.workloads import make_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_trace():
+    """A short deterministic rsrch_0-like trace."""
+    return make_trace("rsrch_0", n_requests=500, seed=7)
+
+
+@pytest.fixture
+def hm_system():
+    """A small H&M system with a 64-page fast device."""
+    devices = make_devices("H&M")
+    return HybridStorageSystem(devices, [64, None])
+
+
+@pytest.fixture
+def hl_system():
+    """A small H&L system with a 64-page fast device."""
+    devices = make_devices("H&L")
+    return HybridStorageSystem(devices, [64, None])
+
+
+@pytest.fixture
+def tri_system():
+    """A small H&M&L system with bounded H and M."""
+    devices = make_devices("H&M&L")
+    return HybridStorageSystem(devices, [32, 64, None])

@@ -1,0 +1,213 @@
+"""Tests for the Sibyl agent (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import SibylAgent
+from repro.core.hyperparams import SIBYL_DEFAULT
+from repro.core.reward import HitRateReward
+from repro.hss.devices import make_devices
+from repro.hss.request import OpType, Request
+from repro.hss.system import HybridStorageSystem
+
+
+@pytest.fixture
+def fast_hp():
+    """Small hyper-parameters so training fires quickly in tests."""
+    return SIBYL_DEFAULT.replace(
+        buffer_capacity=32, batch_size=8, train_interval=16,
+        batches_per_training=2,
+    )
+
+
+@pytest.fixture
+def agent(fast_hp):
+    return SibylAgent(hyperparams=fast_hp, seed=3)
+
+
+def drive(agent, hss, trace):
+    for req in trace:
+        action = agent.place(req)
+        result = hss.serve(req, action)
+        agent.feedback(req, action, result)
+
+
+def make_requests(n, seed=0):
+    rng = np.random.default_rng(seed)
+    reqs = []
+    ts = 0.0
+    for _ in range(n):
+        ts += float(rng.exponential(1e-4))
+        op = OpType.WRITE if rng.random() < 0.5 else OpType.READ
+        reqs.append(Request(ts, op, int(rng.integers(0, 50)), 1))
+    return reqs
+
+
+class TestLifecycle:
+    def test_place_before_attach_raises(self, agent):
+        with pytest.raises(RuntimeError):
+            agent.place(Request(0.0, OpType.READ, 1))
+
+    def test_attach_builds_networks(self, agent, hm_system):
+        agent.attach(hm_system)
+        assert agent.training_net is not None
+        assert agent.inference_net is not None
+        assert agent.extractor.n_features == 6
+        assert agent.training_net.config.n_actions == 2
+
+    def test_tri_hss_gets_three_actions(self, agent, tri_system):
+        """§8.7 extensibility: only the action/feature spaces grow."""
+        agent.attach(tri_system)
+        assert agent.training_net.config.n_actions == 3
+        assert agent.extractor.n_features == 7
+
+    def test_actions_in_range(self, agent, hm_system):
+        agent.attach(hm_system)
+        for req in make_requests(100):
+            assert agent.place(req) in (0, 1)
+            agent.feedback(req, agent._current[1],
+                           hm_system.serve(req, agent._current[1]))
+
+    def test_feedback_without_place_raises(self, agent, hm_system):
+        agent.attach(hm_system)
+        with pytest.raises(RuntimeError):
+            agent.feedback(Request(0.0, OpType.READ, 1), 0, None)
+
+    def test_feedback_action_mismatch(self, agent, hm_system):
+        agent.attach(hm_system)
+        req = Request(0.0, OpType.WRITE, 1)
+        action = agent.place(req)
+        result = hm_system.serve(req, action)
+        with pytest.raises(ValueError):
+            agent.feedback(req, 1 - action, result)
+
+    def test_invalid_head(self):
+        with pytest.raises(ValueError):
+            SibylAgent(head="ppo")
+
+
+class TestLearningMechanics:
+    def test_experiences_accumulate(self, agent, hm_system):
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(20))
+        # n requests -> n-1 completed transitions.
+        assert agent.buffer.total_added == 19
+
+    def test_training_fires_on_schedule(self, agent, hm_system):
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(64))
+        # train_interval=16, buffer fills at 32 adds: trains at 48 and 64.
+        assert agent.train_events == 2
+        assert len(agent.losses) == 2 * agent.hyperparams.batches_per_training
+
+    def test_no_training_before_buffer_full(self, agent, hm_system):
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(30))
+        assert agent.train_events == 0
+
+    def test_weight_copy_synchronises_networks(self, agent, hm_system):
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(64))
+        obs = np.zeros((1, 6))
+        np.testing.assert_allclose(
+            agent.inference_net.q_values(obs),
+            agent.training_net.q_values(obs),
+        )
+
+    def test_exploration_rate_respected(self, hm_system, fast_hp):
+        """eps=1.0 -> all actions random; eps=0 -> greedy deterministic."""
+        explorer = SibylAgent(
+            hyperparams=fast_hp.replace(exploration_rate=1.0), seed=1
+        )
+        explorer.attach(hm_system)
+        actions = []
+        for r in make_requests(200):
+            a = explorer.place(r)
+            actions.append(a)
+            explorer.feedback(r, a, hm_system.serve(r, a))
+        assert 0.3 < np.mean(actions) < 0.7  # both actions sampled
+
+    def test_dqn_head_variant(self, hm_system, fast_hp):
+        agent = SibylAgent(hyperparams=fast_hp, head="dqn", seed=2)
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(64))
+        assert agent.train_events == 2
+
+    def test_custom_reward_object(self, hm_system, fast_hp):
+        agent = SibylAgent(hyperparams=fast_hp, reward=HitRateReward())
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(40))
+        assert agent.buffer.total_added > 0
+
+    def test_feature_subset_agent(self, hm_system, fast_hp):
+        agent = SibylAgent(hyperparams=fast_hp, feature_set="rt+ft")
+        agent.attach(hm_system)
+        assert agent.extractor.n_features == 3
+        drive(agent, hm_system, make_requests(40))
+
+
+class TestResetAndDiagnostics:
+    def test_reset_forgets_everything(self, agent, hm_system):
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(64))
+        agent.reset()
+        assert agent.train_events == 0
+        assert len(agent.buffer) == 0
+        assert agent.action_counts.sum() == 0
+
+    def test_reset_is_reproducible(self, hm_system, fast_hp):
+        def run(agent, hss):
+            hss.reset()
+            agent.reset()
+            agent.attach(hss)
+            actions = []
+            for req in make_requests(80):
+                a = agent.place(req)
+                actions.append(a)
+                agent.feedback(req, a, hss.serve(req, a))
+            return actions
+
+        agent = SibylAgent(hyperparams=fast_hp, seed=9)
+        agent.attach(hm_system)
+        first = run(agent, hm_system)
+        second = run(agent, hm_system)
+        assert first == second
+
+    def test_fast_preference(self, agent, hm_system):
+        agent.attach(hm_system)
+        assert agent.fast_preference == 0.0
+        drive(agent, hm_system, make_requests(50))
+        assert 0.0 <= agent.fast_preference <= 1.0
+
+    def test_q_snapshot(self, agent, hm_system):
+        agent.attach(hm_system)
+        q = agent.q_snapshot(Request(0.0, OpType.WRITE, 3))
+        assert q.shape == (2,)
+        assert np.all(np.isfinite(q))
+
+
+class TestEndToEndLearning:
+    def test_learns_to_use_fast_device_for_writes(self, hl_system):
+        """On a write-only hot workload, fast placement wins decisively;
+        the agent should discover it from the latency reward alone."""
+        hp = SIBYL_DEFAULT.replace(
+            buffer_capacity=64, batch_size=32, train_interval=32,
+            batches_per_training=4, learning_rate=1e-2,
+        )
+        agent = SibylAgent(hyperparams=hp, seed=0)
+        agent.attach(hl_system)
+        rng = np.random.default_rng(1)
+        ts = 0.0
+        late_actions = []
+        for i in range(1500):
+            ts += float(rng.exponential(1e-3))
+            req = Request(ts, OpType.WRITE, int(rng.integers(0, 32)), 1)
+            a = agent.place(req)
+            result = hl_system.serve(req, a)
+            agent.feedback(req, a, result)
+            if i >= 1000:
+                late_actions.append(a)
+        # The 32-page working set fits in the 64-page fast device, so
+        # fast placement has no eviction downside; a learning agent ends
+        # up strongly fast-preferring.
+        assert np.mean(late_actions) < 0.3  # action 0 == fast

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "rsrch_0"
+        assert args.policy == "sibyl"
+        assert args.config == "H&M"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "rsrch_0" in out and "fileserver" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "124.4" in out
+
+    def test_run_heuristic(self, capsys):
+        assert main([
+            "run", "--policy", "cde", "--workload", "usr_0",
+            "--requests", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CDE" in out
+        assert "avg latency" in out
+
+    def test_run_sibyl(self, capsys):
+        assert main([
+            "run", "--policy", "sibyl", "--workload", "usr_0",
+            "--requests", "400", "--warmup", "0.25",
+        ]) == 0
+        assert "Sibyl" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "--workloads", "usr_0", "--requests", "600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Oracle" in out and "Sibyl" in out
+
+    def test_export_trace(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert main([
+            "export-trace", "--workload", "hm_1", "--requests", "100",
+            "--output", str(target),
+        ]) == 0
+        assert target.exists()
+        assert len(target.read_text().splitlines()) == 100

@@ -1,0 +1,145 @@
+"""Tests for the §11 endurance extension and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import SibylAgent
+from repro.core.hyperparams import SIBYL_DEFAULT
+from repro.core.reward import EnduranceAwareReward, LatencyReward, make_reward
+from repro.hss.devices import make_devices
+from repro.hss.request import OpType, Request
+from repro.hss.system import HybridStorageSystem, ServeResult
+from repro.sim.runner import run_policy
+from repro.traces.workloads import make_trace
+
+
+def result(latency_s=10e-6, action=0, written=0, eviction=False):
+    return ServeResult(
+        latency_s=latency_s,
+        device=action,
+        eviction_occurred=eviction,
+        eviction_time_s=0.0,
+        evicted_pages=0,
+        promoted_pages=0,
+        demoted_pages=0,
+        action=action,
+        pages_written_to_action=written,
+    )
+
+
+class TestEnduranceReward:
+    def test_no_writes_equals_latency_reward(self):
+        base = LatencyReward(unit_latency_s=10e-6)
+        r = EnduranceAwareReward(latency_reward=base, wear_coefficient=0.1)
+        assert r(result(written=0)) == base(result(written=0))
+
+    def test_wear_penalty_on_critical_device(self):
+        base = LatencyReward(unit_latency_s=10e-6)
+        r = EnduranceAwareReward(latency_reward=base, wear_coefficient=0.1)
+        clean = r(result(written=0))
+        worn = r(result(written=4))
+        assert worn == pytest.approx(clean - 0.4)
+
+    def test_no_penalty_on_other_devices(self):
+        r = EnduranceAwareReward(wear_coefficient=0.1, critical_device=0)
+        assert r(result(action=1, written=8)) == pytest.approx(
+            r.latency_reward(result(action=1, written=8))
+        )
+
+    def test_floored_at_zero(self):
+        r = EnduranceAwareReward(wear_coefficient=10.0)
+        assert r(result(written=100)) == 0.0
+
+    def test_zero_coefficient_recovers_latency(self):
+        r = EnduranceAwareReward(wear_coefficient=0.0)
+        assert r(result(written=50)) == r.latency_reward(result(written=50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnduranceAwareReward(wear_coefficient=-1.0)
+        with pytest.raises(ValueError):
+            EnduranceAwareReward(critical_device=-1)
+
+    def test_factory(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [64, None])
+        r = make_reward("endurance", hss)
+        assert isinstance(r, EnduranceAwareReward)
+        # The wrapped latency reward inherited the HSS-scaled unit.
+        assert r.latency_reward.unit_latency_s > 0
+
+
+class TestServeResultWearFields:
+    def test_write_counts_pages(self, hm_system):
+        res = hm_system.serve(Request(0.0, OpType.WRITE, 0, 5), action=0)
+        assert res.action == 0
+        assert res.pages_written_to_action == 5
+
+    def test_read_in_place_writes_nothing(self, hm_system):
+        hm_system.serve(Request(0.0, OpType.WRITE, 0, 1), action=0)
+        res = hm_system.serve(Request(1.0, OpType.READ, 0, 1), action=0)
+        assert res.pages_written_to_action == 0
+
+    def test_promotion_counts_migrated_pages(self, hm_system):
+        hm_system.serve(Request(0.0, OpType.WRITE, 0, 3), action=1)
+        res = hm_system.serve(Request(1.0, OpType.READ, 0, 3), action=0)
+        assert res.pages_written_to_action == 3
+
+
+class TestEnduranceAgent:
+    def test_endurance_agent_reduces_fast_writes(self):
+        """Raising the wear coefficient diverts write traffic away from
+        the endurance-critical fast device (§11's intended behaviour)."""
+        trace = make_trace("wdev_2", n_requests=6000, seed=0)  # 99.9% writes
+
+        def fast_writes(reward):
+            agent = SibylAgent(reward=reward, seed=0)
+            from repro.sim.runner import build_hss
+
+            hss = build_hss("H&M", trace)
+            run_policy(agent, trace, hss=hss)
+            return hss.devices[0].stats.pages_written
+
+        plain = fast_writes("latency")
+        enduring = fast_writes(
+            EnduranceAwareReward(wear_coefficient=1.0)
+        )
+        assert enduring < plain
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, tmp_path, hm_system):
+        agent = SibylAgent(
+            hyperparams=SIBYL_DEFAULT.replace(
+                buffer_capacity=16, batch_size=4, train_interval=8,
+                batches_per_training=1, initial_random_requests=0,
+            ),
+            seed=0,
+        )
+        agent.attach(hm_system)
+        rng = np.random.default_rng(0)
+        for i in range(40):
+            req = Request(i * 1e-4, OpType.WRITE, int(rng.integers(0, 30)), 1)
+            a = agent.place(req)
+            agent.feedback(req, a, hm_system.serve(req, a))
+        path = tmp_path / "ckpt.npz"
+        agent.save_checkpoint(path)
+
+        other = SibylAgent(hyperparams=agent.hyperparams, seed=99)
+        other.attach(hm_system)
+        other.load_checkpoint(path)
+        obs = np.zeros((1, 6))
+        np.testing.assert_allclose(
+            other.inference_net.q_values(obs),
+            agent.inference_net.q_values(obs),
+        )
+        np.testing.assert_allclose(
+            other.training_net.q_values(obs),
+            agent.training_net.q_values(obs),
+        )
+
+    def test_checkpoint_requires_attach(self, tmp_path):
+        agent = SibylAgent()
+        with pytest.raises(RuntimeError):
+            agent.save_checkpoint(tmp_path / "x.npz")
+        with pytest.raises(RuntimeError):
+            agent.load_checkpoint(tmp_path / "x.npz")

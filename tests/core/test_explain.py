@@ -1,0 +1,76 @@
+"""Tests for the explainability helpers (§9)."""
+
+import pytest
+
+from repro.core.explain import (
+    PlacementProfile,
+    preference_table,
+    profile_from_stats,
+)
+from repro.hss.system import HSSStats
+
+
+def profile(placements, evictions=0, requests=10):
+    return PlacementProfile(
+        placements=placements,
+        eviction_events=evictions,
+        evicted_pages=evictions * 4,
+        requests=requests,
+        promoted_pages=2,
+        demoted_pages=1,
+    )
+
+
+class TestPlacementProfile:
+    def test_fast_preference(self):
+        assert profile([75, 25]).fast_preference == pytest.approx(0.75)
+
+    def test_fast_preference_empty(self):
+        assert profile([0, 0]).fast_preference == 0.0
+
+    def test_eviction_fraction(self):
+        assert profile([5, 5], evictions=3, requests=10).eviction_fraction == 0.3
+
+    def test_eviction_fraction_no_requests(self):
+        assert profile([0, 0], requests=0).eviction_fraction == 0.0
+
+    def test_device_share(self):
+        p = profile([30, 60, 10])
+        assert p.device_share(1) == pytest.approx(0.6)
+        assert p.device_share(2) == pytest.approx(0.1)
+
+
+class TestProfileFromStats:
+    def test_copies_counters(self):
+        stats = HSSStats()
+        stats.reset(2)
+        stats.placements = [7, 3]
+        stats.requests = 10
+        stats.eviction_events = 2
+        stats.evicted_pages = 9
+        stats.promoted_pages = 4
+        stats.demoted_pages = 1
+        p = profile_from_stats(stats)
+        assert p.fast_preference == pytest.approx(0.7)
+        assert p.eviction_fraction == pytest.approx(0.2)
+        assert p.promoted_pages == 4
+
+    def test_independent_of_stats_mutation(self):
+        stats = HSSStats()
+        stats.reset(2)
+        stats.placements = [1, 0]
+        p = profile_from_stats(stats)
+        stats.placements[0] = 99
+        assert p.placements == [1, 0]
+
+
+class TestPreferenceTable:
+    def test_rows_sorted_by_workload(self):
+        rows = preference_table(
+            {"z_load": profile([1, 1]), "a_load": profile([3, 1])}
+        )
+        assert [r["workload"] for r in rows] == ["a_load", "z_load"]
+        assert rows[0]["fast_preference"] == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert preference_table({}) == []

@@ -1,0 +1,163 @@
+"""Tests for state featurization and binning (Table 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    FEATURE_SETS,
+    FeatureExtractor,
+    FeatureSpec,
+    linear_bin,
+    log2_bin,
+)
+from repro.hss.devices import make_devices
+from repro.hss.request import OpType, Request
+from repro.hss.system import HybridStorageSystem
+
+
+class TestBinning:
+    def test_log2_bins(self):
+        assert log2_bin(0, 8) == 0
+        assert log2_bin(1, 8) == 0
+        assert log2_bin(2, 8) == 1
+        assert log2_bin(3, 8) == 1
+        assert log2_bin(4, 8) == 2
+        assert log2_bin(1 << 20, 8) == 7  # clamped
+
+    def test_log2_infinite_goes_to_last_bin(self):
+        assert log2_bin(float("inf"), 64) == 63
+
+    def test_log2_validation(self):
+        with pytest.raises(ValueError):
+            log2_bin(1, 0)
+
+    def test_linear_bins(self):
+        assert linear_bin(0.0, 8) == 0
+        assert linear_bin(0.49, 8) == 3
+        assert linear_bin(1.0, 8) == 7
+
+    def test_linear_clamps(self):
+        assert linear_bin(-0.5, 8) == 0
+        assert linear_bin(1.5, 8) == 7
+
+    @given(st.floats(0, 1), st.integers(2, 64))
+    def test_linear_bin_in_range(self, frac, n):
+        assert 0 <= linear_bin(frac, n) < n
+
+    @given(st.floats(0, 2**30), st.integers(2, 64))
+    def test_log2_bin_in_range(self, value, n):
+        assert 0 <= log2_bin(value, n) < n
+
+    @given(st.floats(1, 2**20))
+    def test_log2_monotone(self, v):
+        assert log2_bin(v, 64) <= log2_bin(v * 2, 64)
+
+
+class TestFeatureSpec:
+    def test_defaults_match_table1(self):
+        spec = FeatureSpec()
+        assert spec.size_bins == 8
+        assert spec.type_bins == 2
+        assert spec.intr_bins == 64
+        assert spec.cnt_bins == 64
+        assert spec.cap_bins == 8
+        assert spec.curr_bins == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureSpec(size_bins=1)
+
+
+class TestFeatureExtractor:
+    def test_dual_hss_has_six_features(self, hm_system):
+        ex = FeatureExtractor(hm_system)
+        assert ex.n_features == 6
+        assert ex.feature_names() == [
+            "size",
+            "type",
+            "intr",
+            "cnt",
+            "cap[0]",
+            "curr",
+        ]
+
+    def test_tri_hss_has_seven_features(self, tri_system):
+        """§8.7: add one action and one capacity feature for device M."""
+        ex = FeatureExtractor(tri_system)
+        assert ex.n_features == 7
+        assert "cap[1]" in ex.feature_names()
+
+    def test_observation_in_unit_range(self, hm_system):
+        ex = FeatureExtractor(hm_system)
+        obs = ex.observe(Request(0.0, OpType.WRITE, 5, 4))
+        assert obs.shape == (6,)
+        assert np.all(obs >= 0.0) and np.all(obs <= 1.0)
+
+    def test_type_feature(self, hm_system):
+        ex = FeatureExtractor(hm_system)
+        write_bins = ex.bins(Request(0.0, OpType.WRITE, 5))
+        read_bins = ex.bins(Request(0.0, OpType.READ, 5))
+        assert write_bins[1] == 1
+        assert read_bins[1] == 0
+
+    def test_cnt_feature_grows_with_accesses(self, hm_system):
+        ex = FeatureExtractor(hm_system)
+        req = Request(0.0, OpType.WRITE, 5)
+        before = ex.bins(req)[3]
+        for _ in range(40):
+            hm_system.tracker.record(5)
+        after = ex.bins(req)[3]
+        assert after > before
+
+    def test_intr_feature_unseen_is_max(self, hm_system):
+        ex = FeatureExtractor(hm_system)
+        bins = ex.bins(Request(0.0, OpType.READ, 777))
+        assert bins[2] == 63
+
+    def test_cap_feature_tracks_occupancy(self, hm_system):
+        ex = FeatureExtractor(hm_system)
+        req = Request(0.0, OpType.WRITE, 5)
+        empty_cap = ex.bins(req)[4]
+        hm_system.serve(Request(0.0, OpType.WRITE, 100, 60), action=0)
+        full_cap = ex.bins(req)[4]
+        assert full_cap < empty_cap
+
+    def test_curr_feature(self, hm_system):
+        ex = FeatureExtractor(hm_system)
+        hm_system.serve(Request(0.0, OpType.WRITE, 9), action=0)
+        assert ex.bins(Request(1.0, OpType.READ, 9))[5] == 0
+        # Unmapped pages report the slowest device.
+        assert ex.bins(Request(1.0, OpType.READ, 500))[5] == 1
+
+    def test_unknown_feature_set(self, hm_system):
+        with pytest.raises(ValueError):
+            FeatureExtractor(hm_system, feature_set="bogus")
+
+    @pytest.mark.parametrize("fs,expected_n", [
+        ("rt", 2), ("ft", 1), ("rt+ft", 3), ("rt+ft+mt", 4),
+        ("rt+ft+pt", 4), ("all", 6),
+    ])
+    def test_ablation_dimensions(self, hm_system, fs, expected_n):
+        assert FeatureExtractor(hm_system, feature_set=fs).n_features == expected_n
+
+    def test_state_bits_match_paper(self, hm_system):
+        """§6.2.1: the full Table 1 encoding is 40 bits."""
+        assert FeatureExtractor(hm_system).state_bits() == 40
+
+    def test_tri_hss_state_bits(self, tri_system):
+        # One extra 8-bit capacity feature.
+        assert FeatureExtractor(tri_system).state_bits() == 48
+
+    def test_feature_sets_registry(self):
+        assert set(FEATURE_SETS["all"]) == {
+            "size",
+            "type",
+            "intr",
+            "cnt",
+            "cap",
+            "curr",
+        }

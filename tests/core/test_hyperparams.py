@@ -1,0 +1,90 @@
+"""Tests for hyper-parameters (Table 2) and the DoE sweep."""
+
+import pytest
+
+from repro.core.hyperparams import (
+    SIBYL_DEFAULT,
+    SIBYL_OPT,
+    SibylHyperParams,
+    doe_grid,
+)
+
+
+class TestDefaults:
+    def test_paper_structural_values(self):
+        assert SIBYL_DEFAULT.discount == 0.9
+        assert SIBYL_DEFAULT.exploration_rate == 0.001
+        assert SIBYL_DEFAULT.batch_size == 128
+        assert SIBYL_DEFAULT.buffer_capacity == 1000
+        assert SIBYL_DEFAULT.batches_per_training == 8
+        assert SIBYL_DEFAULT.hidden_sizes == (20, 30)
+        assert SIBYL_DEFAULT.n_atoms == 51
+
+    def test_opt_variant_lowers_learning_rate(self):
+        """§8.3: Sibyl_Opt uses a lower learning rate, rest unchanged."""
+        assert SIBYL_OPT.learning_rate < SIBYL_DEFAULT.learning_rate
+        assert SIBYL_OPT.discount == SIBYL_DEFAULT.discount
+        assert SIBYL_OPT.buffer_capacity == SIBYL_DEFAULT.buffer_capacity
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SIBYL_DEFAULT.discount = 0.5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("discount", 1.5),
+            ("discount", -0.1),
+            ("learning_rate", 0.0),
+            ("exploration_rate", 2.0),
+            ("batch_size", 0),
+            ("buffer_capacity", 0),
+            ("train_interval", 0),
+            ("batches_per_training", 0),
+            ("n_atoms", 1),
+            ("hidden_sizes", ()),
+            ("hidden_sizes", (0,)),
+        ],
+    )
+    def test_invalid_values(self, field, value):
+        with pytest.raises(ValueError):
+            SIBYL_DEFAULT.replace(**{field: value})
+
+    def test_replace_creates_new(self):
+        hp = SIBYL_DEFAULT.replace(discount=0.5)
+        assert hp.discount == 0.5
+        assert SIBYL_DEFAULT.discount == 0.9
+
+
+class TestDoEGrid:
+    def test_one_at_a_time(self):
+        points = list(doe_grid(("discount",)))
+        assert len(points) == 6  # Table 2's design space for gamma
+        for param, value, hp in points:
+            assert param == "discount"
+            assert hp.discount == value
+            # Other parameters stay at defaults.
+            assert hp.learning_rate == SIBYL_DEFAULT.learning_rate
+
+    def test_default_axes(self):
+        points = list(doe_grid())
+        params = {p for p, _v, _hp in points}
+        assert params == {"discount", "learning_rate", "exploration_rate"}
+
+    def test_table2_design_spaces(self):
+        lr_values = [v for p, v, _ in doe_grid(("learning_rate",))]
+        assert min(lr_values) == 1e-5
+        assert max(lr_values) == 1e-1
+        eps_values = [v for p, v, _ in doe_grid(("exploration_rate",))]
+        assert 1.0 in eps_values
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            list(doe_grid(("hidden_sizes",)))
+
+    def test_custom_base(self):
+        base = SIBYL_DEFAULT.replace(batch_size=64)
+        for _p, _v, hp in doe_grid(("discount",), base=base):
+            assert hp.batch_size == 64

@@ -1,0 +1,75 @@
+"""Tests for the §10 overhead analysis — paper-number parity."""
+
+import pytest
+
+from repro.core.hyperparams import SIBYL_DEFAULT
+from repro.core.overhead import compute_overhead, layer_macs
+
+
+class TestLayerMacs:
+    def test_paper_network(self):
+        assert layer_macs([6, 20, 30, 2]) == 780
+
+    def test_tri_hybrid_network(self):
+        # 7 inputs (extra capacity feature), 3 actions.
+        assert layer_macs([7, 20, 30, 3]) == 7 * 20 + 20 * 30 + 30 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layer_macs([5])
+
+
+class TestPaperParity:
+    """§10 headline numbers for the default configuration."""
+
+    @pytest.fixture
+    def report(self):
+        return compute_overhead()
+
+    def test_inference_neurons(self, report):
+        assert report.inference_neurons == 52  # 20 + 30 + 2
+
+    def test_weights_and_inference_macs(self, report):
+        assert report.weights == 780
+        assert report.inference_macs == 780
+
+    def test_training_macs(self, report):
+        assert report.training_macs_per_step == 1_597_440
+
+    def test_network_storage_reported(self, report):
+        # 2 x 12.2 "KiB" (paper arithmetic).
+        assert report.network_storage_reported_kib == pytest.approx(24.4)
+
+    def test_buffer_storage_reported(self, report):
+        assert report.buffer_storage_reported_kib == pytest.approx(100.0)
+
+    def test_total_reported(self, report):
+        """The paper's 124.4 KiB headline."""
+        assert report.total_reported_kib == pytest.approx(124.4)
+
+    def test_metadata_bits(self, report):
+        assert report.metadata_bits_per_page == 40
+
+    def test_metadata_fraction_is_about_a_tenth_percent(self, report):
+        assert report.metadata_overhead_fraction == pytest.approx(
+            0.00122, rel=0.01
+        )
+
+    def test_strict_bytes_are_consistent(self, report):
+        assert report.network_storage_bytes == 2 * 780 * 2
+        assert report.buffer_storage_bytes == 1000 * 100 // 8
+        assert report.total_bytes == (
+            report.network_storage_bytes + report.buffer_storage_bytes
+        )
+
+
+class TestScaling:
+    def test_tri_hybrid_overhead(self):
+        report = compute_overhead(n_observations=7, n_actions=3)
+        assert report.weights == 7 * 20 + 20 * 30 + 30 * 3
+        assert report.inference_neurons == 53
+
+    def test_buffer_scales(self):
+        hp = SIBYL_DEFAULT.replace(buffer_capacity=100)
+        report = compute_overhead(hp)
+        assert report.buffer_storage_reported_kib == pytest.approx(10.0)

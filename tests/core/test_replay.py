@@ -1,0 +1,121 @@
+"""Tests for the experience buffer: dedup, eviction, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replay import EXPERIENCE_BITS, ExperienceBuffer
+
+
+def obs(*values):
+    return np.array(values, dtype=np.float64)
+
+
+class TestAdd:
+    def test_unique_entries_counted(self):
+        buf = ExperienceBuffer(10)
+        buf.add(obs(1), 0, 1.0, obs(2))
+        buf.add(obs(3), 1, 2.0, obs(4))
+        assert len(buf) == 2
+        assert buf.total_added == 2
+
+    def test_duplicates_deduplicated(self):
+        """§6.2.1: identical experiences are stored once."""
+        buf = ExperienceBuffer(10)
+        for _ in range(5):
+            buf.add(obs(1, 2), 0, 1.0, obs(3, 4))
+        assert len(buf) == 1
+        assert buf.total_added == 5
+
+    def test_reward_dedup_is_half_precision(self):
+        buf = ExperienceBuffer(10)
+        buf.add(obs(1), 0, 1.0, obs(2))
+        # A reward difference below fp16 resolution dedups.
+        buf.add(obs(1), 0, 1.0 + 1e-6, obs(2))
+        assert len(buf) == 1
+        # A clearly different reward does not.
+        buf.add(obs(1), 0, 2.0, obs(2))
+        assert len(buf) == 2
+
+    def test_capacity_evicts_oldest(self):
+        buf = ExperienceBuffer(3)
+        for i in range(5):
+            buf.add(obs(i), 0, float(i), obs(i + 1))
+        assert len(buf) == 3
+        sampled = buf.sample(100, rng=np.random.default_rng(0))
+        assert sampled[0].min() >= 2  # entries 0 and 1 were dropped
+
+    def test_negative_action_rejected(self):
+        with pytest.raises(ValueError):
+            ExperienceBuffer(2).add(obs(1), -1, 0.0, obs(2))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ExperienceBuffer(0)
+
+    def test_clear(self):
+        buf = ExperienceBuffer(4)
+        buf.add(obs(1), 0, 1.0, obs(2))
+        buf.clear()
+        assert len(buf) == 0 and buf.total_added == 0
+
+    def test_is_full(self):
+        buf = ExperienceBuffer(2)
+        assert not buf.is_full
+        buf.add(obs(1), 0, 0.0, obs(2))
+        buf.add(obs(2), 0, 0.0, obs(3))
+        assert buf.is_full
+
+
+class TestSample:
+    def test_shapes(self):
+        buf = ExperienceBuffer(10)
+        for i in range(6):
+            buf.add(obs(i, i), i % 2, float(i), obs(i + 1, i + 1))
+        o, a, r, n = buf.sample(32, rng=np.random.default_rng(1))
+        assert o.shape == (32, 2)
+        assert a.shape == (32,)
+        assert r.shape == (32,)
+        assert n.shape == (32, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ExperienceBuffer(4).sample(1)
+
+    def test_invalid_batch(self):
+        buf = ExperienceBuffer(4)
+        buf.add(obs(1), 0, 0.0, obs(2))
+        with pytest.raises(ValueError):
+            buf.sample(0)
+
+    def test_multiplicity_weights_sampling(self):
+        """Dedup keeps the sampling distribution unchanged."""
+        buf = ExperienceBuffer(10)
+        for _ in range(99):
+            buf.add(obs(1), 0, 1.0, obs(1))
+        buf.add(obs(2), 1, 2.0, obs(2))
+        _, actions, _, _ = buf.sample(1000, rng=np.random.default_rng(2))
+        # The duplicated experience should dominate ~99% of samples.
+        assert (actions == 0).mean() > 0.9
+
+    def test_deterministic_with_seeded_rng(self):
+        buf = ExperienceBuffer(10)
+        for i in range(5):
+            buf.add(obs(i), 0, float(i), obs(i))
+        a = buf.sample(8, rng=np.random.default_rng(7))
+        b = buf.sample(8, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a[2], b[2])
+
+
+class TestSizing:
+    def test_paper_storage_accounting(self):
+        """§6.2.1: 100 bits per experience, 1000 entries."""
+        buf = ExperienceBuffer(1000)
+        assert EXPERIENCE_BITS == 100
+        assert buf.storage_bits() == 100_000
+        assert buf.storage_kib() == pytest.approx(100_000 / 8 / 1024)
+
+    @given(st.integers(1, 10000))
+    def test_storage_scales_with_capacity(self, cap):
+        assert ExperienceBuffer(cap).storage_bits() == cap * 100

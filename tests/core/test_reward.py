@@ -1,0 +1,120 @@
+"""Tests for the reward structures (Eq. 1 and §11 alternatives)."""
+
+import pytest
+
+from repro.core.reward import (
+    EvictionPenaltyReward,
+    HitRateReward,
+    LatencyReward,
+    make_reward,
+)
+from repro.hss.devices import make_devices
+from repro.hss.system import HybridStorageSystem, ServeResult
+
+
+def result(latency_s, eviction=False, eviction_time_s=0.0, device=0):
+    return ServeResult(
+        latency_s=latency_s,
+        device=device,
+        eviction_occurred=eviction,
+        eviction_time_s=eviction_time_s,
+        evicted_pages=4 if eviction else 0,
+        promoted_pages=0,
+        demoted_pages=0,
+    )
+
+
+class TestLatencyReward:
+    def test_inverse_latency(self):
+        r = LatencyReward(unit_latency_s=10e-6)
+        assert r(result(20e-6)) == pytest.approx(0.5)
+
+    def test_fast_hit_near_unit(self):
+        r = LatencyReward(unit_latency_s=10e-6)
+        assert r(result(10e-6)) == pytest.approx(1.0)
+
+    def test_clipped_at_max(self):
+        r = LatencyReward(unit_latency_s=10e-6, max_reward=1.2)
+        assert r(result(1e-9)) == 1.2
+
+    def test_lower_latency_never_hurts(self):
+        r = LatencyReward(unit_latency_s=10e-6)
+        assert r(result(15e-6)) > r(result(150e-6)) > r(result(5e-3))
+
+    def test_eviction_penalty_subtracted(self):
+        r = LatencyReward(
+            unit_latency_s=10e-6, eviction_penalty_coefficient=0.05
+        )
+        base = r(result(10e-6))
+        penalised = r(result(10e-6, eviction=True, eviction_time_s=100e-6))
+        # penalty = 0.05 * 10 units = 0.5
+        assert penalised == pytest.approx(base - 0.5)
+
+    def test_reward_floored_at_zero(self):
+        """Eq. 1's max(0, .) floor."""
+        r = LatencyReward(unit_latency_s=10e-6)
+        assert r(result(10e-6, eviction=True, eviction_time_s=1.0)) == 0.0
+
+    def test_v_max_covers_discounted_return(self):
+        r = LatencyReward(max_reward=1.2)
+        assert r.v_max == pytest.approx(12.0)
+        assert r.v_min == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyReward(unit_latency_s=0.0)
+        with pytest.raises(ValueError):
+            LatencyReward(eviction_penalty_coefficient=-1.0)
+        with pytest.raises(ValueError):
+            LatencyReward(max_reward=0.0)
+
+
+class TestHitRateReward:
+    def test_fast_hit(self):
+        r = HitRateReward()
+        assert r(result(1.0, device=0)) == 1.0
+        assert r(result(1e-9, device=1)) == 0.0
+
+    def test_ignores_latency(self):
+        """§11: hit rate cannot capture latency asymmetry."""
+        r = HitRateReward()
+        assert r(result(1e-6, device=0)) == r(result(1.0, device=0))
+
+
+class TestEvictionPenaltyReward:
+    def test_penalises_only_evictions(self):
+        r = EvictionPenaltyReward()
+        assert r(result(1.0)) == 0.0
+        assert r(result(1.0, eviction=True)) == -1.0
+
+    def test_support_is_negative(self):
+        r = EvictionPenaltyReward()
+        assert r.v_min < 0 < r.v_max
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvictionPenaltyReward(penalty=0.0)
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_reward("latency"), LatencyReward)
+        assert isinstance(make_reward("hit_rate"), HitRateReward)
+        assert isinstance(make_reward("eviction_penalty"), EvictionPenaltyReward)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_reward("accuracy")
+
+    def test_unit_from_hss_scales_with_slow_device(self):
+        hm = HybridStorageSystem(make_devices("H&M"), [64, None])
+        hl = HybridStorageSystem(make_devices("H&L"), [64, None])
+        r_hm = make_reward("latency", hm)
+        r_hl = make_reward("latency", hl)
+        # H&L's slow device is orders of magnitude slower -> larger unit.
+        assert r_hl.unit_latency_s > 10 * r_hm.unit_latency_s
+
+    def test_explicit_unit_wins(self):
+        hm = HybridStorageSystem(make_devices("H&M"), [64, None])
+        r = make_reward("latency", hm, unit_latency_s=1e-3)
+        assert r.unit_latency_s == 1e-3

@@ -1,0 +1,116 @@
+"""Tests for the base device model: specs, queueing, accounting."""
+
+import pytest
+
+from repro.hss.device import DeviceSpec, StorageDevice
+from repro.hss.request import OpType
+
+
+@pytest.fixture
+def spec():
+    return DeviceSpec(
+        name="T",
+        description="test device",
+        read_overhead_s=10e-6,
+        write_overhead_s=20e-6,
+        read_bandwidth_bps=1_000_000_000,
+        write_bandwidth_bps=500_000_000,
+        capacity_bytes=1_000_000_000,
+    )
+
+
+@pytest.fixture
+def device(spec):
+    return StorageDevice(spec)
+
+
+class TestDeviceSpec:
+    def test_capacity_pages(self, spec):
+        assert spec.capacity_pages == 1_000_000_000 // 4096
+
+    def test_transfer_time_read_vs_write(self, spec):
+        assert spec.transfer_time(OpType.WRITE, 1) == pytest.approx(
+            2 * spec.transfer_time(OpType.READ, 1)
+        )
+
+    def test_transfer_scales_with_pages(self, spec):
+        assert spec.transfer_time(OpType.READ, 10) == pytest.approx(
+            10 * spec.transfer_time(OpType.READ, 1)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "d", -1, 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "d", 0, 0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "d", 0, 0, 1, 1, 0)
+
+
+class TestAccess:
+    def test_idle_access_has_no_wait(self, device):
+        lat = device.access(0.0, OpType.READ, 1)
+        expected = 10e-6 + 4096 / 1e9
+        assert lat == pytest.approx(expected)
+        assert device.stats.queue_wait_s == 0.0
+
+    def test_back_to_back_queues(self, device):
+        first = device.access(0.0, OpType.READ, 1)
+        second = device.access(0.0, OpType.READ, 1)
+        # Second request arrives while the first is in service.
+        assert second == pytest.approx(2 * first)
+        assert device.stats.queue_wait_s == pytest.approx(first)
+
+    def test_late_arrival_no_queue(self, device):
+        device.access(0.0, OpType.READ, 1)
+        lat = device.access(1.0, OpType.READ, 1)
+        assert lat == pytest.approx(10e-6 + 4096 / 1e9)
+
+    def test_counters(self, device):
+        device.access(0.0, OpType.READ, 3)
+        device.access(0.0, OpType.WRITE, 2)
+        assert device.stats.reads == 1
+        assert device.stats.writes == 1
+        assert device.stats.pages_read == 3
+        assert device.stats.pages_written == 2
+
+    def test_invalid_pages(self, device):
+        with pytest.raises(ValueError):
+            device.access(0.0, OpType.READ, 0)
+
+    def test_reset(self, device):
+        device.access(0.0, OpType.READ, 1)
+        device.reset()
+        assert device.next_free_s == 0.0
+        assert device.stats.reads == 0
+
+
+class TestBackgroundAccess:
+    def test_interferes_partially(self, device):
+        service = device.background_access(0.0, OpType.WRITE, 10)
+        assert service > 0
+        # Foreground horizon advanced by only the interference share.
+        assert device.next_free_s == pytest.approx(
+            device.background_interference * service
+        )
+
+    def test_not_counted_as_request(self, device):
+        device.background_access(0.0, OpType.READ, 4)
+        assert device.stats.reads == 0
+        assert device.stats.pages_read == 4
+
+    def test_delays_foreground(self, device):
+        device.background_access(0.0, OpType.WRITE, 100)
+        lat = device.access(0.0, OpType.READ, 1)
+        assert lat > 10e-6 + 4096 / 1e9  # waited behind background work
+
+    def test_invalid_pages(self, device):
+        with pytest.raises(ValueError):
+            device.background_access(0.0, OpType.WRITE, 0)
+
+
+class TestCharacteristicLatency:
+    def test_base_is_overhead_plus_transfer(self, device):
+        assert device.characteristic_read_latency_s() == pytest.approx(
+            10e-6 + 4096 / 1e9
+        )

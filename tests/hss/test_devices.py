@@ -1,0 +1,75 @@
+"""Tests for the Table 3 device presets."""
+
+import pytest
+
+from repro.hss.devices import (
+    H_SPEC,
+    L_SPEC,
+    L_SSD_SPEC,
+    M_SPEC,
+    available_devices,
+    make_device,
+    make_devices,
+)
+from repro.hss.hdd import HDDDevice
+from repro.hss.request import OpType
+from repro.hss.ssd import SSDDevice
+
+
+class TestPresets:
+    def test_available(self):
+        assert available_devices() == ["H", "L", "L_SSD", "M"]
+
+    def test_h_is_ssd(self):
+        assert isinstance(make_device("H"), SSDDevice)
+
+    def test_l_is_hdd(self):
+        assert isinstance(make_device("L"), HDDDevice)
+
+    def test_l_ssd_is_ssd(self):
+        assert isinstance(make_device("L_SSD"), SSDDevice)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_device("Z")
+
+    def test_fresh_instances(self):
+        a, b = make_device("H"), make_device("H")
+        assert a is not b
+
+    def test_latency_ordering(self):
+        """Table 3's hierarchy: H fastest, HDD slowest for random reads."""
+        lats = {
+            name: make_device(name).characteristic_read_latency_s()
+            for name in available_devices()
+        }
+        assert lats["H"] < lats["M"] < lats["L_SSD"] < lats["L"]
+
+    def test_h_read_latency_order_of_magnitude(self):
+        # Optane random read ~10 us.
+        h = make_device("H")
+        assert 5e-6 < h.service_time(0.0, OpType.READ, 1) < 50e-6
+
+    def test_capacities_match_table3(self):
+        assert H_SPEC.capacity_bytes == 375 * 10**9
+        assert M_SPEC.capacity_bytes == 1920 * 10**9
+        assert L_SPEC.capacity_bytes == 1000 * 10**9
+        assert L_SSD_SPEC.capacity_bytes == 960 * 10**9
+
+
+class TestMakeDevices:
+    def test_ampersand_string(self):
+        devices = make_devices("H&M")
+        assert [d.name for d in devices] == ["H", "M"]
+
+    def test_list_form(self):
+        devices = make_devices(["H", "M", "L"])
+        assert [d.name for d in devices] == ["H", "M", "L"]
+
+    def test_tri_hybrid_with_lssd(self):
+        devices = make_devices("H&M&L_SSD")
+        assert [d.name for d in devices] == ["H", "M", "L_SSD"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_devices([])

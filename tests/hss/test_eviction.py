@@ -1,0 +1,106 @@
+"""Tests for victim-selection strategies."""
+
+import pytest
+
+from repro.hss.eviction import (
+    BeladyVictimSelector,
+    ColdestVictimSelector,
+    LRUVictimSelector,
+    make_victim_selector,
+)
+from repro.hss.mapping import PageTable
+from repro.hss.tracking import PageAccessTracker
+
+
+@pytest.fixture
+def table():
+    t = PageTable(2)
+    for p in (1, 2, 3, 4):
+        t.place(p, 0)
+    return t
+
+
+class TestLRU:
+    def test_selects_oldest(self, table):
+        sel = LRUVictimSelector()
+        assert sel.select(table, 0, 2) == [1, 2]
+
+    def test_respects_touch(self, table):
+        table.touch(1)
+        assert LRUVictimSelector().select(table, 0, 1) == [2]
+
+    def test_more_than_resident(self, table):
+        assert len(LRUVictimSelector().select(table, 0, 100)) == 4
+
+    def test_empty_device(self, table):
+        assert LRUVictimSelector().select(table, 1, 3) == []
+
+
+class TestColdest:
+    def test_selects_least_accessed(self, table):
+        tracker = PageAccessTracker()
+        for p in (2, 2, 2, 3, 3, 4):
+            tracker.record(p)
+        sel = ColdestVictimSelector(tracker)
+        # Page 1 has 0 accesses, page 4 has 1.
+        assert sel.select(table, 0, 2) == [1, 4]
+
+    def test_lru_tiebreak(self, table):
+        tracker = PageAccessTracker()  # all counts equal (0)
+        sel = ColdestVictimSelector(tracker)
+        assert sel.select(table, 0, 2) == [1, 2]
+
+    def test_all_returned_when_short(self, table):
+        sel = ColdestVictimSelector(PageAccessTracker())
+        assert sorted(sel.select(table, 0, 10)) == [1, 2, 3, 4]
+
+
+class TestBelady:
+    def test_selects_farthest_future_use(self, table):
+        future = {1: [5], 2: [100], 3: [10], 4: [7]}
+        sel = BeladyVictimSelector(future)
+        sel.now = 0
+        assert sel.select(table, 0, 1) == [2]
+
+    def test_never_used_again_evicted_first(self, table):
+        future = {1: [5], 2: [6], 3: [], 4: [7]}
+        sel = BeladyVictimSelector(future)
+        assert sel.select(table, 0, 1) == [3]
+
+    def test_past_uses_skipped(self, table):
+        future = {1: [1, 50], 2: [2, 10], 3: [3, 20], 4: [4, 30]}
+        sel = BeladyVictimSelector(future)
+        sel.now = 5  # first uses are all in the past
+        assert sel.select(table, 0, 1) == [1]
+
+    def test_next_use_of_unknown_page_is_infinite(self):
+        sel = BeladyVictimSelector({})
+        assert sel.next_use(42) == float("inf")
+
+    def test_cursor_monotone(self):
+        sel = BeladyVictimSelector({7: [1, 5, 9]})
+        sel.now = 2
+        assert sel.next_use(7) == 5
+        sel.now = 6
+        assert sel.next_use(7) == 9
+
+
+class TestFactory:
+    def test_lru(self):
+        assert isinstance(make_victim_selector("lru"), LRUVictimSelector)
+
+    def test_coldest_needs_tracker(self):
+        with pytest.raises(ValueError):
+            make_victim_selector("coldest")
+        sel = make_victim_selector("coldest", tracker=PageAccessTracker())
+        assert isinstance(sel, ColdestVictimSelector)
+
+    def test_belady_needs_future(self):
+        with pytest.raises(ValueError):
+            make_victim_selector("belady")
+        sel = make_victim_selector("belady", future_uses={})
+        assert isinstance(sel, BeladyVictimSelector)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_victim_selector("random")

@@ -1,0 +1,87 @@
+"""Tests for the HDD model: seeks, rotation, sequential detection."""
+
+import pytest
+
+from repro.hss.device import DeviceSpec
+from repro.hss.hdd import HDDConfig, HDDDevice
+from repro.hss.request import OpType
+
+
+@pytest.fixture
+def spec():
+    return DeviceSpec(
+        name="D",
+        description="test hdd",
+        read_overhead_s=50e-6,
+        write_overhead_s=50e-6,
+        read_bandwidth_bps=200_000_000,
+        write_bandwidth_bps=200_000_000,
+        capacity_bytes=1_000_000_000_000,
+    )
+
+
+@pytest.fixture
+def hdd(spec):
+    return HDDDevice(spec, HDDConfig(sequential_window_pages=16))
+
+
+class TestPositioning:
+    def test_sequential_access_is_cheap(self, hdd):
+        hdd.target_page = 0
+        hdd.access(0.0, OpType.READ, 8)
+        hdd.target_page = 8  # head is at 8 after the first access
+        lat = hdd.access(1.0, OpType.READ, 8)
+        base = 50e-6 + 8 * 4096 / 200e6
+        assert lat == pytest.approx(base)
+
+    def test_random_access_pays_seek_and_rotation(self, hdd):
+        hdd.target_page = 0
+        hdd.access(0.0, OpType.READ, 1)
+        hdd.target_page = 100_000_000
+        lat = hdd.access(1.0, OpType.READ, 1)
+        assert lat > HDDConfig().avg_rotational_s
+
+    def test_longer_seeks_cost_more(self, spec):
+        near = HDDDevice(spec, HDDConfig(sequential_window_pages=0))
+        far = HDDDevice(spec, HDDConfig(sequential_window_pages=0))
+        near.target_page = 1_000
+        far.target_page = 200_000_000
+        assert far.service_time(0.0, OpType.READ, 1) > near.service_time(
+            0.0, OpType.READ, 1
+        )
+
+    def test_within_window_is_sequential(self, hdd):
+        hdd.target_page = 0
+        hdd.access(0.0, OpType.READ, 1)
+        hdd.target_page = 10  # within the 16-page window of head@1
+        lat = hdd.access(1.0, OpType.READ, 1)
+        assert lat == pytest.approx(50e-6 + 4096 / 200e6)
+
+
+class TestHDDConfig:
+    def test_rotational_latency(self):
+        cfg = HDDConfig(rpm=7200)
+        assert cfg.avg_rotational_s == pytest.approx(60.0 / 7200 / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HDDConfig(min_seek_s=-1)
+        with pytest.raises(ValueError):
+            HDDConfig(min_seek_s=2e-3, max_seek_s=1e-3)
+        with pytest.raises(ValueError):
+            HDDConfig(rpm=0)
+        with pytest.raises(ValueError):
+            HDDConfig(sequential_window_pages=-1)
+
+
+class TestCharacteristicLatency:
+    def test_includes_positioning(self, hdd, spec):
+        base = StorageDeviceChar = spec.read_overhead_s + 4096 / 200e6
+        assert hdd.characteristic_read_latency_s() > base + 1e-3
+
+    def test_reset_restores_head(self, hdd):
+        hdd.target_page = 500_000
+        hdd.access(0.0, OpType.READ, 1)
+        hdd.reset()
+        assert hdd.target_page == 0
+        assert hdd._head_page == 0

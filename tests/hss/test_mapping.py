@@ -1,0 +1,144 @@
+"""Tests for the page table, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hss.mapping import PageTable
+
+
+class TestBasics:
+    def test_place_and_locate(self):
+        t = PageTable(2)
+        t.place(10, 0)
+        assert t.location(10) == 0
+        assert t.is_mapped(10)
+        assert not t.is_mapped(11)
+
+    def test_place_returns_previous(self):
+        t = PageTable(2)
+        assert t.place(5, 0) is None
+        assert t.place(5, 1) == 0
+        assert t.used_pages(0) == 0
+        assert t.used_pages(1) == 1
+
+    def test_remove(self):
+        t = PageTable(2)
+        t.place(7, 1)
+        assert t.remove(7) == 1
+        assert not t.is_mapped(7)
+        with pytest.raises(KeyError):
+            t.remove(7)
+
+    def test_move(self):
+        t = PageTable(3)
+        t.place(1, 0)
+        assert t.move(1, 2) == 0
+        assert t.location(1) == 2
+
+    def test_move_unmapped_raises(self):
+        t = PageTable(2)
+        with pytest.raises(KeyError):
+            t.move(9, 1)
+
+    def test_device_bounds(self):
+        t = PageTable(2)
+        with pytest.raises(ValueError):
+            t.place(1, 2)
+        with pytest.raises(ValueError):
+            t.place(1, -1)
+
+    def test_needs_one_device(self):
+        with pytest.raises(ValueError):
+            PageTable(0)
+
+    def test_contains_and_len(self):
+        t = PageTable(1)
+        t.place_many([1, 2, 3], 0)
+        assert len(t) == 3
+        assert 2 in t
+        assert 9 not in t
+
+
+class TestLRUOrdering:
+    def test_lru_is_first_placed(self):
+        t = PageTable(1)
+        t.place(1, 0)
+        t.place(2, 0)
+        assert t.lru_page(0) == 1
+
+    def test_touch_refreshes(self):
+        t = PageTable(1)
+        t.place(1, 0)
+        t.place(2, 0)
+        t.touch(1)
+        assert t.lru_page(0) == 2
+
+    def test_touch_unmapped_raises(self):
+        t = PageTable(1)
+        with pytest.raises(KeyError):
+            t.touch(5)
+
+    def test_place_refreshes_recency(self):
+        t = PageTable(1)
+        t.place(1, 0)
+        t.place(2, 0)
+        t.place(1, 0)  # rewrite page 1
+        assert t.lru_page(0) == 2
+
+    def test_move_to_same_device_refreshes(self):
+        t = PageTable(2)
+        t.place(1, 0)
+        t.place(2, 0)
+        t.move(1, 0)
+        assert t.lru_page(0) == 2
+
+    def test_lru_empty(self):
+        assert PageTable(1).lru_page(0) is None
+
+    def test_resident_iteration_order(self):
+        t = PageTable(1)
+        for p in (3, 1, 2):
+            t.place(p, 0)
+        t.touch(3)
+        assert list(t.resident_pages(0)) == [1, 2, 3]
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["place", "move", "remove", "touch"]),
+        st.integers(0, 20),  # page
+        st.integers(0, 2),  # device
+    ),
+    max_size=60,
+)
+
+
+class TestInvariants:
+    @settings(deadline=None, max_examples=100)
+    @given(ops)
+    def test_residency_is_partition(self, operations):
+        """Every mapped page lives on exactly one device; counts agree."""
+        t = PageTable(3)
+        for op, page, device in operations:
+            try:
+                if op == "place":
+                    t.place(page, device)
+                elif op == "move":
+                    t.move(page, device)
+                elif op == "remove":
+                    t.remove(page)
+                else:
+                    t.touch(page)
+            except KeyError:
+                pass
+            all_resident = []
+            for d in range(3):
+                all_resident.extend(t.resident_pages(d))
+            # No duplicates across devices.
+            assert len(all_resident) == len(set(all_resident))
+            # Location agrees with residency sets.
+            assert sorted(all_resident) == sorted(
+                p for p in range(25) if t.is_mapped(p)
+            )
+            assert t.total_pages == len(all_resident)

@@ -1,0 +1,67 @@
+"""Tests for the request model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hss.request import PAGE_SIZE_BYTES, OpType, Request, expand_pages
+
+
+class TestOpType:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("Read", OpType.READ),
+            ("read", OpType.READ),
+            ("R", OpType.READ),
+            ("Write", OpType.WRITE),
+            ("W", OpType.WRITE),
+            (" w ", OpType.WRITE),
+            ("RS", OpType.READ),
+        ],
+    )
+    def test_parse(self, token, expected):
+        assert OpType.parse(token) == expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            OpType.parse("trim")
+
+
+class TestRequest:
+    def test_basic(self):
+        r = Request(1.5, OpType.READ, page=100, size=4)
+        assert r.is_read and not r.is_write
+        assert r.size_bytes == 4 * PAGE_SIZE_BYTES
+        assert list(r.pages) == [100, 101, 102, 103]
+        assert r.last_page == 103
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(-1.0, OpType.READ, 0)
+        with pytest.raises(ValueError):
+            Request(0.0, OpType.READ, -5)
+        with pytest.raises(ValueError):
+            Request(0.0, OpType.READ, 0, size=0)
+
+    def test_frozen(self):
+        r = Request(0.0, OpType.WRITE, 1)
+        with pytest.raises(AttributeError):
+            r.page = 2
+
+    @given(st.integers(0, 10**6), st.integers(1, 64))
+    def test_pages_length_matches_size(self, page, size):
+        r = Request(0.0, OpType.READ, page, size)
+        assert len(list(r.pages)) == size
+
+
+class TestExpandPages:
+    def test_enumeration(self):
+        trace = [
+            Request(0.0, OpType.READ, 10, 2),
+            Request(1.0, OpType.WRITE, 5, 1),
+        ]
+        assert list(expand_pages(trace)) == [(0, 10), (0, 11), (1, 5)]
+
+    def test_empty(self):
+        assert list(expand_pages([])) == []

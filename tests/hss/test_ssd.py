@@ -1,0 +1,132 @@
+"""Tests for the SSD model: write buffer and garbage collection."""
+
+import pytest
+
+from repro.hss.device import DeviceSpec
+from repro.hss.request import OpType
+from repro.hss.ssd import SSDConfig, SSDDevice
+
+
+@pytest.fixture
+def spec():
+    return DeviceSpec(
+        name="S",
+        description="test ssd",
+        read_overhead_s=50e-6,
+        write_overhead_s=100e-6,
+        read_bandwidth_bps=500_000_000,
+        write_bandwidth_bps=500_000_000,
+        capacity_bytes=10_000_000_000,
+    )
+
+
+def make_ssd(spec, **kwargs):
+    defaults = dict(
+        buffer_pages=8,
+        buffered_write_latency_s=10e-6,
+        gc_threshold=0.5,
+        gc_trigger_pages=16,
+        gc_latency_s=1e-3,
+    )
+    defaults.update(kwargs)
+    return SSDDevice(spec, SSDConfig(**defaults))
+
+
+class TestWriteBuffer:
+    def test_buffered_write_is_fast(self, spec):
+        ssd = make_ssd(spec)
+        lat = ssd.access(0.0, OpType.WRITE, 1)
+        full = spec.write_overhead_s + spec.transfer_time(OpType.WRITE, 1)
+        assert lat < full
+        assert ssd.stats.buffered_writes == 1
+
+    def test_buffer_overflow_pays_full_latency(self, spec):
+        ssd = make_ssd(spec)
+        lat = ssd.access(0.0, OpType.WRITE, 100)  # exceeds 8-page buffer
+        assert lat >= spec.write_overhead_s
+        assert ssd.stats.buffered_writes == 0
+
+    def test_buffer_drains_over_time(self, spec):
+        ssd = make_ssd(spec)
+        ssd.access(0.0, OpType.WRITE, 8)  # fill the buffer
+        # Immediately: buffer full, next write unbuffered.
+        lat_full = ssd.service_time(1e-7, OpType.WRITE, 8)
+        # After a long idle gap the buffer has drained.
+        lat_drained = ssd.service_time(10.0, OpType.WRITE, 8)
+        assert lat_drained < lat_full
+
+    def test_zero_buffer_disables_buffering(self, spec):
+        ssd = make_ssd(spec, buffer_pages=0)
+        ssd.access(0.0, OpType.WRITE, 1)
+        assert ssd.stats.buffered_writes == 0
+
+    def test_reads_unaffected_by_buffer(self, spec):
+        ssd = make_ssd(spec)
+        lat = ssd.access(0.0, OpType.READ, 1)
+        assert lat == pytest.approx(
+            spec.read_overhead_s + spec.transfer_time(OpType.READ, 1)
+        )
+
+
+class TestGarbageCollection:
+    def test_no_gc_below_threshold(self, spec):
+        ssd = make_ssd(spec)
+        ssd.utilization = 0.3
+        for _ in range(10):
+            ssd.access(0.0, OpType.WRITE, 10)
+        assert ssd.stats.gc_events == 0
+
+    def test_gc_fires_above_threshold(self, spec):
+        ssd = make_ssd(spec)
+        ssd.utilization = 0.9
+        for _ in range(10):
+            ssd.access(0.0, OpType.WRITE, 10)
+        assert ssd.stats.gc_events > 0
+        assert ssd.stats.gc_time_s > 0
+
+    def test_gc_stall_grows_with_utilization(self, spec):
+        low = make_ssd(spec)
+        low.utilization = 0.55
+        high = make_ssd(spec)
+        high.utilization = 0.99
+        for ssd in (low, high):
+            for _ in range(20):
+                ssd.access(0.0, OpType.WRITE, 10)
+        assert high.stats.gc_time_s > low.stats.gc_time_s
+
+    def test_dropping_below_threshold_resets_debt(self, spec):
+        ssd = make_ssd(spec)
+        ssd.utilization = 0.9
+        ssd.access(0.0, OpType.WRITE, 15)  # just under trigger
+        ssd.utilization = 0.1
+        ssd.access(0.0, OpType.WRITE, 15)  # resets counter
+        ssd.utilization = 0.9
+        ssd.access(0.0, OpType.WRITE, 15)  # under trigger again
+        assert ssd.stats.gc_events == 0
+
+
+class TestConfigValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ValueError):
+            SSDConfig(gc_threshold=0.0)
+        with pytest.raises(ValueError):
+            SSDConfig(gc_threshold=1.5)
+
+    def test_negative_values(self):
+        with pytest.raises(ValueError):
+            SSDConfig(buffer_pages=-1)
+        with pytest.raises(ValueError):
+            SSDConfig(gc_trigger_pages=0)
+        with pytest.raises(ValueError):
+            SSDConfig(gc_latency_s=-1)
+
+
+class TestReset:
+    def test_reset_clears_state(self, spec):
+        ssd = make_ssd(spec)
+        ssd.utilization = 0.9
+        ssd.access(0.0, OpType.WRITE, 100)
+        ssd.reset()
+        assert ssd.utilization == 0.0
+        assert ssd.stats.gc_events == 0
+        assert ssd.next_free_s == 0.0

@@ -1,0 +1,271 @@
+"""Tests for the hybrid storage system: placement, eviction, migration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hss.devices import make_devices
+from repro.hss.request import OpType, Request
+from repro.hss.system import HybridStorageSystem, _contiguous_runs
+
+
+def write(page, size=1, ts=0.0):
+    return Request(ts, OpType.WRITE, page, size)
+
+
+def read(page, size=1, ts=0.0):
+    return Request(ts, OpType.READ, page, size)
+
+
+class TestConstruction:
+    def test_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            HybridStorageSystem(make_devices("H&M"), [10])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            HybridStorageSystem(make_devices("H&M"), [0, None])
+
+    def test_no_devices(self):
+        with pytest.raises(ValueError):
+            HybridStorageSystem([], [])
+
+    def test_negative_slack(self):
+        with pytest.raises(ValueError):
+            HybridStorageSystem(
+                make_devices("H&M"), [10, None], eviction_slack_pages=-1
+            )
+
+
+class TestWrites:
+    def test_write_places_on_action_device(self, hm_system):
+        hm_system.serve(write(5), action=0)
+        assert hm_system.page_location(5) == 0
+        hm_system.serve(write(6), action=1)
+        assert hm_system.page_location(6) == 1
+
+    def test_rewrite_moves_page(self, hm_system):
+        hm_system.serve(write(5), action=0)
+        hm_system.serve(write(5, ts=1.0), action=1)
+        assert hm_system.page_location(5) == 1
+        assert hm_system.used_pages(0) == 0
+
+    def test_multi_page_write(self, hm_system):
+        hm_system.serve(write(10, size=4), action=0)
+        assert hm_system.used_pages(0) == 4
+        assert all(hm_system.page_location(p) == 0 for p in range(10, 14))
+
+    def test_action_bounds(self, hm_system):
+        with pytest.raises(ValueError):
+            hm_system.serve(write(1), action=2)
+
+    def test_latency_positive(self, hm_system):
+        result = hm_system.serve(write(1), action=0)
+        assert result.latency_s > 0
+
+
+class TestReads:
+    def test_cold_read_maps_to_slowest(self, hm_system):
+        hm_system.serve(read(99), action=1)
+        assert hm_system.page_location(99) == 1
+
+    def test_read_promotion(self, hm_system):
+        hm_system.serve(write(7), action=1)
+        result = hm_system.serve(read(7, ts=1.0), action=0)
+        assert hm_system.page_location(7) == 0
+        assert result.promoted_pages == 1
+        assert result.demoted_pages == 0
+
+    def test_read_demotion(self, hm_system):
+        hm_system.serve(write(7), action=0)
+        result = hm_system.serve(read(7, ts=1.0), action=1)
+        assert hm_system.page_location(7) == 1
+        assert result.demoted_pages == 1
+
+    def test_read_in_place_no_migration(self, hm_system):
+        hm_system.serve(write(7), action=0)
+        result = hm_system.serve(read(7, ts=1.0), action=0)
+        assert result.promoted_pages == 0
+        assert result.demoted_pages == 0
+
+    def test_read_served_from_residence(self, hm_system, hl_system):
+        # A page on the slow device is served at slow-device latency
+        # even when the action says "promote to fast".
+        hl_system.serve(write(7), action=1)
+        promoted = hl_system.serve(read(7, ts=10.0), action=0)
+        hl_system.reset()
+        hl_system.serve(write(7), action=1)
+        stayed = hl_system.serve(read(7, ts=10.0), action=1)
+        assert promoted.latency_s == pytest.approx(stayed.latency_s, rel=0.5)
+
+    def test_split_read_latency_is_max(self, hm_system):
+        hm_system.serve(write(10), action=0)
+        hm_system.serve(write(11), action=1)
+        result = hm_system.serve(read(10, size=2, ts=1.0), action=1)
+        # Slower device (M) dominates the request latency.
+        assert result.device == 1
+
+
+class TestEviction:
+    def test_eviction_triggered_when_full(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [4, None])
+        for p in range(4):
+            hss.serve(write(p, ts=p * 1.0), action=0)
+        result = hss.serve(write(100, ts=10.0), action=0)
+        assert result.eviction_occurred
+        assert result.eviction_time_s > 0
+        assert hss.used_pages(0) <= 4
+
+    def test_lru_victim_chosen(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [2, None])
+        hss.serve(write(1, ts=0.0), action=0)
+        hss.serve(write(2, ts=1.0), action=0)
+        hss.serve(write(3, ts=2.0), action=0)
+        assert hss.page_location(1) == 1  # oldest page evicted to M
+        assert hss.page_location(2) == 0
+        assert hss.page_location(3) == 0
+
+    def test_rewritten_pages_protected_from_eviction(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [2, None])
+        hss.serve(write(1, ts=0.0), action=0)
+        hss.serve(write(2, ts=1.0), action=1)
+        # Rewriting page 1 must not evict page 1 itself.
+        hss.serve(write(1, ts=2.0), action=0)
+        assert hss.page_location(1) == 0
+
+    def test_capacity_never_exceeded(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [8, None])
+        for i in range(50):
+            hss.serve(write(i * 3, size=2, ts=float(i)), action=0)
+            assert hss.used_pages(0) <= 8
+
+    def test_tri_hybrid_cascade(self):
+        hss = HybridStorageSystem(make_devices("H&M&L"), [2, 2, None])
+        for i in range(8):
+            hss.serve(write(i, ts=float(i)), action=0)
+        assert hss.used_pages(0) <= 2
+        assert hss.used_pages(1) <= 2
+        # Overflow cascaded all the way to the HDD.
+        assert hss.used_pages(2) == 4
+
+    def test_cannot_evict_from_slowest(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [4, 4])
+        with pytest.raises(RuntimeError):
+            for i in range(20):
+                hss.serve(write(i, ts=float(i)), action=1)
+
+    def test_eviction_counts_in_stats(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [2, None])
+        for i in range(5):
+            hss.serve(write(i, ts=float(i)), action=0)
+        assert hss.stats.eviction_events == 3
+        assert hss.stats.evicted_pages == 3
+        assert hss.stats.eviction_fraction == pytest.approx(3 / 5)
+
+    def test_serve_result_eviction_pages_is_per_request(self):
+        hss = HybridStorageSystem(make_devices("H&M"), [2, None])
+        hss.serve(write(0, ts=0.0), action=0)
+        hss.serve(write(1, ts=1.0), action=0)
+        r1 = hss.serve(write(2, ts=2.0), action=0)
+        r2 = hss.serve(write(3, ts=3.0), action=0)
+        assert r1.evicted_pages == 1
+        assert r2.evicted_pages == 1
+
+
+class TestCapacityQueries:
+    def test_free_pages(self, hm_system):
+        assert hm_system.free_pages(0) == 64
+        hm_system.serve(write(1, size=4), action=0)
+        assert hm_system.free_pages(0) == 60
+        assert hm_system.free_pages(1) is None
+
+    def test_remaining_fraction(self, hm_system):
+        assert hm_system.remaining_capacity_fraction(0) == 1.0
+        hm_system.serve(write(0, size=32), action=0)
+        assert hm_system.remaining_capacity_fraction(0) == pytest.approx(0.5)
+        assert hm_system.remaining_capacity_fraction(1) == 1.0
+
+
+class TestStatsAndReset:
+    def test_request_counters(self, hm_system):
+        hm_system.serve(write(1), action=0)
+        hm_system.serve(read(1, ts=1.0), action=0)
+        assert hm_system.stats.requests == 2
+        assert hm_system.stats.reads == 1
+        assert hm_system.stats.writes == 1
+
+    def test_placements_tracked(self, hm_system):
+        hm_system.serve(write(1), action=0)
+        hm_system.serve(write(2), action=1)
+        hm_system.serve(write(3), action=1)
+        assert hm_system.stats.placements == [1, 2]
+
+    def test_tracker_records_touches(self, hm_system):
+        hm_system.serve(write(5, size=3), action=0)
+        assert hm_system.tracker.access_count(5) == 1
+        assert hm_system.tracker.clock == 3
+
+    def test_reset(self, hm_system):
+        hm_system.serve(write(1), action=0)
+        hm_system.reset()
+        assert hm_system.stats.requests == 0
+        assert hm_system.used_pages(0) == 0
+        assert hm_system.tracker.clock == 0
+
+    def test_throughput_positive(self, hm_system):
+        hm_system.serve(write(1), action=0)
+        assert hm_system.throughput_iops() > 0
+
+    def test_now_override(self, hm_system):
+        result = hm_system.serve(write(1, ts=0.0), action=0, now=100.0)
+        assert hm_system.stats.last_completion_s >= 100.0
+
+
+class TestContiguousRuns:
+    def test_empty(self):
+        assert list(_contiguous_runs([])) == []
+
+    def test_single_run(self):
+        assert list(_contiguous_runs([3, 4, 5])) == [(3, 3)]
+
+    def test_multiple_runs(self):
+        assert list(_contiguous_runs([1, 2, 5, 9, 10])) == [
+            (1, 2),
+            (5, 1),
+            (9, 2),
+        ]
+
+    @given(st.sets(st.integers(0, 50), max_size=30))
+    def test_runs_partition_input(self, pages):
+        runs = list(_contiguous_runs(sorted(pages)))
+        covered = []
+        for start, length in runs:
+            covered.extend(range(start, start + length))
+        assert covered == sorted(pages)
+
+
+class TestInvariantsUnderRandomWorkload:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),  # is_write
+                st.integers(0, 40),  # page
+                st.integers(1, 4),  # size
+                st.integers(0, 1),  # action
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_capacity_and_residency_invariants(self, steps):
+        hss = HybridStorageSystem(make_devices("H&M"), [8, None])
+        ts = 0.0
+        for is_write, page, size, action in steps:
+            op = OpType.WRITE if is_write else OpType.READ
+            hss.serve(Request(ts, op, page, size), action=action)
+            ts += 0.001
+            assert hss.used_pages(0) <= 8
+            # Every touched page is mapped somewhere.
+            for p in range(page, page + size):
+                assert hss.page_location(p) in (0, 1)

@@ -1,0 +1,60 @@
+"""Tests for the page access tracker."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hss.tracking import PageAccessTracker
+
+
+class TestTracker:
+    def test_counts(self):
+        t = PageAccessTracker()
+        t.record(1)
+        t.record(1)
+        t.record(2)
+        assert t.access_count(1) == 2
+        assert t.access_count(2) == 1
+        assert t.access_count(3) == 0
+
+    def test_clock_advances_per_touch(self):
+        t = PageAccessTracker()
+        for p in (1, 2, 3):
+            t.record(p)
+        assert t.clock == 3
+
+    def test_interval(self):
+        t = PageAccessTracker()
+        t.record(1)  # clock 0
+        t.record(2)
+        t.record(3)
+        # Page 1 last touched at index 0, clock now 3 -> interval 3.
+        assert t.access_interval(1) == 3
+
+    def test_interval_unseen_is_none(self):
+        assert PageAccessTracker().access_interval(9) is None
+
+    def test_interval_immediately_after_access(self):
+        t = PageAccessTracker()
+        t.record(5)
+        assert t.access_interval(5) == 1
+
+    def test_unique_pages(self):
+        t = PageAccessTracker()
+        for p in (1, 1, 2, 3, 3):
+            t.record(p)
+        assert t.unique_pages() == 3
+
+    def test_reset(self):
+        t = PageAccessTracker()
+        t.record(1)
+        t.reset()
+        assert t.clock == 0
+        assert t.access_count(1) == 0
+        assert t.access_interval(1) is None
+
+    @given(st.lists(st.integers(0, 10), max_size=100))
+    def test_total_counts_equal_clock(self, pages):
+        t = PageAccessTracker()
+        for p in pages:
+            t.record(p)
+        assert sum(t.access_count(p) for p in set(pages)) == t.clock == len(pages)

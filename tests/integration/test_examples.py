@@ -1,0 +1,48 @@
+"""Smoke tests for the runnable examples.
+
+Each example must at least import cleanly and expose ``main``; the
+cheapest one (quickstart) is executed end-to-end with a reduced request
+count so the examples cannot silently rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLE_FILES) >= 5
+        assert "quickstart.py" in EXAMPLE_FILES
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_importable_with_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), (
+            f"{name} must define a main() entry point"
+        )
+        assert module.__doc__, f"{name} must have a module docstring"
+
+
+class TestQuickstartRuns:
+    def test_quickstart_end_to_end(self, capsys, monkeypatch):
+        module = load_example("quickstart.py")
+        monkeypatch.setattr(module, "N_REQUESTS", 1500)
+        module.main()
+        out = capsys.readouterr().out
+        assert "Sibyl" in out
+        assert "Slow-Only" in out

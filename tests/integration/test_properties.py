@@ -1,0 +1,111 @@
+"""Cross-module property-based tests on system-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import SibylAgent
+from repro.core.hyperparams import SIBYL_DEFAULT
+from repro.hss.devices import make_devices
+from repro.hss.request import OpType, Request
+from repro.hss.system import HybridStorageSystem
+from repro.sim.runner import run_policy
+from repro.traces.synthetic import WorkloadSpec, generate_trace
+
+
+request_strategy = st.tuples(
+    st.booleans(),
+    st.integers(0, 60),
+    st.integers(1, 6),
+)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(request_strategy, min_size=5, max_size=60))
+def test_latency_always_positive_and_finite(steps):
+    hss = HybridStorageSystem(make_devices("H&M"), [16, None])
+    ts = 0.0
+    for is_write, page, size in steps:
+        op = OpType.WRITE if is_write else OpType.READ
+        result = hss.serve(Request(ts, op, page, size), action=int(is_write))
+        ts += 1e-4
+        assert result.latency_s > 0
+        assert np.isfinite(result.latency_s)
+        assert result.eviction_time_s >= 0
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(request_strategy, min_size=5, max_size=60))
+def test_total_latency_is_sum_of_serve_latencies(steps):
+    hss = HybridStorageSystem(make_devices("H&M"), [16, None])
+    total = 0.0
+    ts = 0.0
+    for is_write, page, size in steps:
+        op = OpType.WRITE if is_write else OpType.READ
+        result = hss.serve(Request(ts, op, page, size), action=0)
+        total += result.latency_s
+        ts += 1e-4
+    assert hss.stats.total_latency_s == pytest.approx(total)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    st.lists(request_strategy, min_size=10, max_size=50),
+    st.integers(0, 3),
+)
+def test_agent_never_emits_invalid_action(steps, seed):
+    hss = HybridStorageSystem(make_devices("H&M&L"), [8, 16, None])
+    agent = SibylAgent(
+        hyperparams=SIBYL_DEFAULT.replace(
+            buffer_capacity=16, batch_size=4, train_interval=8,
+            batches_per_training=1,
+        ),
+        seed=seed,
+    )
+    agent.attach(hss)
+    ts = 0.0
+    for is_write, page, size in steps:
+        op = OpType.WRITE if is_write else OpType.READ
+        req = Request(ts, op, page, size)
+        action = agent.place(req)
+        assert 0 <= action < 3
+        agent.feedback(req, action, hss.serve(req, action))
+        ts += 1e-4
+
+
+@settings(deadline=None, max_examples=8)
+@given(
+    write_frac=st.floats(0.0, 1.0),
+    size_kib=st.floats(4.0, 48.0),
+    seed=st.integers(0, 100),
+)
+def test_any_workload_runs_end_to_end(write_frac, size_kib, seed):
+    spec = WorkloadSpec("fuzz", write_frac, size_kib, 10.0, 500)
+    trace = generate_trace(spec, n_requests=300, seed=seed)
+    from repro.baselines.cde import CDEPolicy
+
+    result = run_policy(CDEPolicy(), trace, config="H&M")
+    assert result.n_requests == 300
+    assert result.avg_latency_s > 0
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 50))
+def test_runs_are_reproducible(seed):
+    spec = WorkloadSpec("fuzz", 0.5, 8.0, 10.0, 300)
+    trace = generate_trace(spec, n_requests=200, seed=seed)
+    agent_a = SibylAgent(
+        hyperparams=SIBYL_DEFAULT.replace(
+            buffer_capacity=16, batch_size=4, train_interval=8,
+            batches_per_training=1,
+        ),
+        seed=seed,
+    )
+    agent_b = SibylAgent(
+        hyperparams=agent_a.hyperparams, seed=seed
+    )
+    a = run_policy(agent_a, trace, config="H&M")
+    b = run_policy(agent_b, trace, config="H&M")
+    assert a.avg_latency_s == b.avg_latency_s
+    assert a.profile.placements == b.profile.placements

@@ -1,0 +1,119 @@
+"""Tests for activation functions: values, gradients, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rl.activations import (
+    Identity,
+    ReLU,
+    Swish,
+    Tanh,
+    get_activation,
+)
+
+
+def numerical_grad(act, z, eps=1e-6):
+    return (act.forward(z + eps) - act.forward(z - eps)) / (2 * eps)
+
+
+class TestSwish:
+    def test_zero(self):
+        assert Swish().forward(np.array([0.0]))[0] == 0.0
+
+    def test_positive_large_is_identity_like(self):
+        z = np.array([20.0])
+        assert Swish().forward(z)[0] == pytest.approx(20.0, rel=1e-6)
+
+    def test_negative_large_goes_to_zero(self):
+        z = np.array([-50.0])
+        assert Swish().forward(z)[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_has_negative_dip(self):
+        # swish is non-monotonic: slightly negative for small negative z.
+        z = np.array([-1.0])
+        assert Swish().forward(z)[0] < 0.0
+
+    def test_gradient_matches_numerical(self):
+        act = Swish()
+        z = np.linspace(-5, 5, 41)
+        analytic = act.backward(z, np.ones_like(z))
+        numeric = numerical_grad(act, z)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            Swish(beta=0.0)
+
+    def test_beta_scales(self):
+        z = np.array([1.0])
+        assert Swish(beta=10.0).forward(z)[0] > Swish(beta=0.5).forward(z)[0]
+
+    def test_numerically_stable_extremes(self):
+        z = np.array([-1000.0, 1000.0])
+        out = Swish().forward(z)
+        assert np.all(np.isfinite(out))
+
+    @given(st.floats(-50, 50))
+    def test_bounded_below(self, x):
+        # swish(z) >= -0.2785 (its global minimum) for beta=1.
+        z = np.array([x])
+        assert Swish().forward(z)[0] >= -0.279
+
+
+class TestReLU:
+    def test_values(self):
+        z = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(ReLU().forward(z), [0.0, 0.0, 3.0])
+
+    def test_gradient(self):
+        z = np.array([-2.0, 3.0])
+        grad = ReLU().backward(z, np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(grad, [0.0, 1.0])
+
+
+class TestTanh:
+    def test_range(self):
+        z = np.linspace(-10, 10, 21)
+        out = Tanh().forward(z)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_gradient_matches_numerical(self):
+        act = Tanh()
+        z = np.linspace(-3, 3, 31)
+        np.testing.assert_allclose(
+            act.backward(z, np.ones_like(z)), numerical_grad(act, z), atol=1e-6
+        )
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        z = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(Identity().forward(z), z)
+        np.testing.assert_array_equal(
+            Identity().backward(z, np.array([3.0, 4.0])), [3.0, 4.0]
+        )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("swish", Swish),
+            ("silu", Swish),
+            ("relu", ReLU),
+            ("tanh", Tanh),
+            ("identity", Identity),
+            ("linear", Identity),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_activation(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_activation("SWISH"), Swish)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            get_activation("gelu")

@@ -1,0 +1,65 @@
+"""Tests for the Elman RNN used by the RNN-HSS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.rl.rnn import ElmanRNN
+
+
+@pytest.fixture
+def rnn(rng):
+    return ElmanRNN(2, 8, 2, learning_rate=5e-2, rng=rng)
+
+
+class TestElmanRNN:
+    def test_forward_is_distribution(self, rnn, rng):
+        probs, hiddens = rnn.forward(rng.normal(size=(5, 2)))
+        assert probs.shape == (2,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert len(hiddens) == 6  # initial + one per step
+
+    def test_input_dim_checked(self, rnn, rng):
+        with pytest.raises(ValueError):
+            rnn.forward(rng.normal(size=(5, 3)))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ElmanRNN(0, 4, 2)
+
+    def test_label_validation(self, rnn, rng):
+        with pytest.raises(ValueError):
+            rnn.train_sequence(rng.normal(size=(3, 2)), label=5)
+
+    def test_learns_separable_sequences(self, rng):
+        """Hot (high-count) vs cold sequences become separable."""
+        rnn = ElmanRNN(2, 8, 2, learning_rate=5e-2, rng=rng)
+        hot = np.log1p(np.full((6, 2), 8.0))
+        cold = np.log1p(np.zeros((6, 2)))
+        for _ in range(120):
+            rnn.train_sequence(hot, 1)
+            rnn.train_sequence(cold, 0)
+        assert rnn.predict(hot) == 1
+        assert rnn.predict(cold) == 0
+
+    def test_training_reduces_loss(self, rnn, rng):
+        seq = rng.normal(size=(4, 2))
+        first = rnn.train_sequence(seq, 1)
+        for _ in range(50):
+            last = rnn.train_sequence(seq, 1)
+        assert last < first
+
+    def test_predict_proba(self, rnn, rng):
+        probs = rnn.predict_proba(rng.normal(size=(3, 2)))
+        assert probs.shape == (2,)
+        assert probs.min() >= 0
+
+    def test_parameter_count(self):
+        rnn = ElmanRNN(2, 4, 2)
+        # w_xh(8) + w_hh(16) + b_h(4) + w_hy(8) + b_y(2)
+        assert rnn.parameter_count == 38
+
+    def test_gradients_stay_finite_on_long_sequences(self, rnn, rng):
+        seq = rng.normal(size=(200, 2)) * 3
+        loss = rnn.train_sequence(seq, 0, bptt_steps=32)
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(rnn.w_hh))

@@ -1,0 +1,62 @@
+"""Tests for exploration schedules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+
+
+class TestConstant:
+    def test_value(self):
+        s = ConstantSchedule(0.001)
+        assert s(0) == 0.001
+        assert s(10**6) == 0.001
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(-0.1)
+
+
+class TestLinearDecay:
+    def test_endpoints(self):
+        s = LinearDecay(1.0, 0.1, 100)
+        assert s(0) == 1.0
+        assert s(100) == 0.1
+        assert s(200) == 0.1
+
+    def test_midpoint(self):
+        s = LinearDecay(1.0, 0.0, 100)
+        assert s(50) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearDecay(1.0, 0.1, 0)
+        with pytest.raises(ValueError):
+            LinearDecay(-1.0, 0.1, 10)
+
+    @given(st.integers(0, 1000))
+    def test_monotone_nonincreasing(self, step):
+        s = LinearDecay(1.0, 0.0, 500)
+        assert s(step) >= s(step + 1)
+
+
+class TestExponentialDecay:
+    def test_floor(self):
+        s = ExponentialDecay(1.0, 0.01, rate=0.5, decay_steps=1)
+        assert s(100) == 0.01
+
+    def test_start(self):
+        s = ExponentialDecay(1.0, 0.0, rate=0.9)
+        assert s(0) == 1.0
+
+    def test_decay_rate(self):
+        s = ExponentialDecay(1.0, 0.0, rate=0.5, decay_steps=1)
+        assert s(1) == pytest.approx(0.5)
+        assert s(2) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, 0.0, rate=0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, 0.0, rate=0.5, decay_steps=0)

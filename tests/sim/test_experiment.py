@@ -1,0 +1,113 @@
+"""Tests for the experiment sweeps (small instances of each figure)."""
+
+import pytest
+
+from repro.sim.experiment import (
+    ORACLE_HORIZONS,
+    buffer_size_sweep,
+    capacity_sweep,
+    compare_policies,
+    feature_ablation,
+    hyperparameter_sweep,
+    mixed_workload_comparison,
+    run_oracle_best,
+    standard_policies,
+    tri_hybrid_comparison,
+    unseen_workload_comparison,
+)
+from repro.traces.workloads import make_trace
+
+N = 3000  # small but non-trivial trace length for sweep tests
+
+
+class TestStandardPolicies:
+    def test_lineup(self):
+        names = [p.name for p in standard_policies()]
+        assert names == [
+            "Slow-Only",
+            "CDE",
+            "HPS",
+            "Archivist",
+            "RNN-HSS",
+            "Sibyl",
+        ]
+
+    def test_without_sibyl(self):
+        names = [p.name for p in standard_policies(include_sibyl=False)]
+        assert "Sibyl" not in names
+
+
+class TestOracleBest:
+    def test_picks_minimum(self):
+        trace = make_trace("usr_0", n_requests=N, seed=0)
+        best = run_oracle_best(trace, "H&M")
+        assert best.policy == "Oracle"
+        assert best.avg_latency_s > 0
+        assert len(ORACLE_HORIZONS) >= 2
+
+
+class TestComparePolicies:
+    def test_structure(self):
+        out = compare_policies(["usr_0"], config="H&M", n_requests=N)
+        assert set(out) == {"usr_0"}
+        row = out["usr_0"]
+        assert "Sibyl" in row and "Oracle" in row and "Fast-Only" in row
+        assert row["Fast-Only"]["latency"] == 1.0
+
+    def test_all_latencies_at_least_reference(self):
+        out = compare_policies(["usr_0"], config="H&M", n_requests=N)
+        for policy, metrics in out["usr_0"].items():
+            assert metrics["latency"] > 0
+
+
+class TestSweeps:
+    def test_capacity_sweep(self):
+        out = capacity_sweep("usr_0", fractions=(0.05, 0.5), n_requests=N)
+        assert set(out) == {0.05, 0.5}
+        # More fast capacity should not hurt Sibyl's latency much; at
+        # minimum the sweep must produce finite positive values.
+        for frac, row in out.items():
+            assert row["Sibyl"]["latency"] > 0
+
+    def test_capacity_sweep_rejects_zero(self):
+        with pytest.raises(ValueError):
+            capacity_sweep("usr_0", fractions=(0.0,), n_requests=N)
+
+    def test_hyperparameter_sweep(self):
+        out = hyperparameter_sweep(
+            "discount", (0.0, 0.9), workload="usr_0", n_requests=N
+        )
+        assert set(out) == {0.0, 0.9}
+
+    def test_buffer_size_sweep(self):
+        out = buffer_size_sweep((10, 100), workload="usr_0", n_requests=N)
+        assert set(out) == {10, 100}
+        assert all(v > 0 for v in out.values())
+
+    def test_feature_ablation(self):
+        out = feature_ablation(
+            ["usr_0"], feature_sets=("rt", "all"), n_requests=N
+        )
+        assert set(out["usr_0"]) == {"rt", "all"}
+
+
+class TestTriHybrid:
+    def test_structure(self):
+        out = tri_hybrid_comparison(["usr_0"], config="H&M&L", n_requests=N)
+        row = out["usr_0"]
+        assert "Heuristic-Tri-Hybrid" in row
+        assert "Sibyl" in row
+
+
+class TestMixedAndUnseen:
+    def test_mixed(self):
+        out = mixed_workload_comparison(
+            ["mix2"], n_requests_per_component=N // 2
+        )
+        row = out["mix2"]
+        assert "Sibyl_Def" in row and "Sibyl_Opt" in row
+
+    def test_unseen(self):
+        out = unseen_workload_comparison(["oltp_rw"], n_requests=N)
+        row = out["oltp_rw"]
+        assert "Sibyl" in row and "Archivist" in row and "RNN-HSS" in row

@@ -1,0 +1,22 @@
+"""Regression test: the Oracle's metrics are normalised like everyone's."""
+
+from repro.sim.experiment import compare_policies
+from repro.traces.workloads import make_trace
+
+
+def test_oracle_iops_normalised():
+    out = compare_policies(["usr_0"], config="H&M", n_requests=2000)
+    oracle = out["usr_0"]["Oracle"]
+    # Normalised throughput must be on the same O(1) scale as latency,
+    # not a raw ops/sec figure.
+    assert 0.0 < oracle["iops"] < 10.0
+    assert 0.0 < oracle["latency"] < 20.0
+
+
+def test_reference_exposes_raw_iops():
+    from repro.baselines.cde import CDEPolicy
+    from repro.sim.runner import run_normalized
+
+    trace = make_trace("usr_0", n_requests=1000, seed=0)
+    out = run_normalized([CDEPolicy()], trace, config="H&M")
+    assert out["Fast-Only"]["raw_iops"] > 100.0  # genuine ops/sec scale

@@ -1,0 +1,58 @@
+"""Tests for table/series formatting helpers."""
+
+import pytest
+
+from repro.sim.report import format_series, format_table, geomean
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [
+            {"workload": "hm_1", "latency": 3.14159},
+            {"workload": "rsrch_0", "latency": 2.0},
+        ]
+        text = format_table(rows, precision=2)
+        lines = text.splitlines()
+        assert "workload" in lines[0]
+        assert "3.14" in text
+        assert "2.00" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="Table 4")
+        assert text.splitlines()[0] == "Table 4"
+
+    def test_explicit_headers_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, headers=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows)
+        assert text  # no KeyError
+
+
+class TestFormatSeries:
+    def test_series(self):
+        text = format_series({1: 0.5, 10: 0.25}, label="latency")
+        assert "latency" in text
+        assert "0.500" in text
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == 7.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,111 @@
+"""Tests for the simulation runner."""
+
+import pytest
+
+from repro.baselines.extremes import FastOnlyPolicy, SlowOnlyPolicy
+from repro.baselines.cde import CDEPolicy
+from repro.sim.runner import build_hss, run_normalized, run_policy
+from repro.traces.stats import working_set_pages
+from repro.traces.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_trace("usr_0", n_requests=1500, seed=4)
+
+
+class TestBuildHSS:
+    def test_dual_default_fractions(self, trace):
+        hss = build_hss("H&M", trace)
+        wss = working_set_pages(list(trace))
+        assert hss.capacity_pages[0] == max(1, int(0.10 * wss))
+        assert hss.capacity_pages[1] is None
+
+    def test_tri_default_fractions(self, trace):
+        hss = build_hss("H&M&L", trace)
+        wss = working_set_pages(list(trace))
+        assert hss.capacity_pages[0] == max(1, int(0.05 * wss))
+        assert hss.capacity_pages[1] == max(1, int(0.10 * wss))
+        assert hss.capacity_pages[2] is None
+
+    def test_explicit_fractions(self, trace):
+        hss = build_hss("H&M", trace, capacity_fractions=(0.5,))
+        wss = working_set_pages(list(trace))
+        assert hss.capacity_pages[0] == int(0.5 * wss)
+
+    def test_fraction_count_checked(self, trace):
+        with pytest.raises(ValueError):
+            build_hss("H&M", trace, capacity_fractions=(0.1, 0.2))
+
+    def test_unbounded(self, trace):
+        hss = build_hss("H&M", trace, unbounded=True)
+        assert hss.capacity_pages == [None, None]
+
+
+class TestRunPolicy:
+    def test_result_fields(self, trace):
+        result = run_policy(SlowOnlyPolicy(), trace, config="H&M")
+        assert result.policy == "Slow-Only"
+        assert result.config == "H&M"
+        assert result.n_requests == len(trace)
+        assert result.avg_latency_s > 0
+        assert result.iops > 0
+        assert result.profile.fast_preference == 0.0
+
+    def test_fast_only_gets_unbounded_system(self, trace):
+        result = run_policy(FastOnlyPolicy(), trace, config="H&M")
+        assert result.eviction_fraction == 0.0
+        assert result.profile.fast_preference == 1.0
+
+    def test_max_requests(self, trace):
+        result = run_policy(SlowOnlyPolicy(), trace, max_requests=100)
+        assert result.n_requests == 100
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            run_policy(SlowOnlyPolicy(), [])
+
+    def test_warmup_excludes_early_requests(self, trace):
+        full = run_policy(SlowOnlyPolicy(), trace, config="H&M")
+        tail = run_policy(
+            SlowOnlyPolicy(), trace, config="H&M", warmup_fraction=0.5
+        )
+        assert tail.n_requests == len(trace) - len(trace) // 2
+
+    def test_warmup_validation(self, trace):
+        with pytest.raises(ValueError):
+            run_policy(SlowOnlyPolicy(), trace, warmup_fraction=1.0)
+
+    def test_deterministic(self, trace):
+        a = run_policy(CDEPolicy(), trace, config="H&M")
+        b = run_policy(CDEPolicy(), trace, config="H&M")
+        assert a.avg_latency_s == b.avg_latency_s
+
+    def test_normalization_helpers(self, trace):
+        fast = run_policy(FastOnlyPolicy(), trace, config="H&M")
+        slow = run_policy(SlowOnlyPolicy(), trace, config="H&M")
+        assert slow.normalized_latency(fast) > 1.0
+        assert slow.normalized_iops(fast) < 1.0
+
+
+class TestRunNormalized:
+    def test_reference_is_unity(self, trace):
+        out = run_normalized([SlowOnlyPolicy()], trace, config="H&M")
+        assert out["Fast-Only"]["latency"] == 1.0
+        assert out["Fast-Only"]["iops"] == 1.0
+
+    def test_slow_only_dominated(self, trace):
+        out = run_normalized([SlowOnlyPolicy(), CDEPolicy()], trace,
+                             config="H&M")
+        assert out["Slow-Only"]["latency"] > 1.0
+        assert out["CDE"]["latency"] < out["Slow-Only"]["latency"]
+
+    def test_metric_keys(self, trace):
+        out = run_normalized([CDEPolicy()], trace, config="H&M")
+        assert set(out["CDE"]) == {
+            "latency",
+            "iops",
+            "eviction_fraction",
+            "fast_preference",
+            "avg_latency_s",
+        }

@@ -1,0 +1,77 @@
+"""Tests for workload mixing (Table 5)."""
+
+import pytest
+
+from repro.hss.request import OpType, Request
+from repro.traces.mixer import MIXES, make_mixed_trace, mix_traces
+
+
+def simple_trace(n, base_page=0, write=False):
+    op = OpType.WRITE if write else OpType.READ
+    return [Request(float(i), op, base_page + i, 1) for i in range(n)]
+
+
+class TestMixTraces:
+    def test_total_length_preserved(self):
+        merged = mix_traces([simple_trace(10), simple_trace(20)], seed=0)
+        assert len(merged) == 30
+
+    def test_address_spaces_disjoint(self):
+        a = simple_trace(10)  # pages 0..9
+        b = simple_trace(10)  # pages 0..9 before remap
+        merged = mix_traces([a, b], seed=0)
+        pages = sorted(r.page for r in merged)
+        assert len(set(pages)) == 20  # no collisions after remapping
+
+    def test_sorted_by_timestamp(self):
+        merged = mix_traces([simple_trace(30), simple_trace(30)], seed=1)
+        for prev, nxt in zip(merged, merged[1:]):
+            assert nxt.timestamp >= prev.timestamp
+
+    def test_start_offsets_applied(self):
+        merged = mix_traces(
+            [simple_trace(5), simple_trace(5)], seed=0, max_start_offset_s=100.0
+        )
+        # With large random offsets the two components separate in time.
+        assert merged[-1].timestamp > 4.0
+
+    def test_deterministic(self):
+        a = mix_traces([simple_trace(10), simple_trace(10)], seed=5)
+        b = mix_traces([simple_trace(10), simple_trace(10)], seed=5)
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mix_traces([])
+
+    def test_empty_component_skipped(self):
+        merged = mix_traces([simple_trace(5), []], seed=0)
+        assert len(merged) == 5
+
+
+class TestTable5Mixes:
+    def test_six_mixes(self):
+        assert sorted(MIXES) == [f"mix{i}" for i in range(1, 7)]
+
+    def test_mix_components_match_table5(self):
+        assert MIXES["mix1"].components == ("prxy_0", "ntrx_rw")
+        assert MIXES["mix3"].components == ("proj_3", "YCSB_C")
+        assert MIXES["mix5"].components == ("prxy_0", "oltp_rw", "fileserver")
+
+    def test_make_mixed_trace(self):
+        trace = make_mixed_trace("mix2", n_requests_per_component=200, seed=0)
+        assert len(trace) == 400
+
+    def test_three_component_mix(self):
+        trace = make_mixed_trace("mix6", n_requests_per_component=100, seed=0)
+        assert len(trace) == 300
+
+    def test_unknown_mix(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            make_mixed_trace("mix9")
+
+    def test_mix2_has_both_intensities(self):
+        """rsrch_0 is write-heavy, oltp_rw read-heavy; the mix has both."""
+        trace = make_mixed_trace("mix2", n_requests_per_component=500, seed=0)
+        writes = sum(r.is_write for r in trace) / len(trace)
+        assert 0.3 < writes < 0.8

@@ -1,0 +1,75 @@
+"""Tests for MSRC CSV parsing and serialisation."""
+
+import io
+
+import pytest
+
+from repro.hss.request import OpType
+from repro.traces.msrc import dump_msrc_csv, load_msrc_csv, parse_msrc_rows
+from repro.traces.workloads import make_trace
+
+
+class TestParse:
+    def test_basic_row(self):
+        rows = [["128166372003061629", "hm", "0", "Read", "8192", "8192", "100"]]
+        trace = parse_msrc_rows(rows)
+        assert len(trace) == 1
+        assert trace[0].op == OpType.READ
+        assert trace[0].page == 2  # 8192 / 4096
+        assert trace[0].size == 2
+        assert trace[0].timestamp == 0.0  # rebased
+
+    def test_timestamps_rebased_and_sorted(self):
+        rows = [
+            ["20000000", "h", "0", "Write", "0", "4096", "0"],
+            ["10000000", "h", "0", "Read", "4096", "4096", "0"],
+        ]
+        trace = parse_msrc_rows(rows)
+        assert trace[0].op == OpType.READ
+        assert trace[0].timestamp == 0.0
+        assert trace[1].timestamp == pytest.approx(1.0)  # 10M ticks = 1 s
+
+    def test_size_rounds_up_to_pages(self):
+        rows = [["0", "h", "0", "Read", "0", "1", "0"]]
+        assert parse_msrc_rows(rows)[0].size == 1
+        rows = [["0", "h", "0", "Read", "0", "4097", "0"]]
+        assert parse_msrc_rows(rows)[0].size == 2
+
+    def test_zero_size_skipped(self):
+        rows = [["0", "h", "0", "Read", "0", "0", "0"]]
+        assert parse_msrc_rows(rows) == []
+
+    def test_comments_skipped(self):
+        rows = [["# header"], ["0", "h", "0", "Read", "0", "4096", "0"]]
+        assert len(parse_msrc_rows(rows)) == 1
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_msrc_rows([["1", "2", "3"]])
+
+    def test_empty(self):
+        assert parse_msrc_rows([]) == []
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        trace = make_trace("rsrch_0", n_requests=100, seed=1)
+        path = tmp_path / "trace.csv"
+        dump_msrc_csv(trace, path)
+        loaded = load_msrc_csv(path)
+        assert len(loaded) == len(trace)
+        for orig, back in zip(trace, loaded):
+            assert back.op == orig.op
+            assert back.page == orig.page
+            assert back.size == orig.size
+            # Tick resolution is 100 ns.
+            assert back.timestamp == pytest.approx(
+                orig.timestamp - trace[0].timestamp, abs=1e-6
+            )
+
+    def test_stringio_roundtrip(self):
+        trace = make_trace("hm_1", n_requests=20, seed=0)
+        buf = io.StringIO()
+        dump_msrc_csv(trace, buf)
+        buf.seek(0)
+        assert len(load_msrc_csv(buf)) == 20

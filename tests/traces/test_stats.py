@@ -1,0 +1,73 @@
+"""Tests for trace characterisation (Table 4 / Fig. 3 / Fig. 4 metrics)."""
+
+import pytest
+
+from repro.hss.request import OpType, Request
+from repro.traces.stats import compute_stats, timeline, working_set_pages
+from repro.traces.workloads import make_trace
+
+
+def req(ts, op, page, size=1):
+    return Request(ts, op, page, size)
+
+
+class TestComputeStats:
+    def test_simple_trace(self):
+        trace = [
+            req(0.0, OpType.READ, 0, 2),
+            req(1.0, OpType.WRITE, 0, 2),
+            req(2.0, OpType.READ, 10, 1),
+        ]
+        stats = compute_stats(trace)
+        assert stats.n_requests == 3
+        assert stats.write_fraction == pytest.approx(1 / 3)
+        assert stats.read_fraction == pytest.approx(2 / 3)
+        # 5 pages over 3 requests = 6.67 KiB average.
+        assert stats.avg_request_size_kib == pytest.approx(5 * 4 / 3)
+        assert stats.unique_pages == 3  # pages 0, 1, 10
+        assert stats.avg_access_count == pytest.approx(5 / 3)
+        assert stats.duration_s == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_stats([])
+
+    def test_hot_sequential_flags(self):
+        trace = [req(0.0, OpType.READ, 0, 8)] * 20
+        stats = compute_stats(list(trace))
+        assert stats.is_sequential  # 32 KiB average
+        assert stats.is_hot  # 20 accesses per page
+
+
+class TestWorkingSet:
+    def test_counts_distinct_pages(self):
+        trace = [
+            req(0.0, OpType.READ, 0, 4),
+            req(1.0, OpType.WRITE, 2, 4),
+        ]
+        assert working_set_pages(trace) == 6  # pages 0..5
+
+    def test_matches_compute_stats(self):
+        trace = make_trace("usr_0", n_requests=500, seed=2)
+        assert working_set_pages(trace) == compute_stats(trace).unique_pages
+
+
+class TestTimeline:
+    def test_full_resolution_when_short(self):
+        trace = [req(float(i), OpType.READ, i * 10) for i in range(50)]
+        points = timeline(trace, max_points=100)
+        assert len(points) == 50
+        assert points[0] == (0.0, 0, 1)
+
+    def test_downsampled_when_long(self):
+        trace = [req(float(i), OpType.READ, i) for i in range(1000)]
+        points = timeline(trace, max_points=100)
+        assert len(points) <= 101
+
+    def test_invalid_max_points(self):
+        with pytest.raises(ValueError):
+            timeline([], max_points=0)
+
+    def test_fields(self):
+        trace = [req(1.5, OpType.WRITE, 42, 7)]
+        assert timeline(trace) == [(1.5, 42, 7)]

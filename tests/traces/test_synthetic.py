@@ -1,0 +1,117 @@
+"""Tests for the synthetic trace generator: determinism and calibration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.stats import compute_stats
+from repro.traces.synthetic import (
+    SyntheticTraceGenerator,
+    WorkloadSpec,
+    generate_trace,
+)
+
+
+@pytest.fixture
+def spec():
+    return WorkloadSpec(
+        name="test",
+        write_fraction=0.6,
+        avg_request_size_kib=12.0,
+        avg_access_count=20.0,
+        unique_requests=5000,
+    )
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1.5, 8.0, 1.0, 100)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 0.5, 2.0, 1.0, 100)  # below one page
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 0.5, 8.0, 0.0, 100)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 0.5, 8.0, 1.0, 0)
+
+    def test_derived_properties(self, spec):
+        assert spec.read_fraction == pytest.approx(0.4)
+        assert spec.avg_request_pages == pytest.approx(3.0)
+        assert not spec.is_sequential  # 12 KiB < 16 KiB cut
+        assert spec.is_hot  # 20 >= 10
+
+
+class TestGenerator:
+    def test_deterministic(self, spec):
+        a = generate_trace(spec, n_requests=500, seed=3)
+        b = generate_trace(spec, n_requests=500, seed=3)
+        assert a == b
+
+    def test_seed_changes_trace(self, spec):
+        a = generate_trace(spec, n_requests=500, seed=3)
+        b = generate_trace(spec, n_requests=500, seed=4)
+        assert a != b
+
+    def test_length(self, spec):
+        assert len(generate_trace(spec, n_requests=123, seed=0)) == 123
+
+    def test_timestamps_monotone(self, spec):
+        trace = generate_trace(spec, n_requests=300, seed=0)
+        for prev, nxt in zip(trace, trace[1:]):
+            assert nxt.timestamp >= prev.timestamp
+
+    def test_write_fraction_calibrated(self, spec):
+        trace = generate_trace(spec, n_requests=5000, seed=0)
+        stats = compute_stats(trace)
+        assert stats.write_fraction == pytest.approx(
+            spec.write_fraction, abs=0.12
+        )
+
+    def test_request_size_calibrated(self, spec):
+        trace = generate_trace(spec, n_requests=5000, seed=0)
+        stats = compute_stats(trace)
+        assert stats.avg_request_size_kib == pytest.approx(
+            spec.avg_request_size_kib, rel=0.35
+        )
+
+    def test_access_count_calibrated(self, spec):
+        trace = generate_trace(spec, n_requests=5000, seed=0)
+        stats = compute_stats(trace)
+        # Hotness is the loosest statistic; require the right order of
+        # magnitude and side of the hot/cold divide.
+        assert stats.avg_access_count > 5.0
+        assert stats.avg_access_count < spec.avg_access_count * 4
+
+    def test_hot_vs_cold_specs_differ(self):
+        hot = WorkloadSpec("hot", 0.5, 8.0, 100.0, 1000)
+        cold = WorkloadSpec("cold", 0.5, 8.0, 1.2, 1000)
+        hot_stats = compute_stats(generate_trace(hot, 4000, seed=1))
+        cold_stats = compute_stats(generate_trace(cold, 4000, seed=1))
+        assert hot_stats.avg_access_count > 3 * cold_stats.avg_access_count
+
+    def test_sequential_vs_random_specs_differ(self):
+        seq = WorkloadSpec("seq", 0.5, 42.0, 5.0, 5000)
+        rnd = WorkloadSpec("rnd", 0.5, 4.5, 5.0, 5000)
+        seq_stats = compute_stats(generate_trace(seq, 3000, seed=1))
+        rnd_stats = compute_stats(generate_trace(rnd, 3000, seed=1))
+        assert seq_stats.avg_request_size_kib > 2 * rnd_stats.avg_request_size_kib
+
+    def test_parameter_validation(self, spec):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(spec, n_requests=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(spec, phase_requests=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(spec, mean_interarrival_s=0.0)
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        write_frac=st.floats(0.0, 1.0),
+        size=st.floats(4.0, 64.0),
+        count=st.floats(1.0, 150.0),
+    )
+    def test_any_spec_generates_valid_trace(self, write_frac, size, count):
+        spec = WorkloadSpec("fuzz", write_frac, size, count, 1000)
+        trace = generate_trace(spec, n_requests=200, seed=0)
+        assert len(trace) == 200
+        assert all(r.size >= 1 and r.page >= 0 for r in trace)

@@ -1,0 +1,81 @@
+"""Tests for the workload catalog (Table 4 + FileBench + YCSB)."""
+
+import pytest
+
+from repro.traces.workloads import (
+    ALL_WORKLOADS,
+    FILEBENCH_WORKLOADS,
+    MOTIVATION_WORKLOADS,
+    MSRC_WORKLOADS,
+    YCSB_WORKLOADS,
+    get_workload,
+    make_trace,
+    workload_names,
+)
+
+
+class TestCatalog:
+    def test_fourteen_msrc_workloads(self):
+        assert len(MSRC_WORKLOADS) == 14
+
+    def test_four_filebench_workloads(self):
+        assert len(FILEBENCH_WORKLOADS) == 4
+
+    def test_table4_values_transcribed(self):
+        prxy_1 = MSRC_WORKLOADS["prxy_1"]
+        assert prxy_1.write_fraction == pytest.approx(0.345)
+        assert prxy_1.avg_request_size_kib == pytest.approx(12.8)
+        assert prxy_1.avg_access_count == pytest.approx(150.1)
+        assert prxy_1.unique_requests == 6845
+
+        wdev_2 = MSRC_WORKLOADS["wdev_2"]
+        assert wdev_2.write_fraction == pytest.approx(0.999)
+
+    def test_msrc_marked_as_tuning_set(self):
+        assert all(s.tuning for s in MSRC_WORKLOADS.values())
+        assert not any(s.tuning for s in FILEBENCH_WORKLOADS.values())
+
+    def test_ycsb_c_is_read_only(self):
+        assert YCSB_WORKLOADS["YCSB_C"].write_fraction == 0.0
+
+    def test_motivation_subset_exists(self):
+        assert len(MOTIVATION_WORKLOADS) == 6
+        for name in MOTIVATION_WORKLOADS:
+            assert name in MSRC_WORKLOADS
+
+    def test_no_name_collisions(self):
+        assert len(ALL_WORKLOADS) == 14 + 4 + 1
+
+
+class TestLookup:
+    def test_workload_names_by_source(self):
+        assert len(workload_names("msrc")) == 14
+        assert len(workload_names("filebench")) == 4
+        assert len(workload_names("ycsb")) == 1
+        assert len(workload_names("all")) == 19
+
+    def test_get_workload(self):
+        assert get_workload("hm_1").name == "hm_1"
+
+    def test_get_unknown(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("nope")
+
+
+class TestMakeTrace:
+    def test_deterministic(self):
+        assert make_trace("hm_1", 200, seed=1) == make_trace("hm_1", 200, seed=1)
+
+    def test_workloads_decorrelated(self):
+        """Same seed, different workloads -> different address patterns."""
+        a = make_trace("hm_1", 200, seed=1)
+        b = make_trace("prn_1", 200, seed=1)
+        assert [r.page for r in a] != [r.page for r in b]
+
+    def test_write_heavy_vs_read_heavy(self):
+        wdev = make_trace("wdev_2", 2000, seed=0)  # 99.9% writes
+        hm = make_trace("hm_1", 2000, seed=0)  # 4.7% writes
+        wdev_writes = sum(r.is_write for r in wdev) / len(wdev)
+        hm_writes = sum(r.is_write for r in hm) / len(hm)
+        assert wdev_writes > 0.8
+        assert hm_writes < 0.25
