@@ -12,6 +12,9 @@ Scale knobs (environment variables):
 * ``SIBYL_BENCH_REQUESTS``  — requests per trace (default 10000)
 * ``SIBYL_BENCH_WORKLOADS`` — ``all`` (default) or ``quick`` (6-workload
   motivation subset everywhere)
+* ``SIBYL_BENCH_WORKERS``   — worker processes per campaign (default:
+  the parallel engine's auto policy; see ``repro.sim.parallel``, which
+  also honours ``SIBYL_PARALLEL=serial`` to force serial runs)
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sim.experiment import compare_policies, tri_hybrid_comparison
 from repro.sim.report import format_table, geomean
@@ -27,6 +30,8 @@ from repro.traces.workloads import MOTIVATION_WORKLOADS, workload_names
 
 N_REQUESTS = int(os.environ.get("SIBYL_BENCH_REQUESTS", "10000"))
 _MODE = os.environ.get("SIBYL_BENCH_WORKLOADS", "all")
+_WORKERS_RAW = os.environ.get("SIBYL_BENCH_WORKERS", "")
+MAX_WORKERS: Optional[int] = int(_WORKERS_RAW) if _WORKERS_RAW else None
 
 RESULTS_DIR = Path(__file__).parent / "results"
 RESULTS_DIR.mkdir(exist_ok=True)
@@ -44,16 +49,22 @@ def motivation_workloads() -> Tuple[str, ...]:
 
 @lru_cache(maxsize=None)
 def comparison(workloads: Tuple[str, ...], config: str) -> Dict:
-    """Cached full-policy comparison for a workload set + HSS config."""
+    """Cached full-policy comparison for a workload set + HSS config.
+
+    The campaign fans out one worker per workload via the parallel
+    experiment engine; results are bit-identical to a serial run.
+    """
     return compare_policies(
-        list(workloads), config=config, n_requests=N_REQUESTS, seed=0
+        list(workloads), config=config, n_requests=N_REQUESTS, seed=0,
+        max_workers=MAX_WORKERS,
     )
 
 
 @lru_cache(maxsize=None)
 def tri_comparison(workloads: Tuple[str, ...], config: str) -> Dict:
     return tri_hybrid_comparison(
-        list(workloads), config=config, n_requests=N_REQUESTS, seed=0
+        list(workloads), config=config, n_requests=N_REQUESTS, seed=0,
+        max_workers=MAX_WORKERS,
     )
 
 

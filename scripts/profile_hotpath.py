@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Microbenchmark for the simulation hot path.
+
+Measures requests/sec through the three loops that dominate every
+figure reproduction, so perf claims land as numbers instead of vibes:
+
+* ``serve``       — the pure serve loop (heuristic policy, no RL):
+                    feature-free placement + HSS latency accounting;
+* ``sibyl``       — the full serve+train loop (SibylAgent): feature
+                    extraction, replay insertion, ε-greedy inference,
+                    and periodic training;
+* ``train_step``  — the isolated RL training thread: 8 batches of 128
+                    through the training network + weight copy.
+
+Results are printed and appended to a JSON trajectory file (default
+``BENCH_hotpath.json`` at the repo root) so successive PRs can compare
+requests/sec across versions.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py [--requests N]
+        [--repeats K] [--output PATH] [--label TEXT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines.cde import CDEPolicy  # noqa: E402
+from repro.core.agent import SibylAgent  # noqa: E402
+from repro.core.hyperparams import SIBYL_DEFAULT  # noqa: E402
+from repro.sim.runner import build_hss, run_policy  # noqa: E402
+from repro.traces.workloads import make_trace  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _best_of(repeats, fn):
+    """Best (min) wall-clock of ``repeats`` runs; returns (seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_serve_loop(trace, repeats):
+    """Requests/sec through run_policy with a non-learning heuristic."""
+    elapsed, _ = _best_of(
+        repeats, lambda: run_policy(CDEPolicy(), trace, config="H&M")
+    )
+    return len(trace) / elapsed
+
+
+def bench_sibyl_loop(trace, repeats):
+    """Requests/sec through the full Sibyl serve+train loop."""
+    def run():
+        agent = SibylAgent(seed=0)
+        run_policy(agent, trace, config="H&M")
+        return agent
+
+    elapsed, agent = _best_of(repeats, run)
+    return len(trace) / elapsed, agent.train_events
+
+
+def bench_train_step(trace, repeats):
+    """Milliseconds per training step (8 batches of 128 + weight copy)."""
+    agent = SibylAgent(seed=0)
+    hss = build_hss("H&M", trace)
+    agent.attach(hss)
+    # Fill the buffer through the real loop so experiences are genuine.
+    for request in trace[:2000]:
+        action = agent.place(request)
+        result = hss.serve(request, action)
+        agent.feedback(request, action, result)
+    if len(agent.buffer) < agent.hyperparams.batch_size:
+        raise RuntimeError("buffer too small to benchmark the train step")
+
+    n_steps = 20
+    def run():
+        for _ in range(n_steps):
+            agent._train()
+
+    elapsed, _ = _best_of(repeats, run)
+    per_step_s = elapsed / n_steps
+    batches = agent.hyperparams.batches_per_training
+    return per_step_s * 1e3, batches / per_step_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=6000,
+                        help="trace length for the loop benchmarks")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per benchmark (best is kept)")
+    parser.add_argument("--workload", default="rsrch_0")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="JSON trajectory file to append to")
+    parser.add_argument("--label", default="",
+                        help="free-form tag recorded with this entry")
+    args = parser.parse_args(argv)
+
+    trace = make_trace(args.workload, n_requests=args.requests, seed=0)
+
+    serve_rps = bench_serve_loop(trace, args.repeats)
+    sibyl_rps, train_events = bench_sibyl_loop(trace, args.repeats)
+    step_ms, batches_per_s = bench_train_step(trace, args.repeats)
+
+    entry = {
+        "label": args.label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workload": args.workload,
+        "n_requests": args.requests,
+        "hyperparams": {
+            "train_interval": SIBYL_DEFAULT.train_interval,
+            "batch_size": SIBYL_DEFAULT.batch_size,
+            "batches_per_training": SIBYL_DEFAULT.batches_per_training,
+        },
+        "serve_loop_rps": round(serve_rps, 1),
+        "sibyl_loop_rps": round(sibyl_rps, 1),
+        "sibyl_train_events": train_events,
+        "train_step_ms": round(step_ms, 3),
+        "train_batches_per_s": round(batches_per_s, 1),
+    }
+
+    print(f"serve loop      : {serve_rps:10.1f} req/s  (CDE heuristic)")
+    print(f"sibyl loop      : {sibyl_rps:10.1f} req/s  "
+          f"({train_events} train events)")
+    print(f"train step      : {step_ms:10.3f} ms     "
+          f"({batches_per_s:.1f} batches/s)")
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

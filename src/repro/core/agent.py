@@ -87,14 +87,24 @@ class SibylAgent(PlacementPolicy):
         self.reward_fn: Optional[RewardFunction] = None
         self.training_net = None
         self.inference_net = None
-        self.buffer = ExperienceBuffer(hyperparams.buffer_capacity)
+        self.buffer = ExperienceBuffer(hyperparams.buffer_capacity, seed=seed)
         self.rng = np.random.default_rng(seed)
-        self._pending: Optional[tuple] = None  # (obs, action, reward)
-        self._current: Optional[tuple] = None  # (obs, action)
+        self._pending: Optional[tuple] = None  # (obs, action, reward, obs_key)
+        self._current: Optional[tuple] = None  # (obs, action, obs_key)
         self._requests_seen = 0
         self.train_events = 0
         self.losses: list = []
         self.action_counts: Optional[np.ndarray] = None
+        # Greedy-action memo.  Observations are quantised bin vectors,
+        # so the visited state space is small and heavily revisited, and
+        # the inference network only changes at weight-copy events —
+        # between copies, argmax-Q per observation is a pure function.
+        # After each weight copy the memo is *re-evaluated in one batched
+        # forward pass* (instead of discarded), so steady-state decisions
+        # are dictionary lookups.  Fully invalidated on reset / attach /
+        # checkpoint load, where the network itself is replaced.
+        self._action_cache: dict = {}
+        self._cache_obs: dict = {}
 
     # -------------------------------------------------------------- setup
     def attach(self, hss: HybridStorageSystem) -> None:
@@ -136,17 +146,25 @@ class SibylAgent(PlacementPolicy):
             self.training_net = DQNNetwork(config, rng=self.rng)
         self.inference_net = self.training_net.clone()
         self.action_counts = np.zeros(n_actions, dtype=np.int64)
+        self._action_cache.clear()
+        self._cache_obs.clear()
 
     # ----------------------------------------------------------- decision
     def place(self, request: Request) -> int:
         if self.extractor is None or self.inference_net is None:
             raise RuntimeError("SibylAgent.place called before attach()")
-        obs = self.extractor.observe(request)
+        # The float32 image of the observation doubles as the replay
+        # dedup key and the action-memo key; the extractor memoises both
+        # per bin tuple, so repeated states cost two dict lookups.
+        obs, obs_key = self.extractor.observe_keyed(request)
         # Complete the previous transition: its next-state is this
         # observation (a "time step" is a storage request, §5).
         if self._pending is not None:
-            p_obs, p_action, p_reward = self._pending
-            self.buffer.add(p_obs, p_action, p_reward, obs)
+            p_obs, p_action, p_reward, p_key = self._pending
+            self.buffer.add(
+                p_obs, p_action, p_reward, obs,
+                obs_bytes=p_key, next_obs_bytes=obs_key,
+            )
             self._pending = None
         explore = (
             self._requests_seen < self.hyperparams.initial_random_requests
@@ -155,8 +173,12 @@ class SibylAgent(PlacementPolicy):
         if explore:
             action = int(self.rng.integers(0, self.n_devices))
         else:
-            action = self.inference_net.best_action(obs)
-        self._current = (obs, action)
+            action = self._action_cache.get(obs_key)
+            if action is None:
+                action = self.inference_net.best_action(obs)
+                self._action_cache[obs_key] = action
+                self._cache_obs[obs_key] = obs
+        self._current = (obs, action, obs_key)
         self.action_counts[action] += 1
         return action
 
@@ -164,44 +186,92 @@ class SibylAgent(PlacementPolicy):
     def feedback(self, request: Request, action: int, result: ServeResult) -> None:
         if self._current is None:
             raise RuntimeError("feedback() without a preceding place()")
-        obs, chosen = self._current
+        obs, chosen, obs_key = self._current
         if chosen != action:
             raise ValueError("feedback action does not match the placed action")
         reward = self.reward_fn(result)
-        self._pending = (obs, action, reward)
+        self._pending = (obs, action, reward, obs_key)
         self._current = None
         self._requests_seen += 1
         hp = self.hyperparams
+        # Train once enough *unique* experiences exist to fill a batch.
+        # The warm-up is deliberately decoupled from ``buffer_capacity``:
+        # gating on a full buffer would mean capacities larger than the
+        # trace length never train at all (the Fig. 8 sweep's big-buffer
+        # points would silently degrade to the ε-greedy prior).
         if (
             self._requests_seen % hp.train_interval == 0
-            and self.buffer.total_added >= hp.buffer_capacity
+            and len(self.buffer) >= hp.batch_size
         ):
             self._train()
 
     def _train(self) -> None:
-        """The RL training thread: batch updates + weight copy (§6.2.2)."""
+        """The RL training thread: batch updates + weight copy (§6.2.2).
+
+        The bootstrap (inference) network is frozen for the whole event,
+        so all batches are sampled up front and their next-state
+        bootstrap targets computed in one fused forward pass instead of
+        one per batch.  The RNG draw order matches the per-batch loop
+        exactly, so trajectories are unchanged.
+        """
         hp = self.hyperparams
-        for _ in range(hp.batches_per_training):
-            obs, actions, rewards, next_obs = self.buffer.sample(
-                hp.batch_size, rng=self.rng
-            )
+        batches = [
+            self.buffer.sample(hp.batch_size, rng=self.rng)
+            for _ in range(hp.batches_per_training)
+        ]
+        all_rewards = np.concatenate([b[2] for b in batches])
+        all_next = np.concatenate([b[3] for b in batches], axis=0)
+        targets = self.training_net.precompute_targets(
+            all_rewards, all_next, target=self.inference_net
+        )
+        n = hp.batch_size
+        for i, (obs, actions, rewards, next_obs) in enumerate(batches):
             loss = self.training_net.train_batch(
-                obs, actions, rewards, next_obs, target=self.inference_net
+                obs, actions, rewards, next_obs,
+                target=self.inference_net,
+                targets=targets[i * n:(i + 1) * n],
             )
             self.losses.append(loss)
         self.inference_net.copy_weights_from(self.training_net)
+        self._refresh_action_cache()
         self.train_events += 1
+
+    #: Above this many memoised states, refreshing stops paying for
+    #: itself and the memo is simply dropped.
+    _ACTION_CACHE_LIMIT = 8192
+
+    def _refresh_action_cache(self) -> None:
+        """Re-evaluate the greedy-action memo against the new weights.
+
+        One batched forward over every memoised observation replaces
+        len(cache) single-observation forwards that the decision path
+        would otherwise pay as cache misses after a weight copy.
+        """
+        if not self._action_cache:
+            return
+        if len(self._action_cache) > self._ACTION_CACHE_LIMIT:
+            self._action_cache.clear()
+            self._cache_obs.clear()
+            return
+        keys = list(self._cache_obs.keys())
+        obs_mat = np.stack([self._cache_obs[k] for k in keys])
+        actions = self.inference_net.best_actions(obs_mat)
+        self._action_cache = {
+            k: int(a) for k, a in zip(keys, actions)
+        }
 
     # -------------------------------------------------------------- reset
     def reset(self) -> None:
         """Forget everything: fresh networks, empty buffer, re-seeded RNG."""
         self.rng = np.random.default_rng(self.seed)
-        self.buffer = ExperienceBuffer(self.hyperparams.buffer_capacity)
+        self.buffer = ExperienceBuffer(self.hyperparams.buffer_capacity, seed=self.seed)
         self._pending = None
         self._current = None
         self._requests_seen = 0
         self.train_events = 0
         self.losses = []
+        self._action_cache.clear()
+        self._cache_obs.clear()
         if self.hss is not None:
             self.attach(self.hss)
 
@@ -229,7 +299,11 @@ class SibylAgent(PlacementPolicy):
         """Restore network weights saved by :meth:`save_checkpoint`.
 
         The agent must already be attached to an HSS with the same
-        observation/action dimensions.
+        observation/action dimensions.  In-flight transition state
+        (``_pending``/``_current``), the experience buffer, and the
+        action counters all describe the *pre-restore* run, so they are
+        cleared here — the restored agent must not complete a stale
+        half-transition or report stale placement statistics.
         """
         if self.training_net is None or self.inference_net is None:
             raise RuntimeError("attach() before loading a checkpoint")
@@ -245,6 +319,15 @@ class SibylAgent(PlacementPolicy):
             }
             net.network.load_state_dict(state)
         self._requests_seen = int(data["requests_seen"][0])
+        self._pending = None
+        self._current = None
+        self.buffer.clear()
+        self._action_cache.clear()
+        self._cache_obs.clear()
+        self.train_events = 0
+        self.losses = []
+        if self.action_counts is not None:
+            self.action_counts.fill(0)
 
     # -------------------------------------------------------- diagnostics
     @property

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..hss.request import Request
+from ..hss.request import OpType, Request
 from ..hss.system import HybridStorageSystem
 
 __all__ = [
@@ -73,6 +73,9 @@ FEATURE_SETS: Dict[str, Tuple[str, ...]] = {
     "rt+ft+pt": ("size", "type", "cnt", "curr"),
     "all": ("size", "type", "intr", "cnt", "cap", "curr"),
 }
+
+#: Identity sentinel for the specialised full-feature extraction path.
+_ALL_FEATURES = FEATURE_SETS["all"]
 
 
 def log2_bin(value: float, n_bins: int) -> int:
@@ -153,6 +156,20 @@ class FeatureExtractor:
             if cap is not None
         ]
         self._curr_bins = max(self.spec.curr_bins, hss.n_devices)
+        # Hot-path caches: bin maxima are a pure function of the spec,
+        # so compute them once; log2 bins repeat heavily across requests
+        # (page intervals/counts/sizes revisit the same small integers),
+        # so memoise them per (feature, value).
+        self._maxima_arr = np.array(self._bin_maxima(), dtype=np.float64)
+        self._size_bin_cache: Dict[int, int] = {}
+        self._intr_bin_cache: Dict[float, int] = {}
+        self._cnt_bin_cache: Dict[int, int] = {}
+        # Full-observation memo: the normalised vector (and its float32
+        # serialisation, used by the agent as a dedup/memo key) is a
+        # pure function of the bin tuple, and traces revisit a small set
+        # of bin tuples heavily.  Arrays handed out are shared and must
+        # be treated as immutable (every consumer copies on store).
+        self._obs_cache: Dict[tuple, tuple] = {}
 
     # ---------------------------------------------------------- dimension
     @property
@@ -174,26 +191,85 @@ class FeatureExtractor:
     # ------------------------------------------------------------ extract
     def bins(self, request: Request) -> List[int]:
         """Raw bin indices for the current request (pre-serve)."""
+        if self.features is _ALL_FEATURES:
+            return self._bins_all(request)
+        return self._bins_generic(request)
+
+    def _bins_all(self, request: Request) -> List[int]:
+        """Straight-line extraction for the paper's full feature set."""
+        hss = self.hss
+        tracker = hss.tracker
+        page = request.page
+        spec = self.spec
+
+        size = request.size
+        size_bin = self._size_bin_cache.get(size)
+        if size_bin is None:
+            size_bin = log2_bin(size, spec.size_bins)
+            self._size_bin_cache[size] = size_bin
+
+        interval = tracker.access_interval(page)
+        if interval is None:
+            interval = float("inf")
+        intr_bin = self._intr_bin_cache.get(interval)
+        if intr_bin is None:
+            intr_bin = log2_bin(interval, spec.intr_bins)
+            if len(self._intr_bin_cache) < 1 << 16:
+                self._intr_bin_cache[interval] = intr_bin
+
+        cnt = tracker.access_count(page) + 1
+        cnt_bin = self._cnt_bin_cache.get(cnt)
+        if cnt_bin is None:
+            cnt_bin = log2_bin(cnt, spec.cnt_bins)
+            self._cnt_bin_cache[cnt] = cnt_bin
+
+        out = [size_bin, int(request.op == OpType.WRITE), intr_bin, cnt_bin]
+        cap_bins = spec.cap_bins
+        for d in self._bounded_devices:
+            frac = hss.remaining_capacity_fraction(d)
+            if frac >= 1.0:
+                out.append(cap_bins - 1)
+            elif frac <= 0.0:
+                out.append(0)
+            else:
+                out.append(int(frac * cap_bins))
+        loc = hss.page_location(page)
+        out.append(hss.slowest if loc is None else loc)
+        return out
+
+    def _bins_generic(self, request: Request) -> List[int]:
         hss = self.hss
         page = request.page
         out: List[int] = []
         for f in self.features:
             if f == "size":
-                out.append(log2_bin(request.size, self.spec.size_bins))
+                size = request.size
+                b = self._size_bin_cache.get(size)
+                if b is None:
+                    b = log2_bin(size, self.spec.size_bins)
+                    self._size_bin_cache[size] = b
+                out.append(b)
             elif f == "type":
                 out.append(int(request.is_write))
             elif f == "intr":
                 interval = hss.tracker.access_interval(page)
-                out.append(
-                    log2_bin(
-                        float("inf") if interval is None else interval,
-                        self.spec.intr_bins,
-                    )
-                )
+                if interval is None:
+                    interval = float("inf")
+                b = self._intr_bin_cache.get(interval)
+                if b is None:
+                    b = log2_bin(interval, self.spec.intr_bins)
+                    # Intervals are unbounded; don't let the memo grow
+                    # past the point where it stops paying for itself.
+                    if len(self._intr_bin_cache) < 1 << 16:
+                        self._intr_bin_cache[interval] = b
+                out.append(b)
             elif f == "cnt":
-                out.append(
-                    log2_bin(hss.tracker.access_count(page) + 1, self.spec.cnt_bins)
-                )
+                cnt = hss.tracker.access_count(page) + 1
+                b = self._cnt_bin_cache.get(cnt)
+                if b is None:
+                    b = log2_bin(cnt, self.spec.cnt_bins)
+                    self._cnt_bin_cache[cnt] = b
+                out.append(b)
             elif f == "cap":
                 for d in self._bounded_devices:
                     out.append(
@@ -210,12 +286,27 @@ class FeatureExtractor:
 
     def observe(self, request: Request) -> np.ndarray:
         """Normalised observation vector in [0, 1]^n_features."""
-        bins = self.bins(request)
-        maxima = self._bin_maxima()
-        return np.array(
-            [b / m if m > 0 else 0.0 for b, m in zip(bins, maxima)],
-            dtype=np.float64,
-        )
+        # All maxima are >= 1 (every bin count is >= 2), so elementwise
+        # division by the cached maxima reproduces the per-component
+        # ``b / m`` exactly.
+        return np.array(self.bins(request), dtype=np.float64) / self._maxima_arr
+
+    def observe_keyed(self, request: Request):
+        """``(observation, float32-bytes key)`` with full-vector memoisation.
+
+        The returned array is shared across calls with the same bin
+        tuple — callers must not mutate it.  The key equals
+        ``np.asarray(obs, np.float32).tobytes()`` and doubles as the
+        replay-dedup / action-memo key on the agent's hot path.
+        """
+        bins = tuple(self.bins(request))
+        hit = self._obs_cache.get(bins)
+        if hit is None:
+            obs = np.array(bins, dtype=np.float64) / self._maxima_arr
+            hit = (obs, obs.astype(np.float32).tobytes())
+            if len(self._obs_cache) < 1 << 16:
+                self._obs_cache[bins] = hit
+        return hit
 
     def _bin_maxima(self) -> List[int]:
         maxima: List[int] = []

@@ -11,12 +11,17 @@ bounded buffer in host DRAM and trains on randomly sampled batches
 * **Sizing** — the default capacity is 1000 entries, where Fig. 8 shows
   performance saturating; at 100 bits/experience this is the 100 KiB
   of DRAM accounted in §10.2.
+
+Storage layout: unique transitions live in preallocated contiguous
+arrays (one row per slot), so sampling a batch is a single fancy-index
+gather instead of re-stacking Python lists per batch.  The dedup map
+only stores ``key -> slot``; slots freed by FIFO eviction are recycled.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +33,10 @@ EXPERIENCE_BITS = 100
 
 Experience = Tuple[np.ndarray, int, float, np.ndarray]
 
+#: Initial number of preallocated slots (grown geometrically up to the
+#: buffer capacity, so huge capacities don't allocate up front).
+_INITIAL_SLOTS = 1024
+
 
 class ExperienceBuffer:
     """Bounded FIFO of deduplicated transitions.
@@ -35,28 +44,75 @@ class ExperienceBuffer:
     When full, the oldest *unique* transition is dropped, so the buffer
     always reflects the most recent system behaviour — the property that
     lets Sibyl adapt online to workload phase changes (§8.3).
+
+    ``seed`` drives the buffer's *own* generator, used only when
+    :meth:`sample` is called without an explicit ``rng`` — so default
+    sampling is reproducible run-to-run instead of silently drawing
+    from a fresh OS-seeded generator.
     """
 
-    def __init__(self, capacity: int = 1000) -> None:
+    def __init__(self, capacity: int = 1000, seed: int = 0) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        # key -> (experience, multiplicity); insertion order = age.
-        self._entries: "OrderedDict[bytes, List]" = OrderedDict()
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        # key -> slot index; insertion order = age.
+        self._entries: "OrderedDict[bytes, int]" = OrderedDict()
+        self._free: List[int] = []
         self._total_added = 0
+        # Contiguous per-slot storage, allocated on first add (the
+        # observation shape is only known then).
+        self._obs: Optional[np.ndarray] = None
+        self._next_obs: Optional[np.ndarray] = None
+        self._actions: Optional[np.ndarray] = None
+        self._rewards: Optional[np.ndarray] = None
+        self._mult: Optional[np.ndarray] = None
+        # Cached (insertion-order slots, normalised weights) for
+        # sampling; invalidated by any mutation.  Training draws 8
+        # batches back-to-back between mutations, so this saves the
+        # per-batch weight rebuild.
+        self._order_cache: Optional[np.ndarray] = None
+        self._weights_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------- helpers
     @staticmethod
-    def _key(obs: np.ndarray, action: int, reward: float, next_obs: np.ndarray) -> bytes:
+    def _compose_key(
+        obs_bytes: bytes, action: int, reward: float, next_obs_bytes: bytes
+    ) -> bytes:
         # Quantise the reward to half precision — the stored format —
         # so dedup matches what the hardware buffer would hold.
-        r16 = np.float16(reward).tobytes()
         return (
-            np.asarray(obs, dtype=np.float32).tobytes()
+            obs_bytes
             + bytes([action & 0xFF])
-            + r16
-            + np.asarray(next_obs, dtype=np.float32).tobytes()
+            + np.float16(reward).tobytes()
+            + next_obs_bytes
         )
+
+    @staticmethod
+    def _key(obs: np.ndarray, action: int, reward: float, next_obs: np.ndarray) -> bytes:
+        return ExperienceBuffer._compose_key(
+            np.asarray(obs, dtype=np.float32).tobytes(),
+            action,
+            reward,
+            np.asarray(next_obs, dtype=np.float32).tobytes(),
+        )
+
+    def _allocate(self, obs: np.ndarray, next_obs: np.ndarray) -> None:
+        n = min(self.capacity, _INITIAL_SLOTS)
+        self._obs = np.empty((n,) + obs.shape, dtype=np.float64)
+        self._next_obs = np.empty((n,) + next_obs.shape, dtype=np.float64)
+        self._actions = np.empty(n, dtype=np.int64)
+        self._rewards = np.empty(n, dtype=np.float64)
+        self._mult = np.zeros(n, dtype=np.float64)
+
+    def _grow(self) -> None:
+        n = min(self.capacity, 2 * len(self._mult))
+        for name in ("_obs", "_next_obs", "_actions", "_rewards", "_mult"):
+            old = getattr(self, name)
+            new = np.zeros((n,) + old.shape[1:], dtype=old.dtype)
+            new[: len(old)] = old
+            setattr(self, name, new)
 
     # ------------------------------------------------------------- mutate
     def add(
@@ -65,30 +121,59 @@ class ExperienceBuffer:
         action: int,
         reward: float,
         next_obs: np.ndarray,
+        obs_bytes: Optional[bytes] = None,
+        next_obs_bytes: Optional[bytes] = None,
     ) -> None:
-        """Insert a transition, deduplicating identical ones."""
+        """Insert a transition, deduplicating identical ones.
+
+        ``obs_bytes``/``next_obs_bytes`` optionally supply the float32
+        serialisations of the observations (exactly
+        ``np.asarray(x, np.float32).tobytes()``) when the caller already
+        has them, skipping a redundant conversion on the hot path.
+        """
         if action < 0:
             raise ValueError("action must be >= 0")
-        key = self._key(obs, action, reward, next_obs)
-        entry = self._entries.get(key)
-        if entry is not None:
-            entry[1] += 1
+        if obs_bytes is not None and next_obs_bytes is not None:
+            key = self._compose_key(obs_bytes, action, reward, next_obs_bytes)
+        else:
+            key = self._key(obs, action, reward, next_obs)
+        slot = self._entries.get(key)
+        if slot is not None:
+            self._mult[slot] += 1.0
             self._entries.move_to_end(key)
         else:
-            exp: Experience = (
-                np.asarray(obs, dtype=np.float64).copy(),
-                int(action),
-                float(reward),
-                np.asarray(next_obs, dtype=np.float64).copy(),
-            )
-            self._entries[key] = [exp, 1]
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            obs_arr = np.asarray(obs, dtype=np.float64)
+            next_arr = np.asarray(next_obs, dtype=np.float64)
+            if self._obs is None:
+                self._allocate(obs_arr, next_arr)
+            while len(self._entries) >= self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                self._mult[evicted] = 0.0
+                self._free.append(evicted)
+            if self._free:
+                slot = self._free.pop()
+            else:
+                slot = len(self._entries)
+                if slot >= len(self._mult):
+                    self._grow()
+            self._obs[slot] = obs_arr
+            self._next_obs[slot] = next_arr
+            self._actions[slot] = int(action)
+            self._rewards[slot] = float(reward)
+            self._mult[slot] = 1.0
+            self._entries[key] = slot
         self._total_added += 1
+        self._order_cache = None
+        self._weights_cache = None
 
     def clear(self) -> None:
         self._entries.clear()
+        self._free = []
         self._total_added = 0
+        if self._mult is not None:
+            self._mult.fill(0.0)
+        self._order_cache = None
+        self._weights_cache = None
 
     # ------------------------------------------------------------- sample
     def sample(
@@ -96,22 +181,33 @@ class ExperienceBuffer:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Sample a batch (with replacement, weighted by multiplicity).
 
-        Returns stacked arrays (obs, actions, rewards, next_obs).
+        Returns stacked arrays (obs, actions, rewards, next_obs).  With
+        no explicit ``rng`` the buffer's own seeded generator is used,
+        so default sampling stays reproducible.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if not self._entries:
             raise ValueError("cannot sample from an empty buffer")
-        rng = rng or np.random.default_rng()
-        entries = list(self._entries.values())
-        weights = np.array([e[1] for e in entries], dtype=np.float64)
-        weights /= weights.sum()
-        idx = rng.choice(len(entries), size=batch_size, p=weights)
-        obs = np.stack([entries[i][0][0] for i in idx])
-        actions = np.array([entries[i][0][1] for i in idx], dtype=np.int64)
-        rewards = np.array([entries[i][0][2] for i in idx], dtype=np.float64)
-        next_obs = np.stack([entries[i][0][3] for i in idx])
-        return obs, actions, rewards, next_obs
+        if rng is None:
+            rng = self._rng
+        if self._order_cache is None:
+            order = np.fromiter(
+                self._entries.values(), dtype=np.int64, count=len(self._entries)
+            )
+            weights = self._mult[order]
+            weights = weights / weights.sum()
+            self._order_cache = order
+            self._weights_cache = weights
+        order = self._order_cache
+        idx = rng.choice(len(order), size=batch_size, p=self._weights_cache)
+        slots = order[idx]
+        return (
+            self._obs[slots],
+            self._actions[slots],
+            self._rewards[slots],
+            self._next_obs[slots],
+        )
 
     # ------------------------------------------------------------- sizing
     def __len__(self) -> int:

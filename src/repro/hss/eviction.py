@@ -39,6 +39,10 @@ class LRUVictimSelector:
     """Evict the least-recently-used pages (the default policy)."""
 
     def select(self, table: PageTable, device: int, n_victims: int) -> List[int]:
+        if n_victims == 1:
+            # The overwhelmingly common case (one-page overflow).
+            page = table.lru_page(device)
+            return [] if page is None else [page]
         victims: List[int] = []
         for page in table.resident_pages(device):
             if len(victims) >= n_victims:

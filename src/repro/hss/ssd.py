@@ -78,6 +78,9 @@ class SSDDevice(StorageDevice):
         #: Utilisation (0..1) of the capacity the HSS allots this device;
         #: updated by the HSS after every placement/eviction.
         self.utilization = 0.0
+        # Single-page read service time, precomputed: the most frequent
+        # service_time call by far, and a pure function of the spec.
+        self._read_1pg_s = spec.read_overhead_s + spec.transfer_time(OpType.READ, 1)
 
     # ---------------------------------------------------------- internals
     def _drain_buffer(self, now: float) -> None:
@@ -109,6 +112,8 @@ class SSDDevice(StorageDevice):
     # ------------------------------------------------------------ service
     def service_time(self, now: float, op: OpType, n_pages: int) -> float:
         if op == OpType.READ:
+            if n_pages == 1:
+                return self._read_1pg_s
             return self.spec.read_overhead_s + self.spec.transfer_time(op, n_pages)
 
         self._drain_buffer(now)

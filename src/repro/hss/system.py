@@ -176,6 +176,10 @@ class HybridStorageSystem:
         self.table = PageTable(len(devices))
         self.stats = HSSStats()
         self.stats.reset(len(devices))
+        # Device-type dispatch flags, hoisted out of the per-request
+        # path (isinstance checks on every access add up).
+        self._is_hdd = [isinstance(d, HDDDevice) for d in self.devices]
+        self._ssd = [d if isinstance(d, SSDDevice) else None for d in self.devices]
 
     # ------------------------------------------------------------- helpers
     @property
@@ -210,17 +214,16 @@ class HybridStorageSystem:
         return self.table.location(page)
 
     def _update_utilization(self, device: int) -> None:
-        dev = self.devices[device]
-        if isinstance(dev, SSDDevice):
+        dev = self._ssd[device]
+        if dev is not None:
             cap = self.capacity_pages[device]
             if cap is None:
                 cap = dev.spec.capacity_pages
             dev.utilization = min(1.0, self.table.used_pages(device) / cap)
 
     def _point_head(self, device: int, page: int) -> None:
-        dev = self.devices[device]
-        if isinstance(dev, HDDDevice):
-            dev.target_page = page
+        if self._is_hdd[device]:
+            self.devices[device].target_page = page
 
     # ------------------------------------------------------------ eviction
     def _evict(self, device: int, n_pages: int, now: float) -> float:
@@ -238,22 +241,37 @@ class HybridStorageSystem:
         victims = self.victim_selector.select(self.table, device, n_pages)
         if not victims:
             return 0.0
-        cascade_time = self._ensure_capacity(destination, len(victims), now)
+        if self.capacity_pages[destination] is None:
+            cascade_time = 0.0  # unbounded destination never overflows
+        else:
+            cascade_time = self._ensure_capacity(destination, len(victims), now)
         # Victims are moved run-by-run: contiguous pages migrate as one
         # transfer, scattered victims each pay the per-access overhead —
         # eviction of a cold random working set is expensive, which is
         # the dynamic behind the paper's eviction penalty (Eq. 1).
         read_time = 0.0
         write_time = 0.0
-        for run_start, run_len in _contiguous_runs(sorted(victims)):
-            self._point_head(device, run_start)
-            read_time += self.devices[device].background_access(
-                now, OpType.READ, run_len
+        if len(victims) == 1:
+            # Common case (overflow of one page, no slack): one run.
+            run = victims[0]
+            self._point_head(device, run)
+            read_time = self.devices[device].background_access(
+                now, OpType.READ, 1
             )
-            self._point_head(destination, run_start)
-            write_time += self.devices[destination].background_access(
-                now, OpType.WRITE, run_len
+            self._point_head(destination, run)
+            write_time = self.devices[destination].background_access(
+                now, OpType.WRITE, 1
             )
+        else:
+            for run_start, run_len in _contiguous_runs(sorted(victims)):
+                self._point_head(device, run_start)
+                read_time += self.devices[device].background_access(
+                    now, OpType.READ, run_len
+                )
+                self._point_head(destination, run_start)
+                write_time += self.devices[destination].background_access(
+                    now, OpType.WRITE, run_len
+                )
         for page in victims:
             self.table.move(page, destination)
         self._update_utilization(device)
@@ -303,6 +321,8 @@ class HybridStorageSystem:
             raise ValueError(f"action {action} out of range [0, {self.n_devices})")
         if now is None:
             now = request.timestamp
+        if request.size == 1:
+            return self._serve_single_page(request, action, now)
         pages = list(request.pages)
         eviction_time = 0.0
         promoted = 0
@@ -390,6 +410,85 @@ class HybridStorageSystem:
             pages_written = len(pages)
         else:
             pages_written = promoted + demoted  # migration programmes
+        return ServeResult(
+            latency_s=latency,
+            device=served_device,
+            eviction_occurred=eviction_time > 0.0,
+            eviction_time_s=eviction_time,
+            evicted_pages=self.stats.evicted_pages - evicted_before,
+            promoted_pages=promoted,
+            demoted_pages=demoted,
+            action=action,
+            pages_written_to_action=pages_written,
+        )
+
+    def _serve_single_page(
+        self, request: Request, action: int, now: float
+    ) -> ServeResult:
+        """Fast path for 1-page requests (the bulk of most traces).
+
+        Semantically identical to the general :meth:`serve` body — the
+        per-page loops, residency grouping, and contiguous-run logic all
+        collapse for a single page, so this skips building them.
+        """
+        table = self.table
+        page = request.page
+        eviction_time = 0.0
+        promoted = 0
+        demoted = 0
+        evicted_before = self.stats.evicted_pages
+        is_write = request.op == OpType.WRITE
+
+        if is_write:
+            location = table.location(page)
+            if location == action:
+                table.touch(page)
+            else:
+                eviction_time = self._ensure_capacity(action, 1, now)
+            self._point_head(action, page)
+            latency = self.devices[action].access(now, OpType.WRITE, 1)
+            table.place(page, action)
+            self._update_utilization(action)
+            served_device = action
+        else:
+            if not table.is_mapped(page):
+                table.place(page, self.slowest)
+            location = table.location(page)
+            self._point_head(location, page)
+            latency = self.devices[location].access(now, OpType.READ, 1)
+            served_device = location
+            table.touch(page)
+            if location != action:
+                eviction_time = self._ensure_capacity(action, 1, now)
+                self._point_head(action, page)
+                self.devices[action].background_access(now, OpType.WRITE, 1)
+                if action < location:
+                    promoted = 1
+                else:
+                    demoted = 1
+                table.move(page, action)
+                self._update_utilization(location)
+                self._update_utilization(action)
+
+        self.tracker.record(page)
+        stats = self.stats
+        stats.requests += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        stats.total_latency_s += latency
+        stats.eviction_time_s += eviction_time
+        stats.promoted_pages += promoted
+        stats.demoted_pages += demoted
+        stats.placements[action] += 1
+        completion = now + latency
+        if completion > stats.last_completion_s:
+            stats.last_completion_s = completion
+        if is_write:
+            pages_written = 1
+        else:
+            pages_written = promoted + demoted
         return ServeResult(
             latency_s=latency,
             device=served_device,

@@ -27,6 +27,14 @@ class Activation:
     def forward(self, z: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def forward_inplace(self, z: np.ndarray) -> np.ndarray:
+        """Like ``forward`` but may overwrite ``z`` (hot-path variant).
+
+        Callers that don't need the pre-activations afterwards (pure
+        inference) use this to avoid one allocation per layer.
+        """
+        return self.forward(z)
+
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -45,16 +53,23 @@ class Swish(Activation):
         self.beta = float(beta)
 
     def _sigmoid(self, z: np.ndarray) -> np.ndarray:
-        # Numerically stable sigmoid.
-        out = np.empty_like(z, dtype=np.float64)
-        pos = z >= 0
-        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-        ez = np.exp(z[~pos])
-        out[~pos] = ez / (1.0 + ez)
-        return out
+        # sigmoid(z) == 0.5 * (1 + tanh(z / 2)) exactly; tanh is stable
+        # over the whole real line, so this needs no sign branching —
+        # one ufunc pass instead of the classic two-branch formulation
+        # (which costs boolean masks and scatter/gather on the hot path).
+        s = np.tanh(0.5 * z)
+        s += 1.0
+        s *= 0.5
+        return s
 
     def forward(self, z: np.ndarray) -> np.ndarray:
-        return z * self._sigmoid(self.beta * z)
+        s = self._sigmoid(self.beta * z if self.beta != 1.0 else z)
+        return np.multiply(z, s, out=s)
+
+    def forward_inplace(self, z: np.ndarray) -> np.ndarray:
+        s = self._sigmoid(self.beta * z if self.beta != 1.0 else z)
+        z *= s
+        return z
 
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
         s = self._sigmoid(self.beta * z)
@@ -70,6 +85,9 @@ class ReLU(Activation):
     def forward(self, z: np.ndarray) -> np.ndarray:
         return np.maximum(z, 0.0)
 
+    def forward_inplace(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0, out=z)
+
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
         return grad * (z > 0.0)
 
@@ -82,6 +100,9 @@ class Tanh(Activation):
     def forward(self, z: np.ndarray) -> np.ndarray:
         return np.tanh(z)
 
+    def forward_inplace(self, z: np.ndarray) -> np.ndarray:
+        return np.tanh(z, out=z)
+
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
         t = np.tanh(z)
         return grad * (1.0 - t * t)
@@ -93,6 +114,9 @@ class Identity(Activation):
     name = "identity"
 
     def forward(self, z: np.ndarray) -> np.ndarray:
+        return z
+
+    def forward_inplace(self, z: np.ndarray) -> np.ndarray:
         return z
 
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:

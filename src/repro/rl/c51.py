@@ -95,22 +95,35 @@ def project_distribution(
     delta_z = (v_max - v_min) / (n_atoms - 1)
 
     # Bellman-updated atom positions, clipped to the support range.
-    tz = rewards + np.where(dones, 0.0, discount) * support.reshape(1, -1)
+    if dones.any():
+        tz = rewards + np.where(dones, 0.0, discount) * support.reshape(1, -1)
+    else:
+        tz = rewards + discount * support.reshape(1, -1)
     tz = np.clip(tz, v_min, v_max)
     b = (tz - v_min) / delta_z  # fractional atom index
-    lower = np.floor(b).astype(np.int64)
-    upper = np.ceil(b).astype(np.int64)
-    # When b is integral, lower == upper: give all mass to that atom.
-    same = lower == upper
-
-    m = np.zeros((batch, n_atoms), dtype=np.float64)
-    rows = np.repeat(np.arange(batch), n_atoms)
+    # b >= 0, so int truncation is floor.  Defining upper = lower + 1
+    # (clipped into range) subsumes the integral-b special case: the
+    # fractional part is then 0, so the upper weight vanishes and all
+    # mass lands on the lower atom.
+    lower = b.astype(np.int64)
+    upper = np.minimum(lower + 1, n_atoms - 1)
     w_upper = (b - lower) * next_probs
-    w_lower = (upper - b) * next_probs
-    w_lower[same] += next_probs[same]
-    np.add.at(m, (rows, lower.ravel()), w_lower.ravel())
-    np.add.at(m, (rows, upper.ravel()), w_upper.ravel())
-    return m
+    w_lower = next_probs - w_upper
+    # Scatter-add via bincount on flattened (row, atom) indices — a
+    # single C-level accumulation instead of np.add.at's slow per-index
+    # ufunc loop.
+    offsets = (np.arange(batch, dtype=np.int64) * n_atoms).reshape(-1, 1)
+    m = np.bincount(
+        (offsets + lower).ravel(),
+        weights=w_lower.ravel(),
+        minlength=batch * n_atoms,
+    )
+    m += np.bincount(
+        (offsets + upper).ravel(),
+        weights=w_upper.ravel(),
+        minlength=batch * n_atoms,
+    )
+    return m.reshape(batch, n_atoms)
 
 
 class C51Network:
@@ -146,6 +159,10 @@ class C51Network:
             config.optimizer, config.learning_rate
         )
         self.train_steps = 0
+        # Preallocated gradient scratch for train_batch, keyed by batch
+        # size (training uses one fixed batch size, so this is a single
+        # reused buffer in practice).
+        self._grad_scratch: dict = {}
 
     # ------------------------------------------------------------ inference
     def logits(self, obs: np.ndarray, train: bool = False) -> np.ndarray:
@@ -156,22 +173,73 @@ class C51Network:
     def distributions(self, obs: np.ndarray, train: bool = False) -> np.ndarray:
         """Per-action pmfs, ``(batch, n_actions, n_atoms)``."""
         logits = self.logits(obs, train=train)
-        logits = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(logits)
-        return exp / exp.sum(axis=-1, keepdims=True)
+        if train:
+            # The returned logits alias the cached pre-activations the
+            # backward pass needs; don't mutate them.
+            logits = logits - logits.max(axis=-1, keepdims=True)
+        else:
+            logits -= logits.max(axis=-1, keepdims=True)
+        np.exp(logits, out=logits)
+        logits /= logits.sum(axis=-1, keepdims=True)
+        return logits
 
     def q_values(self, obs: np.ndarray) -> np.ndarray:
         """Expected returns ``(batch, n_actions)``."""
         return self.distributions(obs) @ self.support
 
     def best_action(self, obs: np.ndarray) -> int:
-        """Greedy action for a single observation."""
-        q = self.q_values(np.atleast_2d(obs))
-        return int(np.argmax(q[0]))
+        """Greedy action for a single observation (fused hot path)."""
+        obs = np.asarray(obs, dtype=np.float64).ravel()
+        logits = self.network.forward_1d(obs).reshape(
+            self.config.n_actions, self.config.n_atoms
+        )
+        logits -= logits.max(axis=1, keepdims=True)
+        np.exp(logits, out=logits)
+        q = (logits @ self.support) / logits.sum(axis=1)
+        return int(np.argmax(q))
 
     def best_actions(self, obs: np.ndarray) -> np.ndarray:
         """Greedy actions for a batch of observations."""
         return np.argmax(self.q_values(obs), axis=1)
+
+    def bootstrap_targets(self, next_observations: np.ndarray) -> np.ndarray:
+        """Next-state bootstrap pmfs ``(batch, n_atoms)`` in one pass.
+
+        This is the target-network half of ``train_batch`` factored out
+        so a caller training several batches against a *frozen* target
+        (Sibyl's training thread) can batch all of them into a single
+        forward pass and slice the result.
+        """
+        next_observations = np.atleast_2d(
+            np.asarray(next_observations, dtype=np.float64)
+        )
+        next_dist = self.distributions(next_observations)
+        next_q = next_dist @ self.support
+        next_best = np.argmax(next_q, axis=1)
+        return next_dist[np.arange(len(next_best)), next_best]
+
+    def precompute_targets(
+        self,
+        rewards: np.ndarray,
+        next_observations: np.ndarray,
+        dones: Optional[np.ndarray] = None,
+        target: Optional["C51Network"] = None,
+    ) -> np.ndarray:
+        """Projected Bellman target pmfs for a block of transitions.
+
+        Factors the entire target side of ``train_batch`` (bootstrap
+        forward + distributional projection) out so that several batches
+        trained against a frozen target network share one fused pass;
+        slice the result per batch and pass it as ``targets``.
+        """
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        if dones is None:
+            dones = np.zeros(len(rewards), dtype=bool)
+        bootstrap = target if target is not None else self
+        next_probs = bootstrap.bootstrap_targets(next_observations)
+        return project_distribution(
+            next_probs, rewards, dones, self.support, self.config.discount
+        )
 
     # ------------------------------------------------------------- training
     def train_batch(
@@ -182,12 +250,16 @@ class C51Network:
         next_observations: np.ndarray,
         dones: Optional[np.ndarray] = None,
         target: Optional["C51Network"] = None,
+        targets: Optional[np.ndarray] = None,
     ) -> float:
         """One SGD step on a batch of transitions; returns the mean loss.
 
         ``target`` supplies the bootstrap distribution; Sibyl passes its
         inference network here (the lagged copy), falling back to the
-        training network itself when omitted.
+        training network itself when omitted.  ``targets`` optionally
+        supplies precomputed projected target pmfs (from
+        :meth:`precompute_targets`), skipping the whole per-call target
+        side.
         """
         observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
         next_observations = np.atleast_2d(
@@ -205,28 +277,36 @@ class C51Network:
         if actions.min(initial=0) < 0 or actions.max(initial=0) >= self.config.n_actions:
             raise ValueError("action index out of range")
 
-        bootstrap = target if target is not None else self
-        next_dist = bootstrap.distributions(next_observations)
-        next_q = next_dist @ self.support
-        next_best = np.argmax(next_q, axis=1)
-        next_probs = next_dist[np.arange(batch), next_best]
-        target_pmf = project_distribution(
-            next_probs, rewards, dones, self.support, self.config.discount
-        )
+        if targets is not None:
+            target_pmf = np.asarray(targets, dtype=np.float64)
+            if target_pmf.shape != (batch, self.config.n_atoms):
+                raise ValueError("targets shape mismatch")
+        else:
+            target_pmf = self.precompute_targets(
+                rewards, next_observations, dones=dones, target=target
+            )
 
         # Forward with caching, then softmax cross-entropy gradient on the
-        # chosen action's atoms only.
+        # chosen action's atoms only.  Both the loss and the gradient
+        # involve just the chosen action's atoms, and the per-action
+        # softmax is independent, so gather first and softmax half the
+        # logits (softmax commutes with the gather).
         logits = self.logits(observations, train=True)
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        probs = exp / exp.sum(axis=-1, keepdims=True)
-        chosen = probs[np.arange(batch), actions]
+        rows = np.arange(batch)
+        chosen = logits[rows, actions]
+        chosen -= chosen.max(axis=-1, keepdims=True)
+        np.exp(chosen, out=chosen)
+        chosen /= chosen.sum(axis=-1, keepdims=True)
         loss = -np.sum(
             target_pmf * np.log(np.clip(chosen, 1e-12, None)), axis=1
         ).mean()
 
-        grad = np.zeros_like(logits)
-        grad[np.arange(batch), actions] = (chosen - target_pmf) / batch
+        grad = self._grad_scratch.get(batch)
+        if grad is None:
+            grad = np.empty_like(logits)
+            self._grad_scratch[batch] = grad
+        grad.fill(0.0)
+        grad[rows, actions] = (chosen - target_pmf) / batch
         self.network.zero_grad()
         self.network.backward(
             grad.reshape(batch, self.config.n_actions * self.config.n_atoms)

@@ -62,10 +62,37 @@ class DQNNetwork:
         return self.network.forward(obs)
 
     def best_action(self, obs: np.ndarray) -> int:
-        return int(np.argmax(self.q_values(np.atleast_2d(obs))[0]))
+        obs = np.asarray(obs, dtype=np.float64).ravel()
+        return int(np.argmax(self.network.forward_1d(obs)))
 
     def best_actions(self, obs: np.ndarray) -> np.ndarray:
         return np.argmax(self.q_values(obs), axis=1)
+
+    def bootstrap_targets(self, next_observations: np.ndarray) -> np.ndarray:
+        """Max next-state Q-values ``(batch,)`` in one fused pass (the
+        target-network half of ``train_batch``, factored out so several
+        batches against a frozen target share one forward)."""
+        next_observations = np.atleast_2d(
+            np.asarray(next_observations, dtype=np.float64)
+        )
+        return self.q_values(next_observations).max(axis=1)
+
+    def precompute_targets(
+        self,
+        rewards: np.ndarray,
+        next_observations: np.ndarray,
+        dones: Optional[np.ndarray] = None,
+        target: Optional["DQNNetwork"] = None,
+    ) -> np.ndarray:
+        """TD targets ``(batch,)`` for a block of transitions (the whole
+        target side of ``train_batch`` in one fused pass; slice per
+        batch and pass as ``targets``)."""
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        if dones is None:
+            dones = np.zeros(len(rewards), dtype=bool)
+        bootstrap = target if target is not None else self
+        next_q = bootstrap.bootstrap_targets(next_observations)
+        return rewards + np.where(dones, 0.0, self.config.discount) * next_q
 
     # ------------------------------------------------------------- training
     def train_batch(
@@ -77,8 +104,13 @@ class DQNNetwork:
         dones: Optional[np.ndarray] = None,
         target: Optional["DQNNetwork"] = None,
         huber_delta: float = 1.0,
+        targets: Optional[np.ndarray] = None,
     ) -> float:
-        """One TD(0) step with Huber loss; returns the mean loss."""
+        """One TD(0) step with Huber loss; returns the mean loss.
+
+        ``targets`` optionally supplies precomputed TD targets (see
+        :meth:`precompute_targets`), skipping the target forward pass.
+        """
         observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
         next_observations = np.atleast_2d(
             np.asarray(next_observations, dtype=np.float64)
@@ -93,9 +125,14 @@ class DQNNetwork:
         if actions.min(initial=0) < 0 or actions.max(initial=0) >= self.config.n_actions:
             raise ValueError("action index out of range")
 
-        bootstrap = target if target is not None else self
-        next_q = bootstrap.q_values(next_observations).max(axis=1)
-        td_target = rewards + np.where(dones, 0.0, self.config.discount) * next_q
+        if targets is not None:
+            td_target = np.asarray(targets, dtype=np.float64).ravel()
+            if len(td_target) != batch:
+                raise ValueError("targets length mismatch")
+        else:
+            td_target = self.precompute_targets(
+                rewards, next_observations, dones=dones, target=target
+            )
 
         q = self.network.forward(observations, train=True)
         chosen = q[np.arange(batch), actions]

@@ -51,12 +51,26 @@ class Dense:
         # Gradient buffers, parallel to (weight, bias).
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias)
+        # Reused pre-activation buffers for training forwards, keyed by
+        # batch size (training uses one fixed batch size in practice).
+        self._z_scratch: Dict[int, np.ndarray] = {}
 
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
-        z = x @ self.weight + self.bias
         if train:
+            # The cached pre-activations live in a per-batch-size scratch
+            # buffer: they are consumed by the matching backward() before
+            # the next forward can overwrite them.
+            n = len(x)
+            z = self._z_scratch.get(n)
+            if z is None:
+                z = np.empty((n, self.out_features), dtype=np.float64)
+                self._z_scratch[n] = z
+            np.matmul(x, self.weight, out=z)
+            z += self.bias
             self._x = x
             self._z = z
+            return self.activation.forward(z)
+        z = x @ self.weight + self.bias
         return self.activation.forward(z)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -107,6 +121,9 @@ class FeedForwardNetwork:
                     f"layer size mismatch: {prev.out_features} -> {nxt.in_features}"
                 )
         self.layers = list(layers)
+        # Preallocated per-layer buffers for the single-observation
+        # inference fast path (see forward_1d); built lazily.
+        self._fwd1d_buffers: Optional[List[np.ndarray]] = None
 
     # ---------------------------------------------------------------- shape
     @property
@@ -125,6 +142,26 @@ class FeedForwardNetwork:
         return x
 
     __call__ = forward
+
+    def forward_1d(self, x: np.ndarray) -> np.ndarray:
+        """Fused inference pass for one observation (no batch axis).
+
+        Reuses preallocated per-layer buffers and in-place activations,
+        so the per-request decision path allocates nothing.  The
+        returned array is one of those internal buffers: callers must
+        consume it before the next ``forward_1d`` call and must not
+        mutate or retain it.
+        """
+        if self._fwd1d_buffers is None:
+            self._fwd1d_buffers = [
+                np.empty(layer.out_features, dtype=np.float64)
+                for layer in self.layers
+            ]
+        for layer, z in zip(self.layers, self._fwd1d_buffers):
+            np.dot(x, layer.weight, out=z)
+            z += layer.bias
+            x = layer.activation.forward_inplace(z)
+        return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         grad = np.atleast_2d(grad_out)

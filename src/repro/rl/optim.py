@@ -100,12 +100,21 @@ class Adam(Optimizer):
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
+        # Fused form of p -= lr * (m/bias1) / (sqrt(v/bias2) + eps):
+        # hoist the scalar factors and keep the temporaries to two.
+        alpha = self.learning_rate / bias1
+        inv_sqrt_bias2 = 1.0 / np.sqrt(bias2)
         for m, v, p, g in zip(self._m, self._v, params, grads):
             m *= b1
             m += (1.0 - b1) * g
             v *= b2
             v += (1.0 - b2) * (g * g)
-            p -= self.learning_rate * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            denom = np.sqrt(v)
+            denom *= inv_sqrt_bias2
+            denom += self.eps
+            update = np.divide(m, denom, out=denom)
+            update *= alpha
+            p -= update
 
     def reset(self) -> None:
         self._m = []

@@ -15,10 +15,12 @@ from .experiment import (
     tri_hybrid_comparison,
     unseen_workload_comparison,
 )
+from .parallel import Cell, run_grid, run_many
 from .report import format_series, format_table, geomean
 from .runner import RunResult, build_hss, run_normalized, run_policy
 
 __all__ = [
+    "Cell",
     "DEFAULT_WARMUP",
     "ORACLE_HORIZONS",
     "RunResult",
@@ -33,6 +35,8 @@ __all__ = [
     "geomean",
     "hyperparameter_sweep",
     "mixed_workload_comparison",
+    "run_grid",
+    "run_many",
     "run_normalized",
     "run_oracle_best",
     "run_policy",

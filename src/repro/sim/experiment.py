@@ -8,6 +8,14 @@ All experiments measure the steady-state window (default: requests
 after a 30% warmup) — the short-trace equivalent of the paper's
 multi-hour runs, applied identically to every policy (see
 ``run_policy``'s docstring).
+
+Every sweep fans its grid out through :func:`repro.sim.parallel.run_many`:
+each grid point is a self-contained, deterministically seeded cell (the
+cell function rebuilds its trace and policies from primitive parameters
+inside the worker), so parallel execution is bit-identical to the
+serial path and only wall-clock time changes.  Pass ``max_workers`` to
+pin the fan-out, or set ``SIBYL_PARALLEL=serial`` to force the serial
+path globally.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from ..core.hyperparams import SIBYL_DEFAULT, SIBYL_OPT, SibylHyperParams
 from ..hss.request import Request
 from ..traces.mixer import make_mixed_trace
 from ..traces.workloads import make_trace
+from .parallel import Cell, run_grid, run_many
 from .runner import run_normalized, run_policy
 
 __all__ = [
@@ -129,6 +138,165 @@ def _with_oracle(
     return out
 
 
+# --------------------------------------------------------------------------
+# Grid-cell functions.  Each is module-level (picklable) and rebuilds its
+# trace + policy lineup from primitive parameters, so a cell computes the
+# same result whether it runs inline or in a worker process.
+# --------------------------------------------------------------------------
+
+def _compare_cell(
+    workload: str,
+    config: str,
+    n_requests: int,
+    seed: int,
+    warmup_fraction: float,
+) -> Dict[str, Dict[str, float]]:
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    lineup = standard_policies(seed=seed)
+    return _with_oracle(lineup, trace, config, warmup_fraction=warmup_fraction)
+
+
+def _capacity_cell(
+    workload: str,
+    frac: float,
+    config: str,
+    n_requests: int,
+    seed: int,
+    warmup_fraction: float,
+) -> Dict[str, Dict[str, float]]:
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    lineup: List[PlacementPolicy] = [
+        CDEPolicy(),
+        HPSPolicy(),
+        ArchivistPolicy(seed=seed),
+        RNNHSSPolicy(seed=seed),
+        SibylAgent(seed=seed),
+    ]
+    return _with_oracle(
+        lineup,
+        trace,
+        config,
+        capacity_fractions=(frac,),
+        warmup_fraction=warmup_fraction,
+    )
+
+
+def _hyperparameter_cell(
+    parameter: str,
+    value,
+    workload: str,
+    config: str,
+    n_requests: int,
+    seed: int,
+    warmup_fraction: float,
+) -> Dict[str, float]:
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    hp = SIBYL_DEFAULT.replace(**{parameter: value})
+    agent = SibylAgent(hyperparams=hp, seed=seed)
+    return run_normalized(
+        [agent], trace, config=config, warmup_fraction=warmup_fraction
+    )["Sibyl"]
+
+
+def _feature_cell(
+    workload: str,
+    feature_set: str,
+    config: str,
+    n_requests: int,
+    seed: int,
+    warmup_fraction: float,
+) -> float:
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    agent = SibylAgent(feature_set=feature_set, seed=seed)
+    agent.name = f"Sibyl[{feature_set}]"
+    return run_normalized(
+        [agent], trace, config=config, warmup_fraction=warmup_fraction
+    )[agent.name]["latency"]
+
+
+def _buffer_size_cell(
+    size: int,
+    workload: str,
+    config: str,
+    n_requests: int,
+    seed: int,
+    warmup_fraction: float,
+) -> float:
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    hp = SIBYL_DEFAULT.replace(
+        buffer_capacity=size,
+        batch_size=min(SIBYL_DEFAULT.batch_size, max(1, size)),
+    )
+    agent = SibylAgent(hyperparams=hp, seed=seed)
+    return run_normalized(
+        [agent], trace, config=config, warmup_fraction=warmup_fraction
+    )["Sibyl"]["latency"]
+
+
+def _tri_hybrid_cell(
+    workload: str,
+    config: str,
+    n_requests: int,
+    seed: int,
+    warmup_fraction: float,
+) -> Dict[str, Dict[str, float]]:
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    lineup: List[PlacementPolicy] = [
+        TriHeuristicPolicy(),
+        SibylAgent(seed=seed),
+    ]
+    return run_normalized(
+        lineup, trace, config=config, warmup_fraction=warmup_fraction
+    )
+
+
+def _mixed_cell(
+    mix: str,
+    config: str,
+    n_requests_per_component: int,
+    seed: int,
+    warmup_fraction: float,
+) -> Dict[str, Dict[str, float]]:
+    trace = make_mixed_trace(
+        mix, n_requests_per_component=n_requests_per_component, seed=seed
+    )
+    sibyl_def = SibylAgent(seed=seed)
+    sibyl_def.name = "Sibyl_Def"
+    sibyl_opt = SibylAgent(hyperparams=SIBYL_OPT, seed=seed)
+    sibyl_opt.name = "Sibyl_Opt"
+    lineup: List[PlacementPolicy] = [
+        SlowOnlyPolicy(),
+        CDEPolicy(),
+        HPSPolicy(),
+        ArchivistPolicy(seed=seed),
+        RNNHSSPolicy(seed=seed),
+        sibyl_def,
+        sibyl_opt,
+    ]
+    return _with_oracle(lineup, trace, config, warmup_fraction=warmup_fraction)
+
+
+def _unseen_cell(
+    workload: str,
+    config: str,
+    n_requests: int,
+    seed: int,
+    warmup_fraction: float,
+) -> Dict[str, Dict[str, float]]:
+    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    lineup: List[PlacementPolicy] = [
+        SlowOnlyPolicy(),
+        ArchivistPolicy(seed=seed),
+        RNNHSSPolicy(seed=seed),
+        SibylAgent(seed=seed),
+    ]
+    return _with_oracle(lineup, trace, config, warmup_fraction=warmup_fraction)
+
+
+# --------------------------------------------------------------------------
+# Public sweeps: build the grid, fan it out, merge the results.
+# --------------------------------------------------------------------------
+
 def compare_policies(
     workloads: Sequence[str],
     config: str = "H&M",
@@ -136,16 +304,36 @@ def compare_policies(
     seed: int = 0,
     policies: Optional[Callable[[], List[PlacementPolicy]]] = None,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Fig. 2/9/10/18-style comparison: {workload: {policy: metrics}}."""
-    out: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name in workloads:
-        trace = make_trace(name, n_requests=n_requests, seed=seed)
-        lineup = policies() if policies else standard_policies(seed=seed)
-        out[name] = _with_oracle(
-            lineup, trace, config, warmup_fraction=warmup_fraction
+    """Fig. 2/9/10/18-style comparison: {workload: {policy: metrics}}.
+
+    A custom ``policies`` factory (often a closure) cannot be shipped to
+    worker processes, so that path runs serially.
+    """
+    if policies is not None:
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for name in workloads:
+            trace = make_trace(name, n_requests=n_requests, seed=seed)
+            out[name] = _with_oracle(
+                policies(), trace, config, warmup_fraction=warmup_fraction
+            )
+        return out
+    cells = [
+        Cell(
+            key=name,
+            fn=_compare_cell,
+            kwargs=dict(
+                workload=name,
+                config=config,
+                n_requests=n_requests,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
         )
-    return out
+        for name in workloads
+    ]
+    return run_grid(cells, max_workers=max_workers)
 
 
 def capacity_sweep(
@@ -155,28 +343,28 @@ def capacity_sweep(
     n_requests: int = 20_000,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[float, Dict[str, Dict[str, float]]]:
     """Fig. 15: normalised latency vs available fast-storage capacity."""
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
-    out: Dict[float, Dict[str, Dict[str, float]]] = {}
     for frac in fractions:
         if frac <= 0:
             raise ValueError("capacity fractions must be positive")
-        lineup: List[PlacementPolicy] = [
-            CDEPolicy(),
-            HPSPolicy(),
-            ArchivistPolicy(seed=seed),
-            RNNHSSPolicy(seed=seed),
-            SibylAgent(seed=seed),
-        ]
-        out[frac] = _with_oracle(
-            lineup,
-            trace,
-            config,
-            capacity_fractions=(frac,),
-            warmup_fraction=warmup_fraction,
+    cells = [
+        Cell(
+            key=frac,
+            fn=_capacity_cell,
+            kwargs=dict(
+                workload=workload,
+                frac=frac,
+                config=config,
+                n_requests=n_requests,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
         )
-    return out
+        for frac in fractions
+    ]
+    return run_grid(cells, max_workers=max_workers)
 
 
 def hyperparameter_sweep(
@@ -187,17 +375,26 @@ def hyperparameter_sweep(
     n_requests: int = 20_000,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[object, Dict[str, float]]:
     """Fig. 14: Sibyl's normalised metrics as one hyper-parameter varies."""
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
-    out: Dict[object, Dict[str, float]] = {}
-    for value in values:
-        hp = SIBYL_DEFAULT.replace(**{parameter: value})
-        agent = SibylAgent(hyperparams=hp, seed=seed)
-        out[value] = run_normalized(
-            [agent], trace, config=config, warmup_fraction=warmup_fraction
-        )["Sibyl"]
-    return out
+    cells = [
+        Cell(
+            key=value,
+            fn=_hyperparameter_cell,
+            kwargs=dict(
+                parameter=parameter,
+                value=value,
+                workload=workload,
+                config=config,
+                n_requests=n_requests,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
+        )
+        for value in values
+    ]
+    return run_grid(cells, max_workers=max_workers)
 
 
 def feature_ablation(
@@ -207,19 +404,28 @@ def feature_ablation(
     n_requests: int = 20_000,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 13: {workload: {feature_set: normalised latency}} on H&L."""
-    out: Dict[str, Dict[str, float]] = {}
-    for name in workloads:
-        trace = make_trace(name, n_requests=n_requests, seed=seed)
-        row: Dict[str, float] = {}
-        for fs in feature_sets:
-            agent = SibylAgent(feature_set=fs, seed=seed)
-            agent.name = f"Sibyl[{fs}]"
-            row[fs] = run_normalized(
-                [agent], trace, config=config, warmup_fraction=warmup_fraction
-            )[agent.name]["latency"]
-        out[name] = row
+    cells = [
+        Cell(
+            key=(name, fs),
+            fn=_feature_cell,
+            kwargs=dict(
+                workload=name,
+                feature_set=fs,
+                config=config,
+                n_requests=n_requests,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
+        )
+        for name in workloads
+        for fs in feature_sets
+    ]
+    out: Dict[str, Dict[str, float]] = {name: {} for name in workloads}
+    for (name, fs), latency in run_many(cells, max_workers=max_workers):
+        out[name][fs] = latency
     return out
 
 
@@ -230,20 +436,25 @@ def buffer_size_sweep(
     n_requests: int = 20_000,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[int, float]:
     """Fig. 8: normalised latency vs experience-buffer capacity."""
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
-    out: Dict[int, float] = {}
-    for size in sizes:
-        hp = SIBYL_DEFAULT.replace(
-            buffer_capacity=size,
-            batch_size=min(SIBYL_DEFAULT.batch_size, max(1, size)),
+    cells = [
+        Cell(
+            key=size,
+            fn=_buffer_size_cell,
+            kwargs=dict(
+                size=size,
+                workload=workload,
+                config=config,
+                n_requests=n_requests,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
         )
-        agent = SibylAgent(hyperparams=hp, seed=seed)
-        out[size] = run_normalized(
-            [agent], trace, config=config, warmup_fraction=warmup_fraction
-        )["Sibyl"]["latency"]
-    return out
+        for size in sizes
+    ]
+    return run_grid(cells, max_workers=max_workers)
 
 
 def tri_hybrid_comparison(
@@ -252,19 +463,24 @@ def tri_hybrid_comparison(
     n_requests: int = 20_000,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 16: heuristic tri-hybrid vs 3-action Sibyl."""
-    out: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name in workloads:
-        trace = make_trace(name, n_requests=n_requests, seed=seed)
-        lineup: List[PlacementPolicy] = [
-            TriHeuristicPolicy(),
-            SibylAgent(seed=seed),
-        ]
-        out[name] = run_normalized(
-            lineup, trace, config=config, warmup_fraction=warmup_fraction
+    cells = [
+        Cell(
+            key=name,
+            fn=_tri_hybrid_cell,
+            kwargs=dict(
+                workload=name,
+                config=config,
+                n_requests=n_requests,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
         )
-    return out
+        for name in workloads
+    ]
+    return run_grid(cells, max_workers=max_workers)
 
 
 def mixed_workload_comparison(
@@ -273,30 +489,24 @@ def mixed_workload_comparison(
     n_requests_per_component: int = 8_000,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 12: Sibyl_Def vs Sibyl_Opt vs baselines on Table 5 mixes."""
-    out: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for mix in mixes:
-        trace = make_mixed_trace(
-            mix, n_requests_per_component=n_requests_per_component, seed=seed
+    cells = [
+        Cell(
+            key=mix,
+            fn=_mixed_cell,
+            kwargs=dict(
+                mix=mix,
+                config=config,
+                n_requests_per_component=n_requests_per_component,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
         )
-        sibyl_def = SibylAgent(seed=seed)
-        sibyl_def.name = "Sibyl_Def"
-        sibyl_opt = SibylAgent(hyperparams=SIBYL_OPT, seed=seed)
-        sibyl_opt.name = "Sibyl_Opt"
-        lineup: List[PlacementPolicy] = [
-            SlowOnlyPolicy(),
-            CDEPolicy(),
-            HPSPolicy(),
-            ArchivistPolicy(seed=seed),
-            RNNHSSPolicy(seed=seed),
-            sibyl_def,
-            sibyl_opt,
-        ]
-        out[mix] = _with_oracle(
-            lineup, trace, config, warmup_fraction=warmup_fraction
-        )
-    return out
+        for mix in mixes
+    ]
+    return run_grid(cells, max_workers=max_workers)
 
 
 def unseen_workload_comparison(
@@ -305,18 +515,21 @@ def unseen_workload_comparison(
     n_requests: int = 20_000,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 11: generalisation to FileBench workloads never tuned on."""
-    out: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name in workloads:
-        trace = make_trace(name, n_requests=n_requests, seed=seed)
-        lineup: List[PlacementPolicy] = [
-            SlowOnlyPolicy(),
-            ArchivistPolicy(seed=seed),
-            RNNHSSPolicy(seed=seed),
-            SibylAgent(seed=seed),
-        ]
-        out[name] = _with_oracle(
-            lineup, trace, config, warmup_fraction=warmup_fraction
+    cells = [
+        Cell(
+            key=name,
+            fn=_unseen_cell,
+            kwargs=dict(
+                workload=name,
+                config=config,
+                n_requests=n_requests,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+            ),
         )
-    return out
+        for name in workloads
+    ]
+    return run_grid(cells, max_workers=max_workers)

@@ -1,0 +1,112 @@
+"""Parallel experiment engine: fan sweep grids out across CPU cores.
+
+Every figure in the paper is a grid of independent simulation cells —
+(policy lineup × trace × HSS config × seed) — and each cell is a pure
+function of its parameters: the trace generators, policy constructors,
+and the replay loop are all deterministically seeded.  That makes the
+sweeps embarrassingly parallel, and it makes the parallel result
+**bit-identical** to the serial one: a worker process computes exactly
+what the serial loop would have computed for that cell, nothing shared,
+nothing reordered.
+
+:func:`run_many` is the engine: give it a list of :class:`Cell` tasks
+(a picklable module-level function plus kwargs) and it executes them
+either serially or on a ``ProcessPoolExecutor``, returning results in
+cell order.  ``sim.experiment``'s sweeps and the figure benchmarks are
+built on it.
+
+Worker-count policy (the ``SIBYL_PARALLEL`` environment variable):
+
+* unset / ``"auto"`` — use all cores, but stay serial when the machine
+  has a single core or the grid has a single cell (pool overhead would
+  only slow those down);
+* ``"0"`` / ``"1"`` / ``"serial"`` — force the serial path;
+* any other integer — use exactly that many workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["Cell", "run_many", "run_grid", "resolve_workers"]
+
+#: Environment knob controlling parallel fan-out (see module docstring).
+PARALLEL_ENV = "SIBYL_PARALLEL"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of a sweep grid.
+
+    ``fn`` must be a module-level (picklable) callable; ``kwargs`` are
+    its keyword arguments.  ``key`` identifies the cell in the merged
+    output grid — sweeps use e.g. ``("rsrch_0", 0.10)`` for a
+    (workload, capacity-fraction) point.
+    """
+
+    key: Hashable
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn(**self.kwargs)
+
+
+def _run_cell(cell: Cell) -> Any:
+    return cell.run()
+
+
+def resolve_workers(
+    n_cells: int, max_workers: Optional[int] = None
+) -> int:
+    """Number of pool workers to use; ``0`` means "run serially"."""
+    if n_cells <= 1:
+        return 0
+    if max_workers is None:
+        raw = os.environ.get(PARALLEL_ENV, "auto").strip().lower()
+        if raw in ("auto", ""):
+            max_workers = os.cpu_count() or 1
+        elif raw == "serial":
+            return 0
+        else:
+            try:
+                max_workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{PARALLEL_ENV} must be 'auto', 'serial', or an "
+                    f"integer, got {raw!r}"
+                ) from None
+    if max_workers <= 1:
+        return 0
+    return min(max_workers, n_cells)
+
+
+def run_many(
+    cells: Sequence[Cell],
+    max_workers: Optional[int] = None,
+) -> List[Tuple[Hashable, Any]]:
+    """Execute ``cells`` and return ``[(key, result), ...]`` in cell order.
+
+    With more than one worker available the cells run on a process
+    pool; otherwise they run inline.  Each cell is self-contained and
+    deterministically seeded by its kwargs, so the two paths produce
+    identical results — parallelism only changes wall-clock time.
+    """
+    cells = list(cells)
+    workers = resolve_workers(len(cells), max_workers)
+    if workers == 0:
+        return [(cell.key, cell.run()) for cell in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(_run_cell, cells))
+    return [(cell.key, result) for cell, result in zip(cells, results)]
+
+
+def run_grid(
+    cells: Sequence[Cell],
+    max_workers: Optional[int] = None,
+) -> Dict[Hashable, Any]:
+    """:func:`run_many`, merged into a dict keyed by each cell's key."""
+    return dict(run_many(cells, max_workers=max_workers))

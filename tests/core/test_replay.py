@@ -107,6 +107,40 @@ class TestSample:
         b = buf.sample(8, rng=np.random.default_rng(7))
         np.testing.assert_array_equal(a[2], b[2])
 
+    def test_default_rng_is_reproducible(self):
+        """sample() without an rng must not draw OS-seeded randomness:
+        two identically-built buffers sample identical batches."""
+        def build():
+            buf = ExperienceBuffer(10, seed=3)
+            for i in range(6):
+                buf.add(obs(i), i % 2, float(i), obs(i + 1))
+            return buf
+
+        a = build().sample(16)
+        b = build().sample(16)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_sampled_batches_are_contiguous(self):
+        """The stacked-storage gather returns C-contiguous batches the
+        network can consume without further copies."""
+        buf = ExperienceBuffer(10)
+        for i in range(6):
+            buf.add(obs(i, i), i % 2, float(i), obs(i + 1, i + 1))
+        o, a, r, n = buf.sample(32, rng=np.random.default_rng(1))
+        assert o.flags["C_CONTIGUOUS"] and n.flags["C_CONTIGUOUS"]
+        assert o.dtype == np.float64 and a.dtype == np.int64
+
+    def test_sample_unaffected_by_later_mutation(self):
+        """Sampled batches are copies, not views into buffer storage."""
+        buf = ExperienceBuffer(2)
+        buf.add(obs(1.0), 0, 1.0, obs(2.0))
+        o, _, _, _ = buf.sample(4, rng=np.random.default_rng(0))
+        snapshot = o.copy()
+        buf.add(obs(5.0), 1, 5.0, obs(6.0))
+        buf.add(obs(7.0), 1, 7.0, obs(8.0))  # evicts the first entry
+        np.testing.assert_array_equal(o, snapshot)
+
 
 class TestSizing:
     def test_paper_storage_accounting(self):

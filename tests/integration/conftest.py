@@ -1,0 +1,8 @@
+"""Mark the whole integration tier as slow (end-to-end simulations)."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.slow)

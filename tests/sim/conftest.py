@@ -1,0 +1,8 @@
+"""Mark the sim tier as slow (sweeps run many full simulations)."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.slow)

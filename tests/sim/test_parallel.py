@@ -1,0 +1,111 @@
+"""Tests for the parallel experiment engine (repro.sim.parallel)."""
+
+import os
+
+import pytest
+
+from repro.sim.experiment import buffer_size_sweep, hyperparameter_sweep
+from repro.sim.parallel import Cell, resolve_workers, run_grid, run_many
+
+
+def _square(x):
+    return x * x
+
+
+def _fail():
+    raise RuntimeError("boom")
+
+
+class TestCell:
+    def test_run_inline(self):
+        cell = Cell(key="k", fn=_square, kwargs={"x": 3})
+        assert cell.run() == 9
+
+    def test_default_kwargs(self):
+        assert Cell(key=0, fn=os.getpid).run() == os.getpid()
+
+
+class TestResolveWorkers:
+    def test_single_cell_is_serial(self):
+        assert resolve_workers(1, max_workers=8) == 0
+
+    def test_explicit_workers_capped_by_cells(self):
+        assert resolve_workers(3, max_workers=16) == 3
+
+    def test_one_worker_means_serial(self):
+        assert resolve_workers(10, max_workers=1) == 0
+
+    def test_env_serial(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_PARALLEL", "serial")
+        assert resolve_workers(10) == 0
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_PARALLEL", "4")
+        assert resolve_workers(10) == 4
+
+    def test_env_auto_uses_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_PARALLEL", "auto")
+        cpus = os.cpu_count() or 1
+        expected = min(cpus, 64) if cpus > 1 else 0
+        assert resolve_workers(64) == expected
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_PARALLEL", "many")
+        with pytest.raises(ValueError):
+            resolve_workers(10)
+
+
+class TestRunMany:
+    def test_serial_results_in_order(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(5)]
+        out = run_many(cells, max_workers=1)
+        assert out == [(i, i * i) for i in range(5)]
+
+    def test_pool_results_in_order(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(5)]
+        out = run_many(cells, max_workers=2)
+        assert out == [(i, i * i) for i in range(5)]
+
+    def test_pool_matches_serial(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(7)]
+        assert run_many(cells, max_workers=1) == run_many(cells, max_workers=3)
+
+    def test_empty_grid(self):
+        assert run_many([]) == []
+
+    def test_worker_exception_propagates(self):
+        cells = [Cell(key=0, fn=_fail), Cell(key=1, fn=_fail)]
+        with pytest.raises(RuntimeError):
+            run_many(cells, max_workers=2)
+
+    def test_run_grid_merges(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(3)]
+        assert run_grid(cells, max_workers=1) == {0: 0, 1: 1, 2: 4}
+
+
+class TestSweepEquivalence:
+    """Parallel sweeps must be bit-identical to the serial path: each
+    cell is deterministically seeded and self-contained, so fan-out can
+    only change wall-clock time, never results."""
+
+    def test_buffer_size_sweep_bit_identical(self):
+        kwargs = dict(workload="rsrch_0", config="H&M", n_requests=600)
+        serial = buffer_size_sweep((8, 32), max_workers=1, **kwargs)
+        fanned = buffer_size_sweep((8, 32), max_workers=2, **kwargs)
+        assert serial == fanned  # float equality: bit-identical or bust
+
+    def test_hyperparameter_sweep_bit_identical(self):
+        kwargs = dict(workload="rsrch_0", config="H&M", n_requests=600)
+        serial = hyperparameter_sweep(
+            "discount", (0.0, 0.9), max_workers=1, **kwargs
+        )
+        fanned = hyperparameter_sweep(
+            "discount", (0.0, 0.9), max_workers=2, **kwargs
+        )
+        assert serial == fanned
+
+    def test_sweep_key_order_preserved(self):
+        out = buffer_size_sweep(
+            (32, 8), workload="rsrch_0", n_requests=400, max_workers=2
+        )
+        assert list(out) == [32, 8]

@@ -88,6 +88,53 @@ class TestRunPolicy:
         assert slow.normalized_iops(fast) < 1.0
 
 
+class TestClosedLoopEdgeCases:
+    def test_warmup_boundary_last_request_only(self, trace):
+        """warmup_end == len(trace)-1: the measured window is exactly
+        the final request."""
+        n = len(trace)
+        fraction = (n - 1) / n
+        assert int(n * fraction) == n - 1
+        result = run_policy(
+            SlowOnlyPolicy(), trace, config="H&M", warmup_fraction=fraction
+        )
+        assert result.n_requests == 1
+        assert result.avg_latency_s > 0
+
+    def test_single_request_trace(self, trace):
+        result = run_policy(SlowOnlyPolicy(), list(trace)[:1], config="H&M")
+        assert result.n_requests == 1
+        assert result.avg_latency_s > 0
+        assert result.iops > 0
+
+    def test_single_request_trace_with_warmup(self, trace):
+        """A warmup fraction on a 1-request trace truncates to zero
+        warmup requests instead of emptying the measured window."""
+        result = run_policy(
+            SlowOnlyPolicy(), list(trace)[:1], config="H&M",
+            warmup_fraction=0.9,
+        )
+        assert result.n_requests == 1
+
+    def test_throughput_consistent_after_warmup_reset(self, trace):
+        """After the warmup stats reset, reported IOPS must be computed
+        purely from the measured window: requests / busiest-device
+        makespan accumulated post-reset."""
+        from repro.sim.runner import build_hss
+
+        sub = list(trace)[:600]
+        hss = build_hss("H&M", sub)
+        result = run_policy(
+            SlowOnlyPolicy(), sub, config="H&M", hss=hss,
+            warmup_fraction=0.5,
+        )
+        window = len(sub) - int(len(sub) * 0.5)
+        assert result.n_requests == window
+        assert hss.stats.requests == window
+        makespan = max(dev.stats.busy_time_s for dev in hss.devices)
+        assert result.iops == pytest.approx(window / makespan)
+
+
 class TestRunNormalized:
     def test_reference_is_unity(self, trace):
         out = run_normalized([SlowOnlyPolicy()], trace, config="H&M")
