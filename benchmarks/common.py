@@ -15,6 +15,14 @@ Scale knobs (environment variables):
 * ``SIBYL_BENCH_WORKERS``   — worker processes per campaign (default:
   the parallel engine's auto policy; see ``repro.sim.parallel``, which
   also honours ``SIBYL_PARALLEL=serial`` to force serial runs)
+* ``SIBYL_LANES``           — sweep cells packed per worker task (the
+  lane engine then shares per-process caches — notably the Fast-Only
+  reference memo — across the packed cells; see ``repro.sim.lanes``)
+
+Within every cell the policy lineup itself runs on the multi-lane
+engine: all policies of a comparison advance over the trace in
+lockstep, RL lanes sharing one fused inference forward per tick,
+bit-identical to the serial loop.
 """
 
 from __future__ import annotations

@@ -10,7 +10,13 @@ figure reproduction, so perf claims land as numbers instead of vibes:
                     extraction, replay insertion, ε-greedy inference,
                     and periodic training;
 * ``train_step``  — the isolated RL training thread: 8 batches of 128
-                    through the training network + weight copy.
+                    through the training network + weight copy;
+* ``multilane``   — N independent Sibyl cells advanced in lockstep by
+                    the lane engine (one fused inference forward per
+                    tick across lanes); reports *aggregate* requests/sec
+                    over all lanes, the within-process throughput a
+                    sweep worker achieves when it packs ``SIBYL_LANES``
+                    cells.
 
 Results are printed and appended to a JSON trajectory file (default
 ``BENCH_hotpath.json`` at the repo root) so successive PRs can compare
@@ -19,7 +25,11 @@ requests/sec across versions.
 Usage::
 
     PYTHONPATH=src python scripts/profile_hotpath.py [--requests N]
-        [--repeats K] [--output PATH] [--label TEXT]
+        [--repeats K] [--lanes L] [--quick] [--output PATH] [--label TEXT]
+
+``--quick`` shrinks the workload so the whole script doubles as a CI
+smoke check that the perf trajectory file keeps its schema (notably the
+multi-lane section).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.baselines.cde import CDEPolicy  # noqa: E402
 from repro.core.agent import SibylAgent  # noqa: E402
 from repro.core.hyperparams import SIBYL_DEFAULT  # noqa: E402
+from repro.sim.lanes import LaneSpec, resolve_lanes, run_lanes  # noqa: E402
 from repro.sim.runner import build_hss, run_policy  # noqa: E402
 from repro.traces.workloads import make_trace  # noqa: E402
 
@@ -76,6 +87,26 @@ def bench_sibyl_loop(trace, repeats):
     return len(trace) / elapsed, agent.train_events
 
 
+def bench_multilane(trace, n_lanes, repeats):
+    """Aggregate requests/sec of ``n_lanes`` Sibyl cells in lockstep.
+
+    Every lane replays the same workload with its own seed — the shape
+    of a multi-seed confidence-band campaign packed into one process.
+    Each lane's result is bit-identical to its serial run; only the
+    wall-clock is shared.
+    """
+    def run():
+        return run_lanes(
+            [
+                LaneSpec(policy=SibylAgent(seed=i), trace=trace, config="H&M")
+                for i in range(n_lanes)
+            ]
+        )
+
+    elapsed, _ = _best_of(repeats, run)
+    return n_lanes * len(trace) / elapsed
+
+
 def bench_train_step(trace, repeats):
     """Milliseconds per training step (8 batches of 128 + weight copy)."""
     agent = SibylAgent(seed=0)
@@ -106,6 +137,11 @@ def main(argv=None) -> int:
                         help="trace length for the loop benchmarks")
     parser.add_argument("--repeats", type=int, default=3,
                         help="repetitions per benchmark (best is kept)")
+    parser.add_argument("--lanes", type=int, default=0,
+                        help="lane count for the multi-lane section "
+                             "(default: SIBYL_LANES, else 8)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny trace, one repeat")
     parser.add_argument("--workload", default="rsrch_0")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="JSON trajectory file to append to")
@@ -113,10 +149,18 @@ def main(argv=None) -> int:
                         help="free-form tag recorded with this entry")
     args = parser.parse_args(argv)
 
+    if args.quick:
+        args.requests = min(args.requests, 1500)
+        args.repeats = 1
+    n_lanes = args.lanes if args.lanes > 0 else resolve_lanes(8)
+    if args.quick:
+        n_lanes = min(n_lanes, 4)
+
     trace = make_trace(args.workload, n_requests=args.requests, seed=0)
 
     serve_rps = bench_serve_loop(trace, args.repeats)
     sibyl_rps, train_events = bench_sibyl_loop(trace, args.repeats)
+    multilane_rps = bench_multilane(trace, n_lanes, args.repeats)
     step_ms, batches_per_s = bench_train_step(trace, args.repeats)
 
     entry = {
@@ -136,11 +180,18 @@ def main(argv=None) -> int:
         "sibyl_train_events": train_events,
         "train_step_ms": round(step_ms, 3),
         "train_batches_per_s": round(batches_per_s, 1),
+        "multilane": {
+            "lanes": n_lanes,
+            "aggregate_rps": round(multilane_rps, 1),
+            "speedup_vs_single_lane": round(multilane_rps / sibyl_rps, 3),
+        },
     }
 
     print(f"serve loop      : {serve_rps:10.1f} req/s  (CDE heuristic)")
     print(f"sibyl loop      : {sibyl_rps:10.1f} req/s  "
           f"({train_events} train events)")
+    print(f"multilane x{n_lanes:<3d}  : {multilane_rps:10.1f} req/s  "
+          f"aggregate ({multilane_rps / sibyl_rps:.2f}x single lane)")
     print(f"train step      : {step_ms:10.3f} ms     "
           f"({batches_per_s:.1f} batches/s)")
 

@@ -91,6 +91,7 @@ class SibylAgent(PlacementPolicy):
         self.rng = np.random.default_rng(seed)
         self._pending: Optional[tuple] = None  # (obs, action, reward, obs_key)
         self._current: Optional[tuple] = None  # (obs, action, obs_key)
+        self._inflight: Optional[tuple] = None  # (obs, obs_key, action | None)
         self._requests_seen = 0
         self.train_events = 0
         self.losses: list = []
@@ -151,6 +152,23 @@ class SibylAgent(PlacementPolicy):
 
     # ----------------------------------------------------------- decision
     def place(self, request: Request) -> int:
+        # place_commit falls back to a local single-observation forward
+        # when inference is needed and no fused action was supplied.
+        self.place_begin(request)
+        return self.place_commit()
+
+    def place_begin(self, request: Request) -> Optional[np.ndarray]:
+        """Everything in :meth:`place` up to the network forward.
+
+        Returns the observation that *needs* inference, or ``None`` when
+        the action is already determined (exploration draw or greedy
+        action-memo hit).  An external driver — the multi-lane engine —
+        batches the returned observations across lanes into one fused
+        forward and completes each decision with :meth:`place_commit`.
+        ``place`` itself is exactly ``place_begin`` + a single-
+        observation forward + ``place_commit``, so the two paths follow
+        the same statements (and the same RNG draw order) per request.
+        """
         if self.extractor is None or self.inference_net is None:
             raise RuntimeError("SibylAgent.place called before attach()")
         # The float32 image of the observation doubles as the replay
@@ -171,13 +189,36 @@ class SibylAgent(PlacementPolicy):
             or self.rng.random() < self.hyperparams.exploration_rate
         )
         if explore:
-            action = int(self.rng.integers(0, self.n_devices))
-        else:
-            action = self._action_cache.get(obs_key)
-            if action is None:
-                action = self.inference_net.best_action(obs)
-                self._action_cache[obs_key] = action
-                self._cache_obs[obs_key] = obs
+            self._inflight = (obs, obs_key, int(self.rng.integers(0, self.n_devices)))
+            return None
+        action = self._action_cache.get(obs_key)
+        if action is not None:
+            self._inflight = (obs, obs_key, action)
+            return None
+        self._inflight = (obs, obs_key, None)
+        return obs
+
+    def place_commit(self, greedy_action: Optional[int] = None) -> int:
+        """Second half of :meth:`place`: commit the pending decision.
+
+        ``greedy_action`` supplies the externally computed greedy action
+        for the observation :meth:`place_begin` returned (the lane
+        engine's fused forward); it must equal what
+        ``inference_net.best_action`` would return for that observation.
+        When ``place_begin`` returned ``None`` the action was already
+        decided and ``greedy_action`` is ignored.  Falls back to a local
+        forward if inference was needed but no action is supplied.
+        """
+        if self._inflight is None:
+            raise RuntimeError("place_commit() without a preceding place_begin()")
+        obs, obs_key, action = self._inflight
+        if action is None:
+            if greedy_action is None:
+                greedy_action = self.inference_net.best_action(obs)
+            action = int(greedy_action)
+            self._action_cache[obs_key] = action
+            self._cache_obs[obs_key] = obs
+        self._inflight = None
         self._current = (obs, action, obs_key)
         self.action_counts[action] += 1
         return action
@@ -209,23 +250,30 @@ class SibylAgent(PlacementPolicy):
         """The RL training thread: batch updates + weight copy (§6.2.2).
 
         The bootstrap (inference) network is frozen for the whole event,
-        so all batches are sampled up front and their next-state
-        bootstrap targets computed in one fused forward pass instead of
-        one per batch.  The RNG draw order matches the per-batch loop
-        exactly, so trajectories are unchanged.
+        so all batches are sampled up front and their Bellman targets
+        (bootstrap forward + distributional projection) computed in one
+        fused pass.  Both are per-row pure functions and the batches
+        sample *with replacement* from at most ``buffer_capacity``
+        unique transitions, so the fused pass runs once per **unique**
+        sampled slot and the per-row results are gathered back — the
+        same values, computed once each.  The RNG draw order matches
+        the per-batch loop exactly, so trajectories are unchanged.
         """
         hp = self.hyperparams
-        batches = [
-            self.buffer.sample(hp.batch_size, rng=self.rng)
+        slot_batches = [
+            self.buffer.sample_slots(hp.batch_size, rng=self.rng)
             for _ in range(hp.batches_per_training)
         ]
-        all_rewards = np.concatenate([b[2] for b in batches])
-        all_next = np.concatenate([b[3] for b in batches], axis=0)
-        targets = self.training_net.precompute_targets(
-            all_rewards, all_next, target=self.inference_net
+        unique_slots, inverse = np.unique(
+            np.concatenate(slot_batches), return_inverse=True
         )
+        u_rewards, u_next = self.buffer.gather_targets(unique_slots)
+        targets = self.training_net.precompute_targets(
+            u_rewards, u_next, target=self.inference_net
+        )[inverse]
         n = hp.batch_size
-        for i, (obs, actions, rewards, next_obs) in enumerate(batches):
+        for i, slots in enumerate(slot_batches):
+            obs, actions, rewards, next_obs = self.buffer.gather(slots)
             loss = self.training_net.train_batch(
                 obs, actions, rewards, next_obs,
                 target=self.inference_net,
@@ -267,6 +315,7 @@ class SibylAgent(PlacementPolicy):
         self.buffer = ExperienceBuffer(self.hyperparams.buffer_capacity, seed=self.seed)
         self._pending = None
         self._current = None
+        self._inflight = None
         self._requests_seen = 0
         self.train_events = 0
         self.losses = []
@@ -321,6 +370,7 @@ class SibylAgent(PlacementPolicy):
         self._requests_seen = int(data["requests_seen"][0])
         self._pending = None
         self._current = None
+        self._inflight = None
         self.buffer.clear()
         self._action_cache.clear()
         self._cache_obs.clear()

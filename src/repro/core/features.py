@@ -191,11 +191,15 @@ class FeatureExtractor:
     # ------------------------------------------------------------ extract
     def bins(self, request: Request) -> List[int]:
         """Raw bin indices for the current request (pre-serve)."""
+        return list(self._bins_tuple(request))
+
+    def _bins_tuple(self, request: Request) -> tuple:
+        """Bin indices as a tuple (the observation-memo key)."""
         if self.features is _ALL_FEATURES:
             return self._bins_all(request)
-        return self._bins_generic(request)
+        return tuple(self._bins_generic(request))
 
-    def _bins_all(self, request: Request) -> List[int]:
+    def _bins_all(self, request: Request) -> tuple:
         """Straight-line extraction for the paper's full feature set."""
         hss = self.hss
         tracker = hss.tracker
@@ -223,9 +227,28 @@ class FeatureExtractor:
             cnt_bin = log2_bin(cnt, spec.cnt_bins)
             self._cnt_bin_cache[cnt] = cnt_bin
 
-        out = [size_bin, int(request.op == OpType.WRITE), intr_bin, cnt_bin]
         cap_bins = spec.cap_bins
-        for d in self._bounded_devices:
+        bounded = self._bounded_devices
+        loc = hss.page_location(page)
+        if len(bounded) == 1:
+            # Dual-HSS fast path: build the 6-tuple in one expression.
+            frac = hss.remaining_capacity_fraction(bounded[0])
+            if frac >= 1.0:
+                cap_bin = cap_bins - 1
+            elif frac <= 0.0:
+                cap_bin = 0
+            else:
+                cap_bin = int(frac * cap_bins)
+            return (
+                size_bin,
+                int(request.op == OpType.WRITE),
+                intr_bin,
+                cnt_bin,
+                cap_bin,
+                hss.slowest if loc is None else loc,
+            )
+        out = [size_bin, int(request.op == OpType.WRITE), intr_bin, cnt_bin]
+        for d in bounded:
             frac = hss.remaining_capacity_fraction(d)
             if frac >= 1.0:
                 out.append(cap_bins - 1)
@@ -233,9 +256,8 @@ class FeatureExtractor:
                 out.append(0)
             else:
                 out.append(int(frac * cap_bins))
-        loc = hss.page_location(page)
         out.append(hss.slowest if loc is None else loc)
-        return out
+        return tuple(out)
 
     def _bins_generic(self, request: Request) -> List[int]:
         hss = self.hss
@@ -289,7 +311,7 @@ class FeatureExtractor:
         # All maxima are >= 1 (every bin count is >= 2), so elementwise
         # division by the cached maxima reproduces the per-component
         # ``b / m`` exactly.
-        return np.array(self.bins(request), dtype=np.float64) / self._maxima_arr
+        return np.array(self._bins_tuple(request), dtype=np.float64) / self._maxima_arr
 
     def observe_keyed(self, request: Request):
         """``(observation, float32-bytes key)`` with full-vector memoisation.
@@ -299,7 +321,7 @@ class FeatureExtractor:
         ``np.asarray(obs, np.float32).tobytes()`` and doubles as the
         replay-dedup / action-memo key on the agent's hot path.
         """
-        bins = tuple(self.bins(request))
+        bins = self._bins_tuple(request)
         hit = self._obs_cache.get(bins)
         if hit is None:
             obs = np.array(bins, dtype=np.float64) / self._maxima_arr

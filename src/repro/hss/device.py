@@ -66,7 +66,7 @@ class DeviceSpec:
         return nbytes / bw
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceStats:
     """Aggregate counters maintained by every device."""
 

@@ -68,9 +68,14 @@ class PageTable:
         Placement counts as a "touch": the page becomes the most recently
         used page on its new device.
         """
-        self._check_device(device)
+        if not 0 <= device < self.n_devices:
+            self._check_device(device)
         previous = self._location.get(page)
         if previous is not None:
+            if previous == device:
+                # Rewrite in place: del + re-insert == move to MRU end.
+                self._resident[device].move_to_end(page)
+                return previous
             del self._resident[previous][page]
         self._location[page] = device
         self._resident[device][page] = None
@@ -91,7 +96,8 @@ class PageTable:
 
     def move(self, page: int, to_device: int) -> int:
         """Relocate a mapped page; return the source device."""
-        self._check_device(to_device)
+        if not 0 <= to_device < self.n_devices:
+            self._check_device(to_device)
         source = self._location.get(page)
         if source is None:
             raise KeyError(f"page {page} is not mapped")

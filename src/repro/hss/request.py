@@ -37,7 +37,7 @@ class OpType(enum.IntEnum):
         raise ValueError(f"unrecognised operation token: {token!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One block-layer I/O request.
 

@@ -82,33 +82,6 @@ class SSDDevice(StorageDevice):
         # service_time call by far, and a pure function of the spec.
         self._read_1pg_s = spec.read_overhead_s + spec.transfer_time(OpType.READ, 1)
 
-    # ---------------------------------------------------------- internals
-    def _drain_buffer(self, now: float) -> None:
-        """Drain the write buffer at the sustained write bandwidth."""
-        elapsed = max(0.0, now - self._buffer_last_drain_s)
-        drain_pages = elapsed * self.spec.write_bandwidth_bps / 4096.0
-        self._buffer_occupancy = max(0.0, self._buffer_occupancy - drain_pages)
-        self._buffer_last_drain_s = now
-
-    def _gc_stall(self, n_pages: int) -> float:
-        """GC stall contributed by programming ``n_pages`` now."""
-        if self.utilization < self.config.gc_threshold:
-            self._writes_since_gc = 0
-            return 0.0
-        self._writes_since_gc += n_pages
-        if self._writes_since_gc < self.config.gc_trigger_pages:
-            return 0.0
-        cycles = self._writes_since_gc // self.config.gc_trigger_pages
-        self._writes_since_gc %= self.config.gc_trigger_pages
-        # More valid data past the threshold -> more copy traffic per erase.
-        over = (self.utilization - self.config.gc_threshold) / max(
-            1e-9, 1.0 - self.config.gc_threshold
-        )
-        stall = cycles * self.config.gc_latency_s * (1.0 + 3.0 * over)
-        self.stats.gc_events += cycles
-        self.stats.gc_time_s += stall
-        return stall
-
     # ------------------------------------------------------------ service
     def service_time(self, now: float, op: OpType, n_pages: int) -> float:
         if op == OpType.READ:
@@ -116,19 +89,51 @@ class SSDDevice(StorageDevice):
                 return self._read_1pg_s
             return self.spec.read_overhead_s + self.spec.transfer_time(op, n_pages)
 
-        self._drain_buffer(now)
-        stall = self._gc_stall(n_pages)
+        # Write path — the single home of the buffer-drain and GC
+        # models (runs once per write access, including every
+        # eviction/migration programme).
+        config = self.config
+        spec = self.spec
+        elapsed = now - self._buffer_last_drain_s
+        if elapsed > 0.0:
+            occupancy = (
+                self._buffer_occupancy
+                - elapsed * spec.write_bandwidth_bps / 4096.0
+            )
+            self._buffer_occupancy = occupancy if occupancy > 0.0 else 0.0
+        self._buffer_last_drain_s = now
+
+        if self.utilization < config.gc_threshold:
+            self._writes_since_gc = 0
+            stall = 0.0
+        else:
+            writes = self._writes_since_gc + n_pages
+            if writes < config.gc_trigger_pages:
+                self._writes_since_gc = writes
+                stall = 0.0
+            else:
+                cycles = writes // config.gc_trigger_pages
+                self._writes_since_gc = writes % config.gc_trigger_pages
+                # More valid data past the threshold -> more copy
+                # traffic per erase.
+                over = (self.utilization - config.gc_threshold) / max(
+                    1e-9, 1.0 - config.gc_threshold
+                )
+                stall = cycles * config.gc_latency_s * (1.0 + 3.0 * over)
+                self.stats.gc_events += cycles
+                self.stats.gc_time_s += stall
+
         if (
-            self.config.buffer_pages > 0
-            and self._buffer_occupancy + n_pages <= self.config.buffer_pages
+            config.buffer_pages > 0
+            and self._buffer_occupancy + n_pages <= config.buffer_pages
         ):
             self._buffer_occupancy += n_pages
             self.stats.buffered_writes += 1
-            base = self.config.buffered_write_latency_s + n_pages * (
-                4096.0 / self.spec.write_bandwidth_bps
+            base = config.buffered_write_latency_s + n_pages * (
+                4096.0 / spec.write_bandwidth_bps
             ) * 0.25  # buffered transfers still move data over the interface
         else:
-            base = self.spec.write_overhead_s + self.spec.transfer_time(op, n_pages)
+            base = spec.write_overhead_s + spec.transfer_time(op, n_pages)
         return base + stall
 
     def reset(self) -> None:

@@ -49,7 +49,7 @@ def _contiguous_runs(sorted_pages: Sequence[int]):
         yield start, length
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServeResult:
     """Outcome of serving one request.
 
@@ -76,7 +76,7 @@ class ServeResult:
     pages_written_to_action: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class HSSStats:
     """System-level counters for one simulation run."""
 
@@ -180,6 +180,17 @@ class HybridStorageSystem:
         # path (isinstance checks on every access add up).
         self._is_hdd = [isinstance(d, HDDDevice) for d in self.devices]
         self._ssd = [d if isinstance(d, SSDDevice) else None for d in self.devices]
+        # Effective utilisation denominators (usable capacity, falling
+        # back to the raw device capacity when unbounded), hoisted out
+        # of _update_utilization — it runs on every placement/eviction.
+        self._util_cap = [
+            (
+                self.capacity_pages[i]
+                if self.capacity_pages[i] is not None
+                else (dev.spec.capacity_pages if dev is not None else None)
+            )
+            for i, dev in enumerate(self._ssd)
+        ]
 
     # ------------------------------------------------------------- helpers
     @property
@@ -216,10 +227,9 @@ class HybridStorageSystem:
     def _update_utilization(self, device: int) -> None:
         dev = self._ssd[device]
         if dev is not None:
-            cap = self.capacity_pages[device]
-            if cap is None:
-                cap = dev.spec.capacity_pages
-            dev.utilization = min(1.0, self.table.used_pages(device) / cap)
+            dev.utilization = min(
+                1.0, self.table.used_pages(device) / self._util_cap[device]
+            )
 
     def _point_head(self, device: int, page: int) -> None:
         if self._is_hdd[device]:
@@ -254,14 +264,19 @@ class HybridStorageSystem:
         if len(victims) == 1:
             # Common case (overflow of one page, no slack): one run.
             run = victims[0]
-            self._point_head(device, run)
-            read_time = self.devices[device].background_access(
+            devices = self.devices
+            is_hdd = self._is_hdd
+            if is_hdd[device]:
+                devices[device].target_page = run
+            read_time = devices[device].background_access(
                 now, OpType.READ, 1
             )
-            self._point_head(destination, run)
-            write_time = self.devices[destination].background_access(
+            if is_hdd[destination]:
+                devices[destination].target_page = run
+            write_time = devices[destination].background_access(
                 now, OpType.WRITE, 1
             )
+            self.table.move(run, destination)
         else:
             for run_start, run_len in _contiguous_runs(sorted(victims)):
                 self._point_head(device, run_start)
@@ -272,12 +287,14 @@ class HybridStorageSystem:
                 write_time += self.devices[destination].background_access(
                     now, OpType.WRITE, run_len
                 )
-        for page in victims:
-            self.table.move(page, destination)
+            move = self.table.move
+            for page in victims:
+                move(page, destination)
         self._update_utilization(device)
         self._update_utilization(destination)
-        self.stats.eviction_events += 1
-        self.stats.evicted_pages += len(victims)
+        stats = self.stats
+        stats.eviction_events += 1
+        stats.evicted_pages += len(victims)
         return cascade_time + read_time + write_time
 
     def _ensure_capacity(self, device: int, incoming: int, now: float) -> float:
@@ -285,12 +302,11 @@ class HybridStorageSystem:
         cap = self.capacity_pages[device]
         if cap is None:
             return 0.0
-        overflow = self.table.used_pages(device) + incoming - cap
+        used = self.table.used_pages(device)
+        overflow = used + incoming - cap
         if overflow <= 0:
             return 0.0
-        n_victims = min(
-            overflow + self.eviction_slack_pages, self.table.used_pages(device)
-        )
+        n_victims = min(overflow + self.eviction_slack_pages, used)
         if n_victims <= 0:
             return 0.0
         return self._evict(device, n_victims, now)
@@ -330,20 +346,24 @@ class HybridStorageSystem:
         evicted_before = self.stats.evicted_pages
 
         if request.is_write:
-            already_there = sum(
-                1 for p in pages if self.table.location(p) == action
-            )
-            incoming = len(pages) - already_there
-            # Protect the pages being rewritten from victim selection.
+            table = self.table
+            location = table.location
+            touch = table.touch
+            # One pass: count incoming pages and protect the pages being
+            # rewritten from victim selection (touch = mark MRU).
+            incoming = 0
             for p in pages:
-                if self.table.location(p) == action:
-                    self.table.touch(p)
+                if location(p) == action:
+                    touch(p)
+                else:
+                    incoming += 1
             if incoming > 0:
                 eviction_time += self._ensure_capacity(action, incoming, now)
             self._point_head(action, pages[0])
             latency = self.devices[action].access(now, OpType.WRITE, len(pages))
+            place = table.place
             for p in pages:
-                self.table.place(p, action)
+                place(p, action)
             self._update_utilization(action)
             served_device = action
         else:
@@ -390,8 +410,9 @@ class HybridStorageSystem:
                     self._update_utilization(src)
                 self._update_utilization(action)
 
+        record = self.tracker.record
         for p in pages:
-            self.tracker.record(p)
+            record(p)
 
         self.stats.requests += 1
         if request.is_read:
@@ -451,9 +472,10 @@ class HybridStorageSystem:
             self._update_utilization(action)
             served_device = action
         else:
-            if not table.is_mapped(page):
-                table.place(page, self.slowest)
             location = table.location(page)
+            if location is None:
+                location = self.slowest
+                table.place(page, location)
             self._point_head(location, page)
             latency = self.devices[location].access(now, OpType.READ, 1)
             served_device = location

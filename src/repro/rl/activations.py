@@ -24,6 +24,12 @@ class Activation:
 
     name = "base"
 
+    @property
+    def signature(self) -> tuple:
+        """Value identity: two activations with equal signatures compute
+        the same function (parameterised subclasses extend this)."""
+        return (self.name,)
+
     def forward(self, z: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -35,8 +41,23 @@ class Activation:
         """
         return self.forward(z)
 
+    def forward_train(self, z: np.ndarray):
+        """``(activation, cache)`` for a training forward.
+
+        ``cache`` holds whatever intermediate the backward pass would
+        otherwise recompute (swish/tanh: the transcendental) and is
+        passed back to :meth:`backward_cached`; ``None`` means "nothing
+        worth caching".  The cached values are exactly the ones a fresh
+        ``backward`` would compute, so gradients are unchanged.
+        """
+        return self.forward(z), None
+
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def backward_cached(self, z: np.ndarray, grad: np.ndarray, cache) -> np.ndarray:
+        """``backward`` reusing the forward's cache when available."""
+        return self.backward(z, grad)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -51,6 +72,10 @@ class Swish(Activation):
         if beta <= 0:
             raise ValueError(f"beta must be positive, got {beta}")
         self.beta = float(beta)
+
+    @property
+    def signature(self) -> tuple:
+        return (self.name, self.beta)
 
     def _sigmoid(self, z: np.ndarray) -> np.ndarray:
         # sigmoid(z) == 0.5 * (1 + tanh(z / 2)) exactly; tanh is stable
@@ -71,9 +96,21 @@ class Swish(Activation):
         z *= s
         return z
 
+    def forward_train(self, z: np.ndarray):
+        # Keep the sigmoid for the backward pass: it is the expensive
+        # (tanh-based) half of both directions and identical in both.
+        s = self._sigmoid(self.beta * z if self.beta != 1.0 else z)
+        return z * s, s
+
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
         s = self._sigmoid(self.beta * z)
         # d/dz [z * s(bz)] = s(bz) + b*z*s(bz)*(1-s(bz))
+        return grad * (s + self.beta * z * s * (1.0 - s))
+
+    def backward_cached(self, z: np.ndarray, grad: np.ndarray, cache) -> np.ndarray:
+        if cache is None:
+            return self.backward(z, grad)
+        s = cache
         return grad * (s + self.beta * z * s * (1.0 - s))
 
 
@@ -103,8 +140,18 @@ class Tanh(Activation):
     def forward_inplace(self, z: np.ndarray) -> np.ndarray:
         return np.tanh(z, out=z)
 
+    def forward_train(self, z: np.ndarray):
+        t = np.tanh(z)
+        return t, t
+
     def backward(self, z: np.ndarray, grad: np.ndarray) -> np.ndarray:
         t = np.tanh(z)
+        return grad * (1.0 - t * t)
+
+    def backward_cached(self, z: np.ndarray, grad: np.ndarray, cache) -> np.ndarray:
+        if cache is None:
+            return self.backward(z, grad)
+        t = cache
         return grad * (1.0 - t * t)
 
 

@@ -12,10 +12,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .network import FeedForwardNetwork, mlp
+from .network import FeedForwardNetwork, NetworkLaneStack, mlp
 from .optim import Optimizer, get_optimizer
 
-__all__ = ["DQNConfig", "DQNNetwork"]
+__all__ = ["DQNConfig", "DQNNetwork", "DQNLaneStack"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,8 @@ class DQNNetwork:
         self.network = network or mlp(
             sizes, hidden_activation=config.activation, rng=self.rng
         )
+        # Flat parameter/gradient views for single-vector optimizer steps.
+        self.network.pack_parameters()
         self.optimizer: Optimizer = get_optimizer(
             config.optimizer, config.learning_rate
         )
@@ -148,7 +150,9 @@ class DQNNetwork:
         grad[np.arange(batch), actions] = dloss
         self.network.zero_grad()
         self.network.backward(grad)
-        self.optimizer.step(self.network.parameters, self.network.gradients)
+        self.optimizer.step(
+            [self.network.flat_parameters], [self.network.flat_gradients]
+        )
         self.train_steps += 1
         return float(loss)
 
@@ -158,3 +162,33 @@ class DQNNetwork:
 
     def clone(self) -> "DQNNetwork":
         return DQNNetwork(self.config, rng=self.rng, network=self.network.clone())
+
+
+class DQNLaneStack:
+    """Fused greedy-action inference across K independent DQN networks.
+
+    The expected-value counterpart of
+    :class:`~repro.rl.c51.C51LaneStack`: one stacked forward through
+    per-lane weights, then an argmax per lane — operation for operation
+    what :meth:`DQNNetwork.best_action` computes serially.
+    """
+
+    def __init__(self, networks: Sequence[DQNNetwork]) -> None:
+        networks = list(networks)
+        if not networks:
+            raise ValueError("need at least one network")
+        self.stack = NetworkLaneStack([net.network for net in networks])
+
+    def __len__(self) -> int:
+        return len(self.stack)
+
+    @property
+    def in_features(self) -> int:
+        return self.stack.in_features
+
+    def refresh(self, lane: int) -> None:
+        self.stack.refresh(lane)
+
+    def best_actions(self, obs: np.ndarray) -> np.ndarray:
+        """Greedy action per lane for ``(K, n_obs)`` observations."""
+        return np.argmax(self.stack.forward(obs), axis=1)

@@ -17,7 +17,14 @@ import numpy as np
 
 from .activations import Activation, Identity, get_activation
 
-__all__ = ["Dense", "FeedForwardNetwork", "mlp", "count_macs", "count_parameters"]
+__all__ = [
+    "Dense",
+    "FeedForwardNetwork",
+    "NetworkLaneStack",
+    "mlp",
+    "count_macs",
+    "count_parameters",
+]
 
 
 class Dense:
@@ -48,6 +55,7 @@ class Dense:
         # Forward-pass caches used by backward().
         self._x: Optional[np.ndarray] = None
         self._z: Optional[np.ndarray] = None
+        self._act_cache = None
         # Gradient buffers, parallel to (weight, bias).
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias)
@@ -69,7 +77,8 @@ class Dense:
             z += self.bias
             self._x = x
             self._z = z
-            return self.activation.forward(z)
+            out, self._act_cache = self.activation.forward_train(z)
+            return out
         z = x @ self.weight + self.bias
         return self.activation.forward(z)
 
@@ -81,7 +90,7 @@ class Dense:
         """
         if self._x is None or self._z is None:
             raise RuntimeError("backward() called before forward(train=True)")
-        grad_z = self.activation.backward(self._z, grad_out)
+        grad_z = self.activation.backward_cached(self._z, grad_out, self._act_cache)
         self.grad_weight += self._x.T @ grad_z
         self.grad_bias += grad_z.sum(axis=0)
         return grad_z @ self.weight.T
@@ -124,6 +133,9 @@ class FeedForwardNetwork:
         # Preallocated per-layer buffers for the single-observation
         # inference fast path (see forward_1d); built lazily.
         self._fwd1d_buffers: Optional[List[np.ndarray]] = None
+        # Optional flat parameter/gradient storage (see pack_parameters).
+        self._flat_params: Optional[np.ndarray] = None
+        self._flat_grads: Optional[np.ndarray] = None
 
     # ---------------------------------------------------------------- shape
     @property
@@ -170,6 +182,9 @@ class FeedForwardNetwork:
         return grad
 
     def zero_grad(self) -> None:
+        if self._flat_grads is not None:
+            self._flat_grads.fill(0.0)
+            return
         for layer in self.layers:
             layer.zero_grad()
 
@@ -181,6 +196,48 @@ class FeedForwardNetwork:
     @property
     def gradients(self) -> List[np.ndarray]:
         return [g for layer in self.layers for g in layer.gradients]
+
+    def pack_parameters(self) -> None:
+        """Re-home all weights/gradients as views into two flat buffers.
+
+        Afterwards :attr:`flat_parameters` / :attr:`flat_gradients` view
+        the entire network as one contiguous vector each, so an
+        optimizer update is a handful of ufunc calls on one array
+        instead of one call chain per (weight, bias) pair — the values
+        computed are identical element for element.  Layer attributes
+        stay valid (they become views), so forwards, backwards, and
+        (de)serialisation are unaffected.  Idempotent.
+        """
+        if self._flat_params is not None:
+            return
+        total = sum(
+            p.size for layer in self.layers for p in layer.parameters
+        )
+        flat_p = np.empty(total, dtype=np.float64)
+        flat_g = np.zeros(total, dtype=np.float64)
+        offset = 0
+        for layer in self.layers:
+            for attr_p, attr_g in (("weight", "grad_weight"), ("bias", "grad_bias")):
+                current = getattr(layer, attr_p)
+                n = current.size
+                view_p = flat_p[offset:offset + n].reshape(current.shape)
+                view_g = flat_g[offset:offset + n].reshape(current.shape)
+                view_p[...] = current
+                view_g[...] = getattr(layer, attr_g)
+                setattr(layer, attr_p, view_p)
+                setattr(layer, attr_g, view_g)
+                offset += n
+        self._flat_params = flat_p
+        self._flat_grads = flat_g
+
+    @property
+    def flat_parameters(self) -> Optional[np.ndarray]:
+        """The packed parameter vector (None before ``pack_parameters``)."""
+        return self._flat_params
+
+    @property
+    def flat_gradients(self) -> Optional[np.ndarray]:
+        return self._flat_grads
 
     def get_weights(self) -> List[np.ndarray]:
         """Return copies of all parameter arrays (for checkpointing)."""
@@ -199,6 +256,9 @@ class FeedForwardNetwork:
 
     def copy_weights_from(self, other: "FeedForwardNetwork") -> None:
         """Sibyl's periodic training->inference weight transfer."""
+        if self._flat_params is not None and other._flat_params is not None:
+            self._flat_params[...] = other._flat_params
+            return
         self.set_weights(other.parameters)
 
     def clone(self) -> "FeedForwardNetwork":
@@ -226,6 +286,98 @@ class FeedForwardNetwork:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(repr(layer) for layer in self.layers)
         return f"FeedForwardNetwork([{inner}])"
+
+
+class NetworkLaneStack:
+    """K same-architecture networks stacked for one fused multi-lane forward.
+
+    The multi-lane simulation engine (:mod:`repro.sim.lanes`) advances N
+    independent runs in lockstep; each tick it gathers one observation
+    per RL lane and needs one greedy inference per lane — through *that
+    lane's own weights* (lanes train independently).  This stack keeps,
+    per layer, a ``(K, in, out)`` weight tensor and a ``(K, 1, out)``
+    bias tensor copied from the member networks, so a tick's inference
+    is one batched ``np.matmul`` per layer instead of K separate
+    single-observation forwards.
+
+    Bit-identity: lane ``i``'s slice of the stacked matmul is an
+    independent ``(1, in) @ (in, out)`` product over exactly the values
+    ``forward_1d`` would use, and numpy evaluates each stacked slice
+    with the same BLAS kernel, so the fused result equals the serial
+    per-lane forward bit for bit (asserted by the lane-engine tests).
+
+    Member networks keep training independently; call :meth:`refresh`
+    after a lane's weights change (Sibyl's periodic training→inference
+    weight copy) to re-sync its slice.
+    """
+
+    def __init__(self, networks: Sequence[FeedForwardNetwork]) -> None:
+        networks = list(networks)
+        if not networks:
+            raise ValueError("need at least one network")
+        signature = self.signature(networks[0])
+        for net in networks[1:]:
+            if self.signature(net) != signature:
+                raise ValueError(
+                    "all networks in a lane stack must share one architecture"
+                )
+        self.networks = networks
+        k = len(networks)
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._scratch: List[np.ndarray] = []
+        for layer in networks[0].layers:
+            self._weights.append(
+                np.empty((k, layer.in_features, layer.out_features))
+            )
+            self._biases.append(np.empty((k, 1, layer.out_features)))
+            self._scratch.append(np.empty((k, 1, layer.out_features)))
+        for lane in range(k):
+            self.refresh(lane)
+
+    @staticmethod
+    def signature(network: FeedForwardNetwork) -> tuple:
+        """Architecture key: two networks stack iff their keys match.
+
+        Includes each activation's full value signature (e.g. Swish's
+        beta), because :meth:`forward` evaluates every lane with lane
+        0's activation objects — parameter-mismatched networks must land
+        in different stacks to preserve per-lane bit-identity.
+        """
+        return tuple(
+            (layer.in_features, layer.out_features, layer.activation.signature)
+            for layer in network.layers
+        )
+
+    def __len__(self) -> int:
+        return len(self.networks)
+
+    @property
+    def in_features(self) -> int:
+        return self.networks[0].in_features
+
+    def refresh(self, lane: int) -> None:
+        """Re-copy lane ``lane``'s weights into the stack."""
+        for j, layer in enumerate(self.networks[lane].layers):
+            self._weights[j][lane] = layer.weight
+            self._biases[j][lane, 0] = layer.bias
+
+    def forward(self, obs: np.ndarray) -> np.ndarray:
+        """Fused forward of one observation per lane.
+
+        ``obs`` is ``(K, in_features)`` float64; returns ``(K,
+        out_features)``.  The result aliases an internal scratch buffer:
+        consume it before the next ``forward`` call and do not retain it.
+        """
+        x = obs[:, None, :]
+        for weight, bias, z, layer in zip(
+            self._weights, self._biases, self._scratch,
+            self.networks[0].layers,
+        ):
+            np.matmul(x, weight, out=z)
+            z += bias
+            x = layer.activation.forward_inplace(z)
+        return x[:, 0, :]
 
 
 def mlp(

@@ -15,14 +15,24 @@ from .experiment import (
     tri_hybrid_comparison,
     unseen_workload_comparison,
 )
+from .lanes import LaneSpec, run_lanes
 from .parallel import Cell, run_grid, run_many
 from .report import format_series, format_table, geomean
-from .runner import RunResult, build_hss, run_normalized, run_policy
+from .runner import (
+    PolicyRun,
+    RunResult,
+    build_hss,
+    run_normalized,
+    run_policy,
+    run_reference,
+)
 
 __all__ = [
     "Cell",
     "DEFAULT_WARMUP",
+    "LaneSpec",
     "ORACLE_HORIZONS",
+    "PolicyRun",
     "RunResult",
     "WindowMetrics",
     "buffer_size_sweep",
@@ -36,10 +46,12 @@ __all__ = [
     "hyperparameter_sweep",
     "mixed_workload_comparison",
     "run_grid",
+    "run_lanes",
     "run_many",
     "run_normalized",
     "run_oracle_best",
     "run_policy",
+    "run_reference",
     "run_with_timeline",
     "standard_policies",
     "tri_hybrid_comparison",

@@ -15,7 +15,17 @@ cell function rebuilds its trace and policies from primitive parameters
 inside the worker), so parallel execution is bit-identical to the
 serial path and only wall-clock time changes.  Pass ``max_workers`` to
 pin the fan-out, or set ``SIBYL_PARALLEL=serial`` to force the serial
-path globally.
+path globally.  Within a cell, the policy lineup advances through the
+multi-lane engine (:mod:`repro.sim.lanes`): every policy steps its own
+lane in lockstep over the trace, with one fused network forward per
+tick across the RL lanes — again bit-identical, again wall-clock only.
+
+Workload names are usually catalog entries (``"rsrch_0"``); the form
+``"msrc:<path.csv>"`` instead streams a real MSRC trace from disk
+chunk-by-chunk (:class:`repro.traces.msrc.StreamingMSRCTrace`), so
+full-length captures feed the lanes without materialising the request
+list.  ``n_requests`` then caps the streamed prefix and ``seed`` only
+seeds the policies.
 """
 
 from __future__ import annotations
@@ -144,6 +154,21 @@ def _with_oracle(
 # same result whether it runs inline or in a worker process.
 # --------------------------------------------------------------------------
 
+def _resolve_trace(workload: str, n_requests: int, seed: int):
+    """A cell's trace source: synthetic catalog entry or streamed MSRC.
+
+    ``"msrc:<path>"`` returns a re-iterable streaming view of the CSV at
+    ``<path>`` (capped at ``n_requests``), so even full-length captures
+    feed the simulation lanes chunk-by-chunk; anything else is generated
+    by the synthetic workload catalog.
+    """
+    if workload.startswith("msrc:"):
+        from ..traces.msrc import StreamingMSRCTrace
+
+        return StreamingMSRCTrace(workload[5:], max_requests=n_requests)
+    return make_trace(workload, n_requests=n_requests, seed=seed)
+
+
 def _compare_cell(
     workload: str,
     config: str,
@@ -151,7 +176,7 @@ def _compare_cell(
     seed: int,
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    trace = _resolve_trace(workload, n_requests, seed)
     lineup = standard_policies(seed=seed)
     return _with_oracle(lineup, trace, config, warmup_fraction=warmup_fraction)
 
@@ -164,7 +189,7 @@ def _capacity_cell(
     seed: int,
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    trace = _resolve_trace(workload, n_requests, seed)
     lineup: List[PlacementPolicy] = [
         CDEPolicy(),
         HPSPolicy(),
@@ -190,7 +215,7 @@ def _hyperparameter_cell(
     seed: int,
     warmup_fraction: float,
 ) -> Dict[str, float]:
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    trace = _resolve_trace(workload, n_requests, seed)
     hp = SIBYL_DEFAULT.replace(**{parameter: value})
     agent = SibylAgent(hyperparams=hp, seed=seed)
     return run_normalized(
@@ -206,7 +231,7 @@ def _feature_cell(
     seed: int,
     warmup_fraction: float,
 ) -> float:
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    trace = _resolve_trace(workload, n_requests, seed)
     agent = SibylAgent(feature_set=feature_set, seed=seed)
     agent.name = f"Sibyl[{feature_set}]"
     return run_normalized(
@@ -222,7 +247,7 @@ def _buffer_size_cell(
     seed: int,
     warmup_fraction: float,
 ) -> float:
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    trace = _resolve_trace(workload, n_requests, seed)
     hp = SIBYL_DEFAULT.replace(
         buffer_capacity=size,
         batch_size=min(SIBYL_DEFAULT.batch_size, max(1, size)),
@@ -240,7 +265,7 @@ def _tri_hybrid_cell(
     seed: int,
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    trace = _resolve_trace(workload, n_requests, seed)
     lineup: List[PlacementPolicy] = [
         TriHeuristicPolicy(),
         SibylAgent(seed=seed),
@@ -283,7 +308,7 @@ def _unseen_cell(
     seed: int,
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
-    trace = make_trace(workload, n_requests=n_requests, seed=seed)
+    trace = _resolve_trace(workload, n_requests, seed)
     lineup: List[PlacementPolicy] = [
         SlowOnlyPolicy(),
         ArchivistPolicy(seed=seed),

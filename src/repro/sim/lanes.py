@@ -1,0 +1,213 @@
+"""Multi-lane batched inference engine: N independent runs in lockstep.
+
+PR 1's parallel engine fans (policy × trace × config × seed) cells
+across *processes*; inside a process each cell still replayed its trace
+strictly one request at a time, so the tiny per-request network forward
+dominated the Sibyl loop.  This module removes that ceiling **within**
+a process: a *lane* is one resumable :class:`~repro.sim.runner.PolicyRun`,
+and :func:`run_lanes` advances all lanes in lockstep — each tick it
+
+1. runs every RL lane's pre-inference half
+   (:meth:`~repro.core.agent.SibylAgent.place_begin`: feature
+   extraction, replay insertion, per-lane ε-greedy draw, action-memo
+   lookup),
+2. gathers the observations of the lanes that actually need inference
+   into one batch and runs **one fused forward** through the stacked
+   per-lane weights (:class:`~repro.rl.c51.C51LaneStack` /
+   :class:`~repro.rl.dqn.DQNLaneStack`),
+3. scatters the greedy actions back
+   (:meth:`~repro.core.agent.SibylAgent.place_commit`) and completes
+   each lane's serve + feedback, while heuristic-policy lanes step
+   without any inference cost.
+
+Training stays strictly per-lane — every lane keeps its own replay
+buffer, network weights, and seeded RNG — and after a lane's periodic
+training→inference weight copy only that lane's slice of the stack is
+re-synced.
+
+The hard guarantee (asserted by ``tests/sim/test_lanes.py``): every
+lane's result is **bit-identical** to a serial ``run_policy`` of the
+same (policy, trace, config, seed).  Lanes share no state; the fused
+forward computes, per lane, exactly the floating-point operations the
+serial decision path computes.
+
+Composition with PR 1: ``run_many`` distributes cells across processes
+(``SIBYL_PARALLEL``), and each worker packs ``SIBYL_LANES`` cells per
+task; within a cell every policy of a ``run_normalized`` lineup rides
+its own lane.  Throughput multiplies: cores × lanes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..baselines.base import PlacementPolicy
+from ..hss.request import Request
+from ..hss.system import HybridStorageSystem
+from ..rl.c51 import C51LaneStack, C51Network
+from ..rl.dqn import DQNLaneStack, DQNNetwork
+from ..rl.network import NetworkLaneStack
+from .runner import LANE_DONE, PolicyRun, RunResult
+
+__all__ = ["LaneSpec", "run_lanes", "resolve_lanes", "LANES_ENV"]
+
+#: Environment knob: how many sweep cells each parallel worker packs
+#: into one task (see :func:`repro.sim.parallel.run_many`), and the
+#: default lane count of the hot-path benchmark's multi-lane section.
+LANES_ENV = "SIBYL_LANES"
+
+
+def resolve_lanes(default: int = 1) -> int:
+    """Lane/pack count from the ``SIBYL_LANES`` environment variable.
+
+    ``auto``/unset → ``default``; ``0`` and ``1`` both mean "no
+    packing"; anything else must be a positive integer (a negative
+    value is a misconfiguration and raises rather than silently
+    disabling packing).
+    """
+    raw = os.environ.get(LANES_ENV, "").strip().lower()
+    if raw in ("", "auto"):
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{LANES_ENV} must be 'auto' or a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{LANES_ENV} must be >= 0, got {value}")
+    return max(1, value)
+
+
+@dataclass
+class LaneSpec:
+    """One lane: the arguments of a serial ``run_policy`` call."""
+
+    policy: PlacementPolicy
+    trace: Union[Sequence[Request], Iterable[Request]]
+    config: str = "H&M"
+    capacity_fractions: Optional[Sequence[float]] = None
+    hss: Optional[HybridStorageSystem] = None
+    max_requests: Optional[int] = None
+    warmup_fraction: float = 0.0
+
+    def make_run(self) -> PolicyRun:
+        return PolicyRun(
+            self.policy,
+            self.trace,
+            config=self.config,
+            capacity_fractions=self.capacity_fractions,
+            hss=self.hss,
+            max_requests=self.max_requests,
+            warmup_fraction=self.warmup_fraction,
+        )
+
+
+class _LaneGroup:
+    """RL lanes sharing one network architecture → one fused stack."""
+
+    def __init__(self, runs: List[PolicyRun]) -> None:
+        self.runs = runs
+        nets = [run.policy.inference_net for run in runs]
+        if isinstance(nets[0], C51Network):
+            self.stack = C51LaneStack(nets)
+        else:
+            self.stack = DQNLaneStack(nets)
+        # Zeros, not empty: rows of finished/exploring lanes are fed
+        # through the fused forward and discarded; stale-but-finite
+        # values keep the maths warning-free.
+        self.obs = np.zeros((len(runs), self.stack.in_features))
+        # Per-lane train-event counters: a change means the lane copied
+        # fresh weights into its inference network and its stack slice
+        # must be re-synced before the next fused forward.
+        self.train_seen = [
+            getattr(run.policy, "train_events", 0) for run in runs
+        ]
+        self.pending: List[Tuple[PolicyRun, int]] = []
+
+    def resync(self) -> None:
+        for row, run in enumerate(self.runs):
+            events = run.policy.train_events
+            if events != self.train_seen[row]:
+                self.train_seen[row] = events
+                self.stack.refresh(row)
+
+
+def _group_signature(policy) -> tuple:
+    net = policy.inference_net
+    arch = NetworkLaneStack.signature(net.network)
+    if isinstance(net, C51Network):
+        return ("c51", arch, net.config.n_actions, net.config.n_atoms)
+    return ("dqn", arch)
+
+
+def run_lanes(specs: Sequence[LaneSpec]) -> List[RunResult]:
+    """Advance all lanes in lockstep; results in spec order.
+
+    Each lane is bit-identical to ``run_policy`` with the same spec —
+    the engine only changes *when* each lane's work happens (interleaved
+    per tick) and *how* RL greedy inference is computed (one fused
+    forward per tick across lanes instead of one forward per lane).
+    """
+    runs = [spec.make_run() for spec in specs]
+
+    # Partition: lanes whose policy exposes the externally-driven
+    # inference hook (SibylAgent) *and* a head the stacks know how to
+    # fuse ride the batched path; everything else — heuristics, oracle,
+    # extremes, or a future head type with its own decision rule — steps
+    # through the plain per-lane path, which is correct for any policy.
+    rl_runs: List[PolicyRun] = []
+    plain_runs: List[PolicyRun] = []
+    for run in runs:
+        policy = run.policy
+        if callable(getattr(policy, "place_begin", None)) and isinstance(
+            getattr(policy, "inference_net", None), (C51Network, DQNNetwork)
+        ):
+            rl_runs.append(run)
+        else:
+            plain_runs.append(run)
+
+    by_signature: Dict[tuple, List[PolicyRun]] = {}
+    for run in rl_runs:
+        by_signature.setdefault(_group_signature(run.policy), []).append(run)
+    groups = [_LaneGroup(members) for members in by_signature.values()]
+    group_row: Dict[int, Tuple[_LaneGroup, int]] = {}
+    for group in groups:
+        for row, run in enumerate(group.runs):
+            group_row[id(run)] = (group, row)
+
+    active_plain = list(plain_runs)
+    active_rl = list(rl_runs)
+    while active_plain or active_rl:
+        if active_plain:
+            active_plain = [run for run in active_plain if run.step()]
+        if active_rl:
+            next_rl: List[PolicyRun] = []
+            for run in active_rl:
+                obs = run.step_begin()
+                if obs is LANE_DONE:
+                    continue
+                next_rl.append(run)
+                # obs None: exploration draw or action-memo hit — the
+                # step already completed inline inside step_begin.
+                if obs is not None:
+                    group, row = group_row[id(run)]
+                    group.obs[row] = obs
+                    group.pending.append((run, row))
+            for group in groups:
+                if group.pending:
+                    actions = group.stack.best_actions(group.obs)
+                    for run, row in group.pending:
+                        run.step_finish(int(actions[row]))
+                    group.pending.clear()
+            # Re-sync stack slices of lanes that trained this tick (the
+            # weight copy happens inside feedback, after the forward).
+            for group in groups:
+                group.resync()
+            active_rl = next_rl
+
+    return [run.result() for run in runs]

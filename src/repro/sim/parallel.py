@@ -22,6 +22,16 @@ Worker-count policy (the ``SIBYL_PARALLEL`` environment variable):
   only slow those down);
 * ``"0"`` / ``"1"`` / ``"serial"`` — force the serial path;
 * any other integer — use exactly that many workers.
+
+Cell packing (the ``SIBYL_LANES`` environment variable, or the
+``lane_pack`` argument): each worker task carries that many consecutive
+cells instead of one.  Packed cells run back-to-back in the same
+process, so they share the per-process caches — most importantly the
+Fast-Only reference memo (:func:`repro.sim.runner.run_reference`):
+sweep campaigns whose points share a reference cell (capacity sweeps,
+hyper-parameter sweeps) then simulate it once per worker instead of
+once per point — and task-dispatch overhead drops by the pack factor.
+Packing never changes results, only scheduling granularity.
 """
 
 from __future__ import annotations
@@ -30,6 +40,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .lanes import resolve_lanes
 
 __all__ = ["Cell", "run_many", "run_grid", "resolve_workers"]
 
@@ -57,6 +69,10 @@ class Cell:
 
 def _run_cell(cell: Cell) -> Any:
     return cell.run()
+
+
+def _run_cell_pack(cells: Sequence[Cell]) -> List[Any]:
+    return [cell.run() for cell in cells]
 
 
 def resolve_workers(
@@ -87,6 +103,7 @@ def resolve_workers(
 def run_many(
     cells: Sequence[Cell],
     max_workers: Optional[int] = None,
+    lane_pack: Optional[int] = None,
 ) -> List[Tuple[Hashable, Any]]:
     """Execute ``cells`` and return ``[(key, result), ...]`` in cell order.
 
@@ -94,13 +111,28 @@ def run_many(
     pool; otherwise they run inline.  Each cell is self-contained and
     deterministically seeded by its kwargs, so the two paths produce
     identical results — parallelism only changes wall-clock time.
+
+    ``lane_pack`` (default: the ``SIBYL_LANES`` environment variable,
+    else 1) groups that many consecutive cells into each worker task;
+    see the module docstring for why packing helps campaigns.
     """
     cells = list(cells)
     workers = resolve_workers(len(cells), max_workers)
     if workers == 0:
         return [(cell.key, cell.run()) for cell in cells]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        results = list(pool.map(_run_cell, cells))
+    pack = resolve_lanes(1) if lane_pack is None else max(1, int(lane_pack))
+    if pack <= 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_cell, cells))
+        return [(cell.key, result) for cell, result in zip(cells, results)]
+    chunks = [cells[i:i + pack] for i in range(0, len(cells), pack)]
+    workers = min(workers, len(chunks))
+    if workers <= 1:
+        results = [result for chunk in chunks for result in _run_cell_pack(chunk)]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            packed = list(pool.map(_run_cell_pack, chunks))
+        results = [result for chunk in packed for result in chunk]
     return [(cell.key, result) for cell, result in zip(cells, results)]
 
 

@@ -6,15 +6,26 @@ the workload's working set (10% by default, §3), then for every request
 ask the policy for a placement, serve it, and hand the outcome back to
 the policy.
 
+The loop body lives in :class:`PolicyRun`, a *resumable* per-request
+stepper: ``run_policy`` drives one run to completion, while the
+multi-lane engine (:mod:`repro.sim.lanes`) advances many ``PolicyRun``
+instances in lockstep — each lane executes exactly the code below, so a
+lane's result is bit-identical to the serial one.
+
 All paper results are *normalised to Fast-Only*; ``run_normalized``
 runs both the policy and the Fast-Only upper bound on identical fresh
-systems and reports the ratios.
+systems and reports the ratios.  The Fast-Only reference for a given
+(trace, config, window) is cached per process, so sweep campaigns that
+share a reference cell (e.g. every point of a capacity sweep) simulate
+it once instead of once per point.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from itertools import islice
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..baselines.base import PlacementPolicy
 from ..baselines.extremes import FastOnlyPolicy
@@ -24,7 +35,20 @@ from ..hss.request import Request
 from ..hss.system import HybridStorageSystem
 from ..traces.stats import working_set_pages
 
-__all__ = ["RunResult", "build_hss", "run_policy", "run_normalized"]
+__all__ = [
+    "RunResult",
+    "PolicyRun",
+    "LANE_DONE",
+    "build_hss",
+    "run_policy",
+    "run_reference",
+    "run_normalized",
+    "clear_reference_cache",
+]
+
+#: Sentinel returned by :meth:`PolicyRun.step_begin` once the lane's
+#: trace is exhausted (distinct from None = "no inference needed").
+LANE_DONE = object()
 
 #: The paper's default capacity restrictions: dual-HSS fast device at
 #: 10% of the working set (§3); tri-HSS H at 5% and M at 10% (§8.7).
@@ -47,20 +71,27 @@ class RunResult:
     profile: PlacementProfile
 
     def normalized_latency(self, reference: "RunResult") -> float:
-        """Average latency relative to a reference run (e.g. Fast-Only)."""
+        """Average latency relative to a reference run (e.g. Fast-Only).
+
+        A degenerate reference (zero latency — e.g. an empty measurement
+        window on a very short trace) yields ``inf`` instead of raising,
+        so sweep campaigns survive pathological cells.
+        """
         if reference.avg_latency_s <= 0:
-            raise ValueError("reference run has zero latency")
+            return float("inf")
         return self.avg_latency_s / reference.avg_latency_s
 
     def normalized_iops(self, reference: "RunResult") -> float:
+        """IOPS relative to a reference run; ``0.0`` on a degenerate
+        (zero-IOPS) reference instead of raising."""
         if reference.iops <= 0:
-            raise ValueError("reference run has zero IOPS")
+            return 0.0
         return self.iops / reference.iops
 
 
 def build_hss(
     config: str,
-    trace: Sequence[Request],
+    trace: Iterable[Request],
     capacity_fractions: Optional[Sequence[float]] = None,
     unbounded: bool = False,
 ) -> HybridStorageSystem:
@@ -69,6 +100,9 @@ def build_hss(
     ``capacity_fractions`` sizes each non-last device as a fraction of
     the trace's working set; the last device is always unbounded.  With
     ``unbounded=True`` every device is unbounded (used for Fast-Only).
+
+    ``trace`` may be any iterable (including a re-iterable streaming
+    source); sizing consumes one pass over it.
     """
     devices = make_devices(config)
     if unbounded:
@@ -85,7 +119,7 @@ def build_hss(
                 f"need {len(devices) - 1} capacity fractions for {config!r}, "
                 f"got {len(capacity_fractions)}"
             )
-        wss = working_set_pages(list(trace))
+        wss = working_set_pages(trace)
         capacities = [
             max(1, int(frac * wss)) for frac in capacity_fractions
         ]
@@ -93,9 +127,167 @@ def build_hss(
     return HybridStorageSystem(devices, capacities)
 
 
+class PolicyRun:
+    """One resumable (policy, trace) simulation, advanced a request at
+    a time.
+
+    ``step()`` executes exactly one loop iteration of the classic serial
+    replay: warmup-window reset, ``policy.place``, closed-loop serve,
+    ``policy.feedback``.  The multi-lane engine instead drives the split
+    pair ``step_begin()`` / ``step_finish(action)`` for RL lanes so it
+    can batch the network forward across lanes; the two paths execute
+    the same statements in the same order, which is what makes lanes
+    bit-identical to serial runs.
+
+    ``trace`` may be a sequence, a sized re-iterable streaming source
+    (e.g. :class:`repro.traces.msrc.StreamingMSRCTrace` — requests are
+    then consumed chunk-by-chunk without materialising the full list),
+    or any iterator (materialised on construction).
+    """
+
+    def __init__(
+        self,
+        policy: PlacementPolicy,
+        trace: Union[Sequence[Request], Iterable[Request]],
+        config: str = "H&M",
+        capacity_fractions: Optional[Sequence[float]] = None,
+        hss: Optional[HybridStorageSystem] = None,
+        max_requests: Optional[int] = None,
+        warmup_fraction: float = 0.0,
+    ) -> None:
+        if isinstance(trace, (list, tuple)):
+            source: Union[Sequence[Request], Iterable[Request]] = trace
+        elif hasattr(trace, "__len__") and hasattr(trace, "__iter__"):
+            source = trace  # sized, re-iterable streaming source
+        else:
+            source = list(trace)  # plain iterator: materialise once
+        if max_requests is not None:
+            # Truncation needs a concrete prefix (policies with future
+            # knowledge must see exactly the truncated trace).
+            if isinstance(source, (list, tuple)):
+                source = list(source[:max_requests])
+            else:
+                source = list(islice(iter(source), max_requests))
+        n_total = len(source)  # type: ignore[arg-type]
+        if n_total == 0:
+            raise ValueError("empty trace")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if hss is None:
+            unbounded = getattr(policy, "requires_unbounded_fast", False)
+            hss = build_hss(
+                config, source, capacity_fractions=capacity_fractions,
+                unbounded=unbounded,
+            )
+        self.policy = policy
+        self.config = config
+        self.hss = hss
+        self.n_total = n_total
+        policy.reset()
+        policy.attach(hss)
+        policy.prepare(source)
+        self._iter = iter(source)
+        self._index = 0
+        self._warmup_end = int(n_total * warmup_fraction)
+        # Closed-loop replay: a request never issues before the previous
+        # one completed, matching trace replay on a real block device and
+        # preventing unbounded open-loop queue build-up on slow devices.
+        self._completion_s = 0.0
+        self._request: Optional[Request] = None
+        self.finished = False
+        # Bound methods hoisted out of the per-request loop.
+        self._place = policy.place
+        self._feedback = policy.feedback
+        self._serve = hss.serve
+
+    # ------------------------------------------------------------ stepping
+    def _fetch(self) -> Optional[Request]:
+        request = next(self._iter, None)
+        if request is None:
+            self.finished = True
+            return None
+        i = self._index
+        if i == self._warmup_end and i > 0:
+            hss = self.hss
+            hss.stats.reset(hss.n_devices)
+            for dev in hss.devices:
+                dev.stats.reset()
+        return request
+
+    def _complete(self, request: Request, action: int) -> None:
+        """The closed-loop tail of one iteration: serve at the clamped
+        issue time, record the completion horizon, feed back, advance.
+
+        The single home of these statements — ``step``, ``step_begin``'s
+        inline path, and ``step_finish`` all delegate here, which is
+        what keeps the serial and lane-engine paths statement-for-
+        statement identical (the bit-identity contract).
+        """
+        now = request.timestamp
+        if now < self._completion_s:
+            now = self._completion_s
+        result = self._serve(request, action, now=now)
+        self._completion_s = now + result.latency_s
+        self._feedback(request, action, result)
+        self._index += 1
+
+    def step(self) -> bool:
+        """Advance one request; return False once the trace is exhausted."""
+        request = self._fetch()
+        if request is None:
+            return False
+        self._complete(request, self._place(request))
+        return True
+
+    def step_begin(self):
+        """Lane-engine first half: fetch a request and run the policy's
+        pre-inference work (:meth:`repro.core.agent.SibylAgent.place_begin`).
+
+        Returns :data:`LANE_DONE` once the trace is exhausted; ``None``
+        when the lane needed no network inference this tick (exploration
+        or action-memo hit — the step then **completed inline**, serve
+        and feedback included); else the observation vector to include
+        in the fused forward, with :meth:`step_finish` still owed.
+        """
+        request = self._fetch()
+        if request is None:
+            return LANE_DONE
+        obs = self.policy.place_begin(request)
+        if obs is not None:
+            self._request = request
+            return obs
+        # Decision already made: finish the step without a second
+        # engine round-trip (the overwhelmingly common steady-state
+        # path once the greedy-action memo is warm).
+        self._complete(request, self.policy.place_commit(None))
+        return None
+
+    def step_finish(self, greedy_action: Optional[int] = None) -> None:
+        """Lane-engine second half: commit the action (scattered from
+        the fused forward) and serve + feed back exactly as ``step``."""
+        request = self._request
+        self._request = None
+        self._complete(request, self.policy.place_commit(greedy_action))
+
+    # -------------------------------------------------------------- result
+    def result(self) -> RunResult:
+        stats = self.hss.stats
+        return RunResult(
+            policy=self.policy.name,
+            config=self.config,
+            n_requests=stats.requests,
+            avg_latency_s=stats.avg_latency_s,
+            iops=self.hss.throughput_iops(),
+            total_latency_s=stats.total_latency_s,
+            eviction_fraction=stats.eviction_fraction,
+            eviction_time_s=stats.eviction_time_s,
+            profile=profile_from_stats(stats),
+        )
+
+
 def run_policy(
     policy: PlacementPolicy,
-    trace: Sequence[Request],
+    trace: Union[Sequence[Request], Iterable[Request]],
     config: str = "H&M",
     capacity_fractions: Optional[Sequence[float]] = None,
     hss: Optional[HybridStorageSystem] = None,
@@ -114,54 +306,95 @@ def run_policy(
     there; measuring the steady-state window — identically for every
     policy — is the equivalent at bench scale.
     """
-    trace = list(trace)
-    if max_requests is not None:
-        trace = trace[:max_requests]
-    if not trace:
-        raise ValueError("empty trace")
-    if not 0.0 <= warmup_fraction < 1.0:
-        raise ValueError("warmup_fraction must be in [0, 1)")
-    if hss is None:
-        unbounded = getattr(policy, "requires_unbounded_fast", False)
-        hss = build_hss(
-            config, trace, capacity_fractions=capacity_fractions,
-            unbounded=unbounded,
-        )
-    policy.reset()
-    policy.attach(hss)
-    policy.prepare(trace)
-    warmup_end = int(len(trace) * warmup_fraction)
-    # Closed-loop replay: a request never issues before the previous
-    # one completed, matching trace replay on a real block device and
-    # preventing unbounded open-loop queue build-up on slow devices.
-    completion_s = 0.0
-    for i, request in enumerate(trace):
-        if i == warmup_end and i > 0:
-            hss.stats.reset(hss.n_devices)
-            for dev in hss.devices:
-                dev.stats.reset()
-        action = policy.place(request)
-        now = max(request.timestamp, completion_s)
-        result = hss.serve(request, action, now=now)
-        completion_s = now + result.latency_s
-        policy.feedback(request, action, result)
-    stats = hss.stats
-    return RunResult(
-        policy=policy.name,
+    run = PolicyRun(
+        policy,
+        trace,
         config=config,
-        n_requests=stats.requests,
-        avg_latency_s=stats.avg_latency_s,
-        iops=hss.throughput_iops(),
-        total_latency_s=stats.total_latency_s,
-        eviction_fraction=stats.eviction_fraction,
-        eviction_time_s=stats.eviction_time_s,
-        profile=profile_from_stats(stats),
+        capacity_fractions=capacity_fractions,
+        hss=hss,
+        max_requests=max_requests,
+        warmup_fraction=warmup_fraction,
     )
+    step = run.step
+    while step():
+        pass
+    return run.result()
+
+
+# ---------------------------------------------------------------------------
+# Fast-Only reference caching.
+# ---------------------------------------------------------------------------
+
+#: Per-process memo of Fast-Only reference runs, keyed by
+#: (trace fingerprint, config, max_requests, warmup_fraction).
+_REFERENCE_CACHE: "OrderedDict[tuple, RunResult]" = OrderedDict()
+_REFERENCE_CACHE_LIMIT = 8
+
+
+def _trace_fingerprint(trace) -> Optional[tuple]:
+    """Value-based identity of a trace, or None when uncacheable.
+
+    Streaming sources may expose a cheap ``fingerprint`` attribute
+    (e.g. path + file metadata); concrete request lists hash their
+    contents (requests are frozen dataclasses).
+    """
+    fp = getattr(trace, "fingerprint", None)
+    if fp is not None:
+        return ("attr", fp)
+    if isinstance(trace, (list, tuple)):
+        if not trace:
+            return ("hash", 0)
+        # Full-content hash plus the endpoint requests themselves: a
+        # stale hit would need a 64-bit hash collision between two
+        # same-length traces that also share both endpoints.
+        return ("hash", len(trace), hash(tuple(trace)), trace[0], trace[-1])
+    return None
+
+
+def run_reference(
+    trace,
+    config: str = "H&M",
+    max_requests: Optional[int] = None,
+    warmup_fraction: float = 0.0,
+) -> RunResult:
+    """The Fast-Only reference run for a (trace, config, window) cell.
+
+    Deterministic (Fast-Only is stateless and the replay is seeded by
+    the trace alone), so the result is memoised per process: a sweep
+    whose points share the reference cell — every capacity fraction of
+    a capacity sweep, every point of a hyper-parameter sweep — pays for
+    one reference simulation instead of one per point.
+    """
+    fingerprint = _trace_fingerprint(trace)
+    key = None
+    if fingerprint is not None:
+        key = (fingerprint, config, max_requests, warmup_fraction)
+        hit = _REFERENCE_CACHE.get(key)
+        if hit is not None:
+            _REFERENCE_CACHE.move_to_end(key)
+            return hit
+    result = run_policy(
+        FastOnlyPolicy(),
+        trace,
+        config=config,
+        max_requests=max_requests,
+        warmup_fraction=warmup_fraction,
+    )
+    if key is not None:
+        _REFERENCE_CACHE[key] = result
+        while len(_REFERENCE_CACHE) > _REFERENCE_CACHE_LIMIT:
+            _REFERENCE_CACHE.popitem(last=False)
+    return result
+
+
+def clear_reference_cache() -> None:
+    """Drop all memoised Fast-Only reference runs (mainly for tests)."""
+    _REFERENCE_CACHE.clear()
 
 
 def run_normalized(
     policies: Sequence[PlacementPolicy],
-    trace: Sequence[Request],
+    trace: Union[Sequence[Request], Iterable[Request]],
     config: str = "H&M",
     capacity_fractions: Optional[Sequence[float]] = None,
     max_requests: Optional[int] = None,
@@ -172,9 +405,22 @@ def run_normalized(
     Returns ``{policy_name: {"latency": ..., "iops": ...,
     "eviction_fraction": ..., "fast_preference": ...}}`` with latency and
     IOPS normalised to Fast-Only, the paper's universal baseline.
+
+    The policy runs advance through the multi-lane engine
+    (:func:`repro.sim.lanes.run_lanes`): every policy in the lineup steps
+    in lockstep over the trace and RL lanes share one fused network
+    forward per tick.  Lanes are bit-identical to serial ``run_policy``
+    calls, so this changes wall-clock time only.
     """
-    reference = run_policy(
-        FastOnlyPolicy(),
+    from .lanes import LaneSpec, run_lanes  # local import: lanes builds on us
+
+    # A one-shot iterator can feed at most one run; materialise it once
+    # here so the reference run and every policy lane see the full trace.
+    if not isinstance(trace, (list, tuple)) and not (
+        hasattr(trace, "__len__") and hasattr(trace, "__iter__")
+    ):
+        trace = list(trace)
+    reference = run_reference(
         trace,
         config=config,
         max_requests=max_requests,
@@ -192,15 +438,20 @@ def run_normalized(
             "raw_iops": reference.iops,
         }
     }
-    for policy in policies:
-        result = run_policy(
-            policy,
-            trace,
-            config=config,
-            capacity_fractions=capacity_fractions,
-            max_requests=max_requests,
-            warmup_fraction=warmup_fraction,
-        )
+    results = run_lanes(
+        [
+            LaneSpec(
+                policy=policy,
+                trace=trace,
+                config=config,
+                capacity_fractions=capacity_fractions,
+                max_requests=max_requests,
+                warmup_fraction=warmup_fraction,
+            )
+            for policy in policies
+        ]
+    )
+    for result in results:
         out[result.policy] = {
             "latency": result.normalized_latency(reference),
             "iops": result.normalized_iops(reference),

@@ -15,16 +15,27 @@ synthetic generator can export its traces for inspection.
 from __future__ import annotations
 
 import csv
+import heapq
 import io
+from itertools import islice
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from ..hss.request import PAGE_SIZE_BYTES, OpType, Request
 
-__all__ = ["load_msrc_csv", "dump_msrc_csv", "parse_msrc_rows"]
+__all__ = [
+    "load_msrc_csv",
+    "dump_msrc_csv",
+    "parse_msrc_rows",
+    "iter_msrc_csv",
+    "StreamingMSRCTrace",
+]
 
 #: Windows filetime resolution: 100 ns per tick.
 _TICKS_PER_SECOND = 10_000_000
+
+#: Default look-ahead of the streaming reader's reordering buffer.
+DEFAULT_REORDER_WINDOW = 4096
 
 
 def parse_msrc_rows(rows: Iterable[List[str]]) -> List[Request]:
@@ -71,6 +82,151 @@ def load_msrc_csv(path: Union[str, Path, io.TextIOBase]) -> List[Request]:
         return parse_msrc_rows(csv.reader(path))
     with open(path, newline="") as handle:
         return parse_msrc_rows(csv.reader(handle))
+
+
+def iter_msrc_csv(
+    path: Union[str, Path],
+    reorder_window: int = DEFAULT_REORDER_WINDOW,
+) -> Iterator[Request]:
+    """Stream an MSRC-format CSV as requests, one at a time.
+
+    The full-length MSRC captures run to tens of millions of rows;
+    materialising them (``load_msrc_csv``) costs gigabytes of request
+    objects.  This iterator holds at most ``reorder_window`` pending
+    rows: a bounded min-heap on (timestamp, row index) that re-sorts the
+    mild timestamp jitter real captures exhibit.  Whenever every row
+    sits within ``reorder_window`` positions of its globally sorted
+    position — true for the published traces — the emitted sequence is
+    exactly ``load_msrc_csv``'s (same stable timestamp order, same
+    ``t=0`` rebase to the first emitted request).
+
+    Feed it to the lane engine directly, or wrap it in
+    :class:`StreamingMSRCTrace` when the harness needs a sized,
+    re-iterable source.
+    """
+    if reorder_window < 1:
+        raise ValueError("reorder_window must be >= 1")
+
+    def entries(handle) -> Iterator[tuple]:
+        for index, row in enumerate(csv.reader(handle)):
+            if not row or row[0].startswith("#"):
+                continue
+            if len(row) < 6:
+                raise ValueError(
+                    f"malformed MSRC row (need >= 6 fields): {row!r}"
+                )
+            size = int(row[5])
+            if size <= 0:
+                continue  # zero-byte control requests appear in some traces
+            yield int(row[0]), index, OpType.parse(row[3]), int(row[4]), size
+
+    def emit(entry: tuple, t0: int) -> Request:
+        ticks, _, op, offset, size = entry
+        return Request(
+            timestamp=(ticks - t0) / _TICKS_PER_SECOND,
+            op=op,
+            page=offset // PAGE_SIZE_BYTES,
+            size=max(1, -(-size // PAGE_SIZE_BYTES)),  # ceil div
+        )
+
+    with open(path, newline="") as handle:
+        heap: List[tuple] = []
+        t0: Optional[int] = None
+        last: Optional[int] = None
+        for entry in entries(handle):
+            if len(heap) < reorder_window:
+                heapq.heappush(heap, entry)
+                continue
+            smallest = heapq.heappushpop(heap, entry)
+            if t0 is None:
+                t0 = smallest[0]
+            if last is not None and smallest[0] < last:
+                raise ValueError(
+                    f"MSRC row at ticks {smallest[0]} arrived more than "
+                    f"reorder_window={reorder_window} rows out of order; "
+                    f"raise the window or sort the file"
+                )
+            last = smallest[0]
+            yield emit(smallest, t0)
+        while heap:
+            smallest = heapq.heappop(heap)
+            if t0 is None:
+                t0 = smallest[0]
+            yield emit(smallest, t0)
+
+
+class StreamingMSRCTrace:
+    """Sized, re-iterable streaming view of an on-disk MSRC trace.
+
+    Quacks enough like a sequence for the whole harness — ``len()`` (one
+    cached counting pass), iteration (re-reads the file each time, so
+    independent simulation lanes can stream the same trace
+    concurrently), and a cheap ``fingerprint`` for the Fast-Only
+    reference cache — while holding only the reader's reorder window in
+    memory.  Pass ``"msrc:<path>"`` as a workload name to the sweep
+    functions in :mod:`repro.sim.experiment` to use one as a cell's
+    trace source.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_requests: Optional[int] = None,
+        reorder_window: int = DEFAULT_REORDER_WINDOW,
+    ) -> None:
+        self.path = Path(path)
+        if not self.path.is_file():
+            raise FileNotFoundError(f"no MSRC trace at {self.path}")
+        if max_requests is not None and max_requests < 1:
+            raise ValueError("max_requests must be >= 1 or None")
+        self.max_requests = max_requests
+        self.reorder_window = reorder_window
+        self._length: Optional[int] = None
+        self._working_set: Optional[int] = None
+
+    def __iter__(self) -> Iterator[Request]:
+        stream = iter_msrc_csv(self.path, reorder_window=self.reorder_window)
+        if self.max_requests is not None:
+            return islice(stream, self.max_requests)
+        return stream
+
+    def __len__(self) -> int:
+        if self._length is None:
+            self._length = sum(1 for _ in self)
+        return self._length
+
+    def count_working_set_pages(self) -> int:
+        """Distinct pages touched, memoised: the HSS-sizing pass runs
+        once per trace object, not once per simulation lane sharing it
+        (see :func:`repro.traces.stats.working_set_pages`)."""
+        if self._working_set is None:
+            pages = set()
+            count = 0
+            for req in self:
+                pages.update(req.pages)
+                count += 1
+            self._working_set = len(pages)
+            self._length = count  # same pass, free length
+        return self._working_set
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Value identity without reading the file (reference cache key)."""
+        stat = self.path.stat()
+        return (
+            "msrc",
+            str(self.path),
+            stat.st_size,
+            stat.st_mtime_ns,
+            self.max_requests,
+            self.reorder_window,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingMSRCTrace({str(self.path)!r}, "
+            f"max_requests={self.max_requests})"
+        )
 
 
 def dump_msrc_csv(

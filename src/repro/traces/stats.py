@@ -67,12 +67,20 @@ def compute_stats(trace: List[Request]) -> TraceStats:
     )
 
 
-def working_set_pages(trace: List[Request]) -> int:
+def working_set_pages(trace) -> int:
     """Number of distinct logical pages the trace touches.
 
     The paper sizes the fast device as a fraction of this working set
     (10% in §3, 5%/10% for H/M in the tri-HSS study §8.7).
+
+    Accepts any iterable of requests.  A source that can count its own
+    working set more cheaply (e.g. a streaming trace that memoises the
+    count so N lanes sizing against the same file scan it once) may
+    expose ``count_working_set_pages()``, which takes precedence.
     """
+    counter = getattr(trace, "count_working_set_pages", None)
+    if counter is not None:
+        return counter()
     pages = set()
     for req in trace:
         pages.update(req.pages)

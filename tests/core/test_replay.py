@@ -153,3 +153,23 @@ class TestSizing:
     @given(st.integers(1, 10000))
     def test_storage_scales_with_capacity(self, cap):
         assert ExperienceBuffer(cap).storage_bits() == cap * 100
+
+
+class TestSignedZeroRewards:
+    def test_pos_and_neg_zero_rewards_stay_distinct(self):
+        """+0.0 and -0.0 serialise to different float16 bytes (the sign
+        bit) and must therefore produce distinct dedup keys, even though
+        they compare equal as floats (regression for the reward-bytes
+        memo collapsing them)."""
+        import numpy as np
+        from repro.core.replay import ExperienceBuffer
+
+        obs = np.zeros(4)
+        buf = ExperienceBuffer(capacity=10)
+        buf.add(obs, 0, 0.0, obs)
+        buf.add(obs, 0, -0.0, obs)
+        assert len(buf) == 2
+        # And true duplicates still deduplicate.
+        buf.add(obs, 0, -0.0, obs)
+        assert len(buf) == 2
+        assert buf.total_added == 3

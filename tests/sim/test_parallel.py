@@ -109,3 +109,31 @@ class TestSweepEquivalence:
             (32, 8), workload="rsrch_0", n_requests=400, max_workers=2
         )
         assert list(out) == [32, 8]
+
+
+class TestLanePacking:
+    """SIBYL_LANES cell packing: scheduling granularity only, results
+    and ordering unchanged."""
+
+    def test_pack_matches_unpacked(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(7)]
+        unpacked = run_many(cells, max_workers=2, lane_pack=1)
+        packed = run_many(cells, max_workers=2, lane_pack=3)
+        assert packed == unpacked == [(i, i * i) for i in range(7)]
+
+    def test_pack_env_variable(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_LANES", "4")
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(6)]
+        assert run_many(cells, max_workers=2) == [(i, i * i) for i in range(6)]
+
+    def test_pack_larger_than_grid(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(3)]
+        assert run_many(cells, max_workers=2, lane_pack=64) == [
+            (i, i * i) for i in range(3)
+        ]
+
+    def test_pack_serial_path_unaffected(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(4)]
+        assert run_many(cells, max_workers=1, lane_pack=2) == [
+            (i, i * i) for i in range(4)
+        ]

@@ -1,10 +1,19 @@
 """Tests for the simulation runner."""
 
+import dataclasses
+
 import pytest
 
 from repro.baselines.extremes import FastOnlyPolicy, SlowOnlyPolicy
 from repro.baselines.cde import CDEPolicy
-from repro.sim.runner import build_hss, run_normalized, run_policy
+from repro.sim.runner import (
+    PolicyRun,
+    build_hss,
+    clear_reference_cache,
+    run_normalized,
+    run_policy,
+    run_reference,
+)
 from repro.traces.stats import working_set_pages
 from repro.traces.workloads import make_trace
 
@@ -87,6 +96,32 @@ class TestRunPolicy:
         assert slow.normalized_latency(fast) > 1.0
         assert slow.normalized_iops(fast) < 1.0
 
+    def test_degenerate_reference_guarded(self, trace):
+        """A zero-latency/zero-IOPS reference (empty measurement window
+        on a degenerate short trace) must yield inf/0.0, not raise."""
+        result = run_policy(SlowOnlyPolicy(), trace, config="H&M")
+        degenerate = dataclasses.replace(result, avg_latency_s=0.0, iops=0.0)
+        assert result.normalized_latency(degenerate) == float("inf")
+        assert result.normalized_iops(degenerate) == 0.0
+        # The guarded run itself still normalises against a healthy one.
+        assert degenerate.normalized_latency(result) == 0.0
+        assert degenerate.normalized_iops(result) == 0.0
+
+    def test_step_loop_matches_run_policy(self, trace):
+        """PolicyRun stepped by hand equals the one-shot helper."""
+        expected = run_policy(CDEPolicy(), trace, config="H&M")
+        run = PolicyRun(CDEPolicy(), trace, config="H&M")
+        steps = 0
+        while run.step():
+            steps += 1
+        assert steps == len(trace)
+        assert run.result() == expected
+
+    def test_plain_iterator_trace(self, trace):
+        """A one-shot generator trace is materialised and matches."""
+        expected = run_policy(SlowOnlyPolicy(), list(trace), config="H&M")
+        assert run_policy(SlowOnlyPolicy(), iter(list(trace)), config="H&M") == expected
+
 
 class TestClosedLoopEdgeCases:
     def test_warmup_boundary_last_request_only(self, trace):
@@ -133,6 +168,50 @@ class TestClosedLoopEdgeCases:
         assert hss.stats.requests == window
         makespan = max(dev.stats.busy_time_s for dev in hss.devices)
         assert result.iops == pytest.approx(window / makespan)
+
+
+class TestReferenceCache:
+    def test_same_trace_memoised(self, trace):
+        clear_reference_cache()
+        first = run_reference(list(trace), config="H&M")
+        second = run_reference(list(trace), config="H&M")
+        assert second is first  # memo hit, not a re-simulation
+
+    def test_cache_keyed_by_window(self, trace):
+        clear_reference_cache()
+        full = run_reference(list(trace), config="H&M")
+        windowed = run_reference(
+            list(trace), config="H&M", warmup_fraction=0.5
+        )
+        assert windowed is not full
+        assert windowed.n_requests < full.n_requests
+
+    def test_clear_forces_rerun(self, trace):
+        clear_reference_cache()
+        first = run_reference(list(trace), config="H&M")
+        clear_reference_cache()
+        second = run_reference(list(trace), config="H&M")
+        assert second is not first
+        assert second == first  # deterministic either way
+
+    def test_run_normalized_uses_cache(self, trace):
+        clear_reference_cache()
+        a = run_normalized([CDEPolicy()], trace, config="H&M")
+        b = run_normalized([CDEPolicy()], trace, config="H&M")
+        assert a == b
+
+    def test_run_normalized_one_shot_iterator(self, trace):
+        """A generator trace must feed the reference AND every policy
+        lane (regression: the reference run used to exhaust it)."""
+        clear_reference_cache()
+        expected = run_normalized(
+            [CDEPolicy(), SlowOnlyPolicy()], list(trace), config="H&M"
+        )
+        clear_reference_cache()
+        got = run_normalized(
+            [CDEPolicy(), SlowOnlyPolicy()], iter(list(trace)), config="H&M"
+        )
+        assert got == expected
 
 
 class TestRunNormalized:

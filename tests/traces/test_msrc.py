@@ -5,7 +5,13 @@ import io
 import pytest
 
 from repro.hss.request import OpType
-from repro.traces.msrc import dump_msrc_csv, load_msrc_csv, parse_msrc_rows
+from repro.traces.msrc import (
+    StreamingMSRCTrace,
+    dump_msrc_csv,
+    iter_msrc_csv,
+    load_msrc_csv,
+    parse_msrc_rows,
+)
 from repro.traces.workloads import make_trace
 
 
@@ -73,3 +79,85 @@ class TestRoundTrip:
         dump_msrc_csv(trace, buf)
         buf.seek(0)
         assert len(load_msrc_csv(buf)) == 20
+
+
+class TestStreamingIterator:
+    """iter_msrc_csv / StreamingMSRCTrace: chunk-by-chunk ingestion that
+    matches the materialising loader exactly."""
+
+    def _write_trace(self, tmp_path, n=300, shuffle_window=0, seed=0):
+        import random
+
+        trace = make_trace("rsrch_0", n_requests=n, seed=seed)
+        path = tmp_path / "stream.csv"
+        dump_msrc_csv(trace, path)
+        if shuffle_window:
+            # Jitter row order within a bounded window to mimic the mild
+            # disorder of real captures.
+            lines = path.read_text().splitlines()
+            rng = random.Random(seed)
+            for i in range(0, len(lines) - shuffle_window, shuffle_window):
+                block = lines[i:i + shuffle_window]
+                rng.shuffle(block)
+                lines[i:i + shuffle_window] = block
+            path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_stream_equals_load(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        assert list(iter_msrc_csv(path)) == load_msrc_csv(path)
+
+    def test_stream_equals_load_with_jitter(self, tmp_path):
+        path = self._write_trace(tmp_path, shuffle_window=16)
+        assert list(iter_msrc_csv(path, reorder_window=64)) == load_msrc_csv(path)
+
+    def test_out_of_window_disorder_raises(self, tmp_path):
+        path = self._write_trace(tmp_path, n=200)
+        lines = path.read_text().splitlines()
+        # Move the first (earliest) row far beyond a tiny window.
+        lines.append(lines.pop(0))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="out of order"):
+            list(iter_msrc_csv(path, reorder_window=4))
+
+    def test_streaming_trace_is_sized_and_reiterable(self, tmp_path):
+        path = self._write_trace(tmp_path, n=150)
+        source = StreamingMSRCTrace(path)
+        assert len(source) == 150
+        assert list(source) == list(source)  # independent passes
+        capped = StreamingMSRCTrace(path, max_requests=40)
+        assert len(capped) == 40
+
+    def test_streaming_trace_fingerprint_stable(self, tmp_path):
+        path = self._write_trace(tmp_path, n=50)
+        a = StreamingMSRCTrace(path)
+        b = StreamingMSRCTrace(path)
+        assert a.fingerprint == b.fingerprint
+        assert StreamingMSRCTrace(path, max_requests=10).fingerprint != a.fingerprint
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            StreamingMSRCTrace(tmp_path / "absent.csv")
+
+    def test_run_policy_streaming_matches_list(self, tmp_path):
+        """A full simulation fed by the streaming source is bit-identical
+        to one fed by the materialised request list."""
+        from repro.baselines.cde import CDEPolicy
+        from repro.sim.runner import run_policy
+
+        path = self._write_trace(tmp_path, n=400)
+        materialised = load_msrc_csv(path)
+        streamed = StreamingMSRCTrace(path)
+        assert run_policy(CDEPolicy(), streamed, config="H&M") == run_policy(
+            CDEPolicy(), materialised, config="H&M"
+        )
+
+    def test_sweep_cell_msrc_source(self, tmp_path):
+        """The `msrc:<path>` workload form routes sweep cells through the
+        streaming reader."""
+        from repro.sim.experiment import _resolve_trace
+
+        path = self._write_trace(tmp_path, n=120)
+        source = _resolve_trace(f"msrc:{path}", n_requests=100, seed=0)
+        assert isinstance(source, StreamingMSRCTrace)
+        assert len(source) == 100
