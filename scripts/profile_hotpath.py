@@ -16,7 +16,12 @@ figure reproduction, so perf claims land as numbers instead of vibes:
                     tick across lanes); reports *aggregate* requests/sec
                     over all lanes, the within-process throughput a
                     sweep worker achieves when it packs ``SIBYL_LANES``
-                    cells.
+                    cells;
+* ``fused_training`` — one multi-lane training event (8 batches of 128
+                    per lane through per-lane weights) via the stacked
+                    fused forward/backward vs the same events run
+                    serially; reports the per-lane event cost both ways
+                    and the fusion speedup.
 
 Results are printed and appended to a JSON trajectory file (default
 ``BENCH_hotpath.json`` at the repo root) so successive PRs can compare
@@ -47,7 +52,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.baselines.cde import CDEPolicy  # noqa: E402
 from repro.core.agent import SibylAgent  # noqa: E402
 from repro.core.hyperparams import SIBYL_DEFAULT  # noqa: E402
-from repro.sim.lanes import LaneSpec, resolve_lanes, run_lanes  # noqa: E402
+from repro.sim.lanes import (  # noqa: E402
+    LaneSpec, fused_train_event, resolve_lanes, run_lanes,
+)
 from repro.sim.runner import build_hss, run_policy  # noqa: E402
 from repro.traces.workloads import make_trace  # noqa: E402
 
@@ -107,18 +114,23 @@ def bench_multilane(trace, n_lanes, repeats):
     return n_lanes * len(trace) / elapsed
 
 
-def bench_train_step(trace, repeats):
-    """Milliseconds per training step (8 batches of 128 + weight copy)."""
-    agent = SibylAgent(seed=0)
+def _warmed_agent(trace, seed):
+    """An agent whose buffer was filled through the real serve loop."""
+    agent = SibylAgent(seed=seed)
     hss = build_hss("H&M", trace)
     agent.attach(hss)
-    # Fill the buffer through the real loop so experiences are genuine.
     for request in trace[:2000]:
         action = agent.place(request)
         result = hss.serve(request, action)
         agent.feedback(request, action, result)
     if len(agent.buffer) < agent.hyperparams.batch_size:
         raise RuntimeError("buffer too small to benchmark the train step")
+    return agent
+
+
+def bench_train_step(trace, repeats):
+    """Milliseconds per training step (8 batches of 128 + weight copy)."""
+    agent = _warmed_agent(trace, seed=0)
 
     n_steps = 20
     def run():
@@ -129,6 +141,46 @@ def bench_train_step(trace, repeats):
     per_step_s = elapsed / n_steps
     batches = agent.hyperparams.batches_per_training
     return per_step_s * 1e3, batches / per_step_s
+
+
+def bench_fused_training(trace, n_lanes, repeats):
+    """Per-lane training-event cost: fused across lanes vs serial.
+
+    ``n_lanes`` warmed agents each owe one training event per round;
+    the fused rounds batch all of them through the stacked
+    forward/backward (what the lane engine does when events align),
+    the serial rounds commit each lane alone.  Returns per-lane
+    milliseconds for both paths.
+    """
+    agents = [_warmed_agent(trace, seed=i) for i in range(n_lanes)]
+    cache = {}
+    n_rounds = 10
+
+    def fused():
+        for _ in range(n_rounds):
+            for agent in agents:
+                agent.train_begin()
+            fused_train_event(agents, cache, "bench")
+
+    def serial():
+        for _ in range(n_rounds):
+            for agent in agents:
+                agent.train_begin()
+                agent.train_commit()
+
+    # Warm both paths outside the timed region (stack construction,
+    # scratch allocation, code caches) so a single-repeat --quick run
+    # doesn't charge one-time setup to the fused side.
+    for agent in agents:
+        agent.train_begin()
+    fused_train_event(agents, cache, "bench")
+    for agent in agents:
+        agent.train_begin()
+        agent.train_commit()
+    fused_s, _ = _best_of(repeats, fused)
+    serial_s, _ = _best_of(repeats, serial)
+    per_lane = n_rounds * n_lanes
+    return fused_s * 1e3 / per_lane, serial_s * 1e3 / per_lane
 
 
 def main(argv=None) -> int:
@@ -162,6 +214,8 @@ def main(argv=None) -> int:
     sibyl_rps, train_events = bench_sibyl_loop(trace, args.repeats)
     multilane_rps = bench_multilane(trace, n_lanes, args.repeats)
     step_ms, batches_per_s = bench_train_step(trace, args.repeats)
+    fused_lanes = max(4, n_lanes)
+    fused_ms, serial_ms = bench_fused_training(trace, fused_lanes, args.repeats)
 
     entry = {
         "label": args.label,
@@ -185,6 +239,12 @@ def main(argv=None) -> int:
             "aggregate_rps": round(multilane_rps, 1),
             "speedup_vs_single_lane": round(multilane_rps / sibyl_rps, 3),
         },
+        "fused_training": {
+            "lanes": fused_lanes,
+            "fused_event_ms_per_lane": round(fused_ms, 3),
+            "serial_event_ms_per_lane": round(serial_ms, 3),
+            "speedup": round(serial_ms / fused_ms, 3),
+        },
     }
 
     print(f"serve loop      : {serve_rps:10.1f} req/s  (CDE heuristic)")
@@ -194,6 +254,8 @@ def main(argv=None) -> int:
           f"aggregate ({multilane_rps / sibyl_rps:.2f}x single lane)")
     print(f"train step      : {step_ms:10.3f} ms     "
           f"({batches_per_s:.1f} batches/s)")
+    print(f"fused train x{fused_lanes:<2d}  : {fused_ms:10.3f} ms/lane "
+          f"(serial {serial_ms:.3f} ms/lane, {serial_ms / fused_ms:.2f}x)")
 
     history = []
     if args.output.exists():

@@ -96,6 +96,19 @@ class SibylAgent(PlacementPolicy):
         self.train_events = 0
         self.losses: list = []
         self.action_counts: Optional[np.ndarray] = None
+        # External-training hook state (the fused multi-lane engine).
+        # ``external_training`` defers the heavy half of a training
+        # event to an outside driver: feedback() then only runs
+        # train_begin() (the per-lane RNG draws) and the driver batches
+        # the network work across lanes before calling train_commit().
+        self.external_training = False
+        self._train_job: Optional[tuple] = None
+        # Monotonic count of inference-weight rewrites (weight copies,
+        # attach, checkpoint restores).  The lane engine watches this to
+        # know when a lane's slice of the stacked inference weights is
+        # stale — unlike ``train_events``, it never resets, so a
+        # checkpoint restore is always visible.
+        self.weights_version = 0
         # Greedy-action memo.  Observations are quantised bin vectors,
         # so the visited state space is small and heavily revisited, and
         # the inference network only changes at weight-copy events —
@@ -149,6 +162,7 @@ class SibylAgent(PlacementPolicy):
         self.action_counts = np.zeros(n_actions, dtype=np.int64)
         self._action_cache.clear()
         self._cache_obs.clear()
+        self.weights_version += 1
 
     # ----------------------------------------------------------- decision
     def place(self, request: Request) -> int:
@@ -244,21 +258,31 @@ class SibylAgent(PlacementPolicy):
             self._requests_seen % hp.train_interval == 0
             and len(self.buffer) >= hp.batch_size
         ):
-            self._train()
+            self.train_begin()
+            if not self.external_training:
+                self.train_commit()
 
     def _train(self) -> None:
-        """The RL training thread: batch updates + weight copy (§6.2.2).
+        """The RL training thread: batch updates + weight copy (§6.2.2)."""
+        self.train_begin()
+        self.train_commit()
 
-        The bootstrap (inference) network is frozen for the whole event,
-        so all batches are sampled up front and their Bellman targets
-        (bootstrap forward + distributional projection) computed in one
-        fused pass.  Both are per-row pure functions and the batches
-        sample *with replacement* from at most ``buffer_capacity``
-        unique transitions, so the fused pass runs once per **unique**
-        sampled slot and the per-row results are gathered back — the
-        same values, computed once each.  The RNG draw order matches
-        the per-batch loop exactly, so trajectories are unchanged.
+    def train_begin(self) -> tuple:
+        """First half of a training event: the per-lane random draws.
+
+        Mirrors :meth:`place_begin`: everything up to the network work.
+        Samples all of the event's batches from the replay buffer with
+        this agent's own RNG (the exact draws the serial loop makes) and
+        collapses them to their unique slots, leaving the heavy half —
+        Bellman targets, eight forward/backward passes, weight copy —
+        owed to :meth:`train_commit`.  An external driver (the fused
+        multi-lane training engine) batches that half across lanes; the
+        returned job is ``(slot_batches, unique_slots, inverse)``.
         """
+        if self._train_job is not None:
+            raise RuntimeError(
+                "train_begin() while a training event is already pending"
+            )
         hp = self.hyperparams
         slot_batches = [
             self.buffer.sample_slots(hp.batch_size, rng=self.rng)
@@ -267,22 +291,70 @@ class SibylAgent(PlacementPolicy):
         unique_slots, inverse = np.unique(
             np.concatenate(slot_batches), return_inverse=True
         )
-        u_rewards, u_next = self.buffer.gather_targets(unique_slots)
-        targets = self.training_net.precompute_targets(
-            u_rewards, u_next, target=self.inference_net
-        )[inverse]
-        n = hp.batch_size
-        for i, slots in enumerate(slot_batches):
-            obs, actions, rewards, next_obs = self.buffer.gather(slots)
-            loss = self.training_net.train_batch(
-                obs, actions, rewards, next_obs,
-                target=self.inference_net,
-                targets=targets[i * n:(i + 1) * n],
-            )
-            self.losses.append(loss)
+        self._train_job = (slot_batches, unique_slots, inverse)
+        return self._train_job
+
+    @property
+    def train_pending(self) -> bool:
+        """True between :meth:`train_begin` and :meth:`train_commit`."""
+        return self._train_job is not None
+
+    def train_abort(self) -> None:
+        """Drop a pending training event without committing it.
+
+        For an external driver unwinding after an error while this
+        lane's event was queued: the sampled batches are discarded and
+        the agent is immediately reusable — its next event simply
+        resamples from the live RNG stream.
+        """
+        self._train_job = None
+
+    @property
+    def train_job(self) -> Optional[tuple]:
+        """The pending ``(slot_batches, unique_slots, inverse)`` job."""
+        return self._train_job
+
+    def train_commit(self, losses: Optional[list] = None) -> None:
+        """Second half of a training event: updates + weight copy.
+
+        With no ``losses`` the batches run locally: the bootstrap
+        (inference) network is frozen for the whole event, so the
+        Bellman targets of every *unique* sampled slot (bootstrap
+        forward + distributional projection) are computed in one fused
+        pass and gathered back per batch — the same values the
+        per-batch loop would compute, once each.  ``losses`` supplies
+        the per-batch losses of an externally executed event (the lane
+        engine's fused stacked forward/backward, which also wrote the
+        updated weights into ``training_net``); they must equal what the
+        local path would compute.  Either way the training weights are
+        then copied into the inference network, the greedy-action memo
+        is re-evaluated, and the event counters advance.
+        """
+        if self._train_job is None:
+            raise RuntimeError("train_commit() without a pending train_begin()")
+        slot_batches, unique_slots, inverse = self._train_job
+        self._train_job = None
+        if losses is not None:
+            self.losses.extend(float(loss) for loss in losses)
+        else:
+            hp = self.hyperparams
+            u_rewards, u_next = self.buffer.gather_targets(unique_slots)
+            targets = self.training_net.precompute_targets(
+                u_rewards, u_next, target=self.inference_net
+            )[inverse]
+            n = hp.batch_size
+            for i, slots in enumerate(slot_batches):
+                obs, actions, rewards, next_obs = self.buffer.gather(slots)
+                loss = self.training_net.train_batch(
+                    obs, actions, rewards, next_obs,
+                    target=self.inference_net,
+                    targets=targets[i * n:(i + 1) * n],
+                )
+                self.losses.append(loss)
         self.inference_net.copy_weights_from(self.training_net)
         self._refresh_action_cache()
         self.train_events += 1
+        self.weights_version += 1
 
     #: Above this many memoised states, refreshing stops paying for
     #: itself and the memo is simply dropped.
@@ -319,6 +391,8 @@ class SibylAgent(PlacementPolicy):
         self._requests_seen = 0
         self.train_events = 0
         self.losses = []
+        self.external_training = False
+        self._train_job = None
         self._action_cache.clear()
         self._cache_obs.clear()
         if self.hss is not None:
@@ -349,10 +423,16 @@ class SibylAgent(PlacementPolicy):
 
         The agent must already be attached to an HSS with the same
         observation/action dimensions.  In-flight transition state
-        (``_pending``/``_current``), the experience buffer, and the
-        action counters all describe the *pre-restore* run, so they are
+        (``_pending``/``_current``), the experience buffer, a pending
+        training job, the optimizer's moment estimates, and the action
+        counters all describe the *pre-restore* run, so they are
         cleared here — the restored agent must not complete a stale
-        half-transition or report stale placement statistics.
+        half-transition, train on stale gradᵗ statistics, or report
+        stale placement statistics.  The greedy-action memo is dropped
+        and ``weights_version`` advances so any lane stack the agent
+        rides re-syncs its slice of the stacked inference weights
+        (``train_events`` resets to 0 and is therefore useless as a
+        staleness signal here).
         """
         if self.training_net is None or self.inference_net is None:
             raise RuntimeError("attach() before loading a checkpoint")
@@ -371,11 +451,14 @@ class SibylAgent(PlacementPolicy):
         self._pending = None
         self._current = None
         self._inflight = None
+        self._train_job = None
         self.buffer.clear()
         self._action_cache.clear()
         self._cache_obs.clear()
+        self.training_net.optimizer.reset()
         self.train_events = 0
         self.losses = []
+        self.weights_version += 1
         if self.action_counts is not None:
             self.action_counts.fill(0)
 

@@ -266,6 +266,20 @@ class ExperienceBuffer:
         """(rewards, next_obs) only — the Bellman-target inputs."""
         return self._rewards[slots], self._next_obs[slots]
 
+    def gather_into(
+        self, slots: np.ndarray, obs_out: np.ndarray, actions_out: np.ndarray
+    ) -> None:
+        """Gather (obs, actions) for ``slots`` into caller-owned buffers.
+
+        The fused multi-lane training engine stacks one batch per lane
+        into ``(K, batch, n_obs)`` / ``(K, batch)`` arrays; this writes
+        a lane's rows straight into its slice — exactly the values
+        :meth:`gather` returns, without the intermediate per-lane
+        arrays a stack-of-gathers would copy twice.
+        """
+        np.take(self._obs, slots, axis=0, out=obs_out)
+        np.take(self._actions, slots, axis=0, out=actions_out)
+
     # ------------------------------------------------------------- sizing
     def __len__(self) -> int:
         """Number of *unique* experiences currently held."""

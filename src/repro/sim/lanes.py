@@ -1,4 +1,4 @@
-"""Multi-lane batched inference engine: N independent runs in lockstep.
+"""Multi-lane batched engine: N independent runs in lockstep.
 
 PR 1's parallel engine fans (policy × trace × config × seed) cells
 across *processes*; inside a process each cell still replayed its trace
@@ -20,16 +20,31 @@ and :func:`run_lanes` advances all lanes in lockstep — each tick it
    each lane's serve + feedback, while heuristic-policy lanes step
    without any inference cost.
 
-Training stays strictly per-lane — every lane keeps its own replay
-buffer, network weights, and seeded RNG — and after a lane's periodic
-training→inference weight copy only that lane's slice of the stack is
-re-synced.
+**Training is fused the same way.**  A Sibyl lane's periodic training
+event (8 batches of 128 through its training network, then a weight
+copy) is split by the ``train_begin`` / ``train_commit`` hook pair
+mirroring ``place_begin`` / ``place_commit``: at the event, the lane
+only draws its own batch samples (``train_begin``); the engine then
+batches the heavy half — per-lane Bellman targets plus eight stacked
+forward/backward/optimizer steps through per-lane training weights
+(:meth:`~repro.rl.c51.C51LaneStack.train_batch`,
+:class:`~repro.rl.optim.StackedAdam`) — across every lane whose event
+fell on the same tick, and ``train_commit`` finishes each lane (weight
+copy, action-memo refresh).  Lanes whose events fall on *nearby* ticks
+can be batched too: a lane with a pending event is simply **held** (not
+stepped) for up to ``align_window`` ticks while co-trainers arrive —
+pure scheduling, since lanes share no state; each lane's batches, RNG
+draws, Bellman targets, and losses stay exactly its own.  The window
+defaults to 0 (fuse same-tick events only) and is settable per call or
+via the ``SIBYL_TRAIN_ALIGN`` environment variable.
 
-The hard guarantee (asserted by ``tests/sim/test_lanes.py``): every
-lane's result is **bit-identical** to a serial ``run_policy`` of the
-same (policy, trace, config, seed).  Lanes share no state; the fused
-forward computes, per lane, exactly the floating-point operations the
-serial decision path computes.
+Every lane keeps its own replay buffer, network weights, optimizer
+state, and seeded RNG.  The hard guarantee (asserted by
+``tests/sim/test_lanes.py``): every lane's trajectory, losses, and
+final weights are **bit-identical** to a serial ``run_policy`` of the
+same (policy, trace, config, seed).  The fused forward/backward
+computes, per lane, exactly the floating-point operations the serial
+path computes.
 
 Composition with PR 1: ``run_many`` distributes cells across processes
 (``SIBYL_PARALLEL``), and each worker packs ``SIBYL_LANES`` cells per
@@ -40,8 +55,8 @@ its own lane.  Throughput multiplies: cores × lanes.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -51,36 +66,76 @@ from ..hss.system import HybridStorageSystem
 from ..rl.c51 import C51LaneStack, C51Network
 from ..rl.dqn import DQNLaneStack, DQNNetwork
 from ..rl.network import NetworkLaneStack
+from ..rl.optim import fusion_signature, stack_optimizers
 from .runner import LANE_DONE, PolicyRun, RunResult
 
-__all__ = ["LaneSpec", "run_lanes", "resolve_lanes", "LANES_ENV"]
+__all__ = [
+    "LaneSpec",
+    "run_lanes",
+    "fused_train_event",
+    "resolve_lanes",
+    "resolve_train_align",
+    "resolve_count_env",
+    "LANES_ENV",
+    "TRAIN_ALIGN_ENV",
+]
 
 #: Environment knob: how many sweep cells each parallel worker packs
 #: into one task (see :func:`repro.sim.parallel.run_many`), and the
 #: default lane count of the hot-path benchmark's multi-lane section.
 LANES_ENV = "SIBYL_LANES"
 
+#: Environment knob: how many ticks a lane with a pending training
+#: event may be held waiting for other lanes' events to align (0 =
+#: fuse same-tick events only).
+TRAIN_ALIGN_ENV = "SIBYL_TRAIN_ALIGN"
+
+#: Most-recently-used fused-training stacks kept per lane group (each
+#: caches stacked weight/optimizer buffers for one lane subset).
+_TRAIN_STACK_CACHE_LIMIT = 8
+
+
+def resolve_count_env(
+    env: str, default: int, aliases: Optional[Dict[str, int]] = None
+) -> int:
+    """Shared contract for the engine's count-valued environment knobs.
+
+    ``""``/``"auto"`` → ``default``; an ``aliases`` token maps to its
+    value; anything else must be a **non-negative integer** — garbage
+    and negative values raise ``ValueError`` (a misconfiguration must
+    never silently disable packing or parallelism).
+    """
+    raw = os.environ.get(env, "").strip().lower()
+    if raw in ("", "auto"):
+        return default
+    if aliases and raw in aliases:
+        return aliases[raw]
+    try:
+        value = int(raw)
+    except ValueError:
+        tokens = "'auto'" + "".join(f", {t!r}" for t in sorted(aliases or ()))
+        raise ValueError(
+            f"{env} must be {tokens} or a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{env} must be >= 0, got {value}")
+    return value
+
 
 def resolve_lanes(default: int = 1) -> int:
     """Lane/pack count from the ``SIBYL_LANES`` environment variable.
 
     ``auto``/unset → ``default``; ``0`` and ``1`` both mean "no
-    packing"; anything else must be a positive integer (a negative
-    value is a misconfiguration and raises rather than silently
-    disabling packing).
+    packing"; anything else must be a non-negative integer (garbage or
+    a negative value is a misconfiguration and raises rather than
+    silently disabling packing).
     """
-    raw = os.environ.get(LANES_ENV, "").strip().lower()
-    if raw in ("", "auto"):
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"{LANES_ENV} must be 'auto' or a non-negative integer, got {raw!r}"
-        ) from None
-    if value < 0:
-        raise ValueError(f"{LANES_ENV} must be >= 0, got {value}")
-    return max(1, value)
+    return max(1, resolve_count_env(LANES_ENV, default))
+
+
+def resolve_train_align(default: int = 0) -> int:
+    """Event-alignment window (ticks) from ``SIBYL_TRAIN_ALIGN``."""
+    return resolve_count_env(TRAIN_ALIGN_ENV, default)
 
 
 @dataclass
@@ -107,6 +162,77 @@ class LaneSpec:
         )
 
 
+def fused_train_event(agents: Sequence, stack_cache: Optional[dict] = None,
+                      cache_key=None) -> np.ndarray:
+    """Run one fused training event for agents with pending jobs.
+
+    Every agent must have called ``train_begin`` (its own RNG draws
+    already made); this executes the heavy half of all their events at
+    once and commits each: per-lane Bellman targets (exactly the serial
+    pass), then ``batches_per_training`` stacked forward/backward steps
+    through per-lane training weights with one fused optimizer update
+    each, scattering weights and optimizer state back so every lane
+    ends bit-identical to having trained serially.  Agents must share
+    one fusable (architecture, batch shape, optimizer) signature — the
+    engine groups them; callers going through :func:`run_lanes` never
+    call this directly.  Returns the ``(batches, lanes)`` loss matrix.
+
+    ``stack_cache``/``cache_key`` memoise the stacked weight buffers
+    and optimizer across recurring events of the same lane subset.
+    """
+    agents = list(agents)
+    entry = stack_cache.get(cache_key) if stack_cache is not None else None
+    if entry is None:
+        nets = [agent.training_net for agent in agents]
+        if isinstance(nets[0], C51Network):
+            head = C51LaneStack(nets)
+        else:
+            head = DQNLaneStack(nets)
+        entry = (head, stack_optimizers([net.optimizer for net in nets]))
+        if stack_cache is not None:
+            stack_cache[cache_key] = entry
+            # Bound the memo: with an alignment window the lane subsets
+            # flushed together can churn, and each subset's stacked
+            # buffers are worth megabytes — keep the recent few, LRU.
+            while len(stack_cache) > _TRAIN_STACK_CACHE_LIMIT:
+                stack_cache.pop(next(iter(stack_cache)))
+    elif stack_cache is not None:
+        stack_cache[cache_key] = stack_cache.pop(cache_key)  # LRU refresh
+    head, optimizer = entry
+
+    head.begin_training_event()
+    optimizer.gather(head.stack.flat_parameters.shape[1])
+
+    jobs = [agent.train_job for agent in agents]
+    rewards, next_obs = [], []
+    for agent, (_, unique_slots, _) in zip(agents, jobs):
+        r, n = agent.buffer.gather_targets(unique_slots)
+        rewards.append(r)
+        next_obs.append(n)
+    unique_targets = head.precompute_targets(
+        rewards, next_obs, [agent.inference_net for agent in agents]
+    )
+    targets = [t[job[2]] for t, job in zip(unique_targets, jobs)]
+
+    hp = agents[0].hyperparams
+    n, n_batches, k = hp.batch_size, hp.batches_per_training, len(agents)
+    obs = np.empty((k, n, head.in_features))
+    actions = np.empty((k, n), dtype=np.int64)
+    batch_targets = np.empty((k, n) + targets[0].shape[1:])
+    losses = np.empty((n_batches, k))
+    for i in range(n_batches):
+        for lane, (agent, job) in enumerate(zip(agents, jobs)):
+            agent.buffer.gather_into(job[0][i], obs[lane], actions[lane])
+            batch_targets[lane] = targets[lane][i * n:(i + 1) * n]
+        losses[i] = head.train_batch(obs, actions, batch_targets, optimizer)
+
+    head.end_training_event()
+    optimizer.scatter()
+    for lane, agent in enumerate(agents):
+        agent.train_commit(losses[:, lane])
+    return losses
+
+
 class _LaneGroup:
     """RL lanes sharing one network architecture → one fused stack."""
 
@@ -121,20 +247,96 @@ class _LaneGroup:
         # through the fused forward and discarded; stale-but-finite
         # values keep the maths warning-free.
         self.obs = np.zeros((len(runs), self.stack.in_features))
-        # Per-lane train-event counters: a change means the lane copied
-        # fresh weights into its inference network and its stack slice
-        # must be re-synced before the next fused forward.
-        self.train_seen = [
-            getattr(run.policy, "train_events", 0) for run in runs
-        ]
+        # Per-lane weight-version counters: a change means the lane
+        # rewrote its inference weights (periodic training copy or a
+        # checkpoint restore) and its stack slice must be re-synced
+        # before the next fused forward.
+        self.weights_seen = [self._version(run.policy) for run in runs]
         self.pending: List[Tuple[PolicyRun, int]] = []
+        # Training fusion: lanes exposing the train_begin/train_commit
+        # hook pair hand their training events to the engine.  Lanes
+        # fuse when their batch shapes and optimizer constants match
+        # (learning rates may differ — they stack as a column).
+        self.fuse_keys: Dict[int, tuple] = {}
+        for row, run in enumerate(runs):
+            policy = run.policy
+            if not (
+                callable(getattr(policy, "train_begin", None))
+                and callable(getattr(policy, "train_commit", None))
+                and hasattr(policy, "external_training")
+            ):
+                continue
+            policy.external_training = True
+            signature = fusion_signature(policy.training_net.optimizer)
+            hp = policy.hyperparams
+            if signature is None:
+                self.fuse_keys[row] = ("solo", row)
+            else:
+                self.fuse_keys[row] = (
+                    hp.batch_size, hp.batches_per_training, signature
+                )
+        self.train_queue: Dict[int, int] = {}  # row -> ticks waited
+        self._train_stacks: Dict[tuple, tuple] = {}
+
+    @staticmethod
+    def _version(policy) -> int:
+        version = getattr(policy, "weights_version", None)
+        if version is None:  # foreign RL policy without the counter
+            version = getattr(policy, "train_events", 0)
+        return version
 
     def resync(self) -> None:
         for row, run in enumerate(self.runs):
-            events = run.policy.train_events
-            if events != self.train_seen[row]:
-                self.train_seen[row] = events
+            version = self._version(run.policy)
+            if version != self.weights_seen[row]:
+                self.weights_seen[row] = version
                 self.stack.refresh(row)
+
+    # --------------------------------------------------------- training
+    def collect_pending(self, held: Set[int]) -> None:
+        """Queue lanes whose training event fell due this tick."""
+        for row in self.fuse_keys:
+            if row in self.train_queue:
+                continue
+            run = self.runs[row]
+            if run.policy.train_pending:
+                self.train_queue[row] = 0
+                held.add(id(run))
+
+    def flush_due(self, held: Set[int], window: int) -> None:
+        """Flush aligned event buckets; age the ones still waiting."""
+        if not self.train_queue:
+            return
+        buckets: Dict[tuple, List[int]] = {}
+        for row in self.train_queue:
+            buckets.setdefault(self.fuse_keys[row], []).append(row)
+        for key, rows in buckets.items():
+            due = any(self.train_queue[row] >= window for row in rows)
+            if not due:
+                # No co-trainer can still arrive: every unfinished lane
+                # of this fusion class is already waiting.
+                due = all(
+                    self.runs[row].finished or row in self.train_queue
+                    for row, row_key in self.fuse_keys.items()
+                    if row_key == key
+                )
+            if due:
+                self._flush(sorted(rows), held)
+            else:
+                for row in rows:
+                    self.train_queue[row] += 1
+
+    def _flush(self, rows: List[int], held: Set[int]) -> None:
+        for row in rows:
+            del self.train_queue[row]
+            held.discard(id(self.runs[row]))
+        agents = [self.runs[row].policy for row in rows]
+        if len(agents) == 1:
+            # A lone event gains nothing from stacking; the serial
+            # commit is the identical computation without the gather.
+            agents[0].train_commit()
+            return
+        fused_train_event(agents, self._train_stacks, tuple(rows))
 
 
 def _group_signature(policy) -> tuple:
@@ -145,14 +347,22 @@ def _group_signature(policy) -> tuple:
     return ("dqn", arch)
 
 
-def run_lanes(specs: Sequence[LaneSpec]) -> List[RunResult]:
+def run_lanes(
+    specs: Sequence[LaneSpec], align_window: Optional[int] = None
+) -> List[RunResult]:
     """Advance all lanes in lockstep; results in spec order.
 
     Each lane is bit-identical to ``run_policy`` with the same spec —
     the engine only changes *when* each lane's work happens (interleaved
-    per tick) and *how* RL greedy inference is computed (one fused
-    forward per tick across lanes instead of one forward per lane).
+    per tick, with lanes briefly held while training events align) and
+    *how* RL inference and training are computed (fused across lanes
+    instead of per lane).  ``align_window`` is the maximum number of
+    ticks a lane with a pending training event waits for co-trainers
+    (default: the ``SIBYL_TRAIN_ALIGN`` environment variable, else 0 =
+    fuse same-tick events only).
     """
+    if align_window is None:
+        align_window = resolve_train_align()
     runs = [spec.make_run() for spec in specs]
 
     # Partition: lanes whose policy exposes the externally-driven
@@ -180,34 +390,57 @@ def run_lanes(specs: Sequence[LaneSpec]) -> List[RunResult]:
         for row, run in enumerate(group.runs):
             group_row[id(run)] = (group, row)
 
+    held: Set[int] = set()  # ids of lanes waiting in a training queue
     active_plain = list(plain_runs)
     active_rl = list(rl_runs)
-    while active_plain or active_rl:
-        if active_plain:
-            active_plain = [run for run in active_plain if run.step()]
-        if active_rl:
-            next_rl: List[PolicyRun] = []
-            for run in active_rl:
-                obs = run.step_begin()
-                if obs is LANE_DONE:
-                    continue
-                next_rl.append(run)
-                # obs None: exploration draw or action-memo hit — the
-                # step already completed inline inside step_begin.
-                if obs is not None:
-                    group, row = group_row[id(run)]
-                    group.obs[row] = obs
-                    group.pending.append((run, row))
-            for group in groups:
-                if group.pending:
-                    actions = group.stack.best_actions(group.obs)
-                    for run, row in group.pending:
-                        run.step_finish(int(actions[row]))
-                    group.pending.clear()
-            # Re-sync stack slices of lanes that trained this tick (the
-            # weight copy happens inside feedback, after the forward).
-            for group in groups:
-                group.resync()
-            active_rl = next_rl
+    try:
+        while active_plain or active_rl:
+            if active_plain:
+                active_plain = [run for run in active_plain if run.step()]
+            if active_rl:
+                next_rl: List[PolicyRun] = []
+                for run in active_rl:
+                    if id(run) in held:
+                        next_rl.append(run)
+                        continue
+                    obs = run.step_begin()
+                    if obs is LANE_DONE:
+                        continue
+                    next_rl.append(run)
+                    # obs None: exploration draw or action-memo hit —
+                    # the step already completed inline in step_begin.
+                    if obs is not None:
+                        group, row = group_row[id(run)]
+                        group.obs[row] = obs
+                        group.pending.append((run, row))
+                for group in groups:
+                    if group.pending:
+                        actions = group.stack.best_actions(group.obs)
+                        for run, row in group.pending:
+                            run.step_finish(int(actions[row]))
+                        group.pending.clear()
+                # Fused training: queue lanes whose event fell due this
+                # tick (their feedback only ran train_begin), flush the
+                # aligned buckets, then re-sync the stack slices of
+                # lanes whose inference weights changed.
+                for group in groups:
+                    group.collect_pending(held)
+                    group.flush_due(held, align_window)
+                for group in groups:
+                    group.resync()
+                active_rl = next_rl
+    finally:
+        # Hand the policies back in their standalone (inline-training)
+        # mode: a lane agent reused outside the engine must not leave
+        # training events pending for a driver that no longer exists.
+        # On a clean exit the loop has drained every queue; if an
+        # exception unwound mid-run, a held lane may still owe a
+        # commit — abort it so the agent stays usable.
+        for group in groups:
+            for row in group.fuse_keys:
+                policy = group.runs[row].policy
+                policy.external_training = False
+                if getattr(policy, "train_pending", False):
+                    policy.train_abort()
 
     return [run.result() for run in runs]

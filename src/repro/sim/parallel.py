@@ -15,13 +15,17 @@ either serially or on a ``ProcessPoolExecutor``, returning results in
 cell order.  ``sim.experiment``'s sweeps and the figure benchmarks are
 built on it.
 
-Worker-count policy (the ``SIBYL_PARALLEL`` environment variable):
+Worker-count policy (the ``SIBYL_PARALLEL`` environment variable,
+parsed by the same :func:`repro.sim.lanes.resolve_count_env` contract
+as ``SIBYL_LANES``):
 
 * unset / ``"auto"`` — use all cores, but stay serial when the machine
   has a single core or the grid has a single cell (pool overhead would
   only slow those down);
 * ``"0"`` / ``"1"`` / ``"serial"`` — force the serial path;
-* any other integer — use exactly that many workers.
+* any other non-negative integer — use exactly that many workers;
+* garbage and negative values raise ``ValueError`` (a misconfiguration
+  must never silently change the execution mode).
 
 Cell packing (the ``SIBYL_LANES`` environment variable, or the
 ``lane_pack`` argument): each worker task carries that many consecutive
@@ -41,7 +45,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from .lanes import resolve_lanes
+from .lanes import resolve_count_env, resolve_lanes
 
 __all__ = ["Cell", "run_many", "run_grid", "resolve_workers"]
 
@@ -82,19 +86,9 @@ def resolve_workers(
     if n_cells <= 1:
         return 0
     if max_workers is None:
-        raw = os.environ.get(PARALLEL_ENV, "auto").strip().lower()
-        if raw in ("auto", ""):
-            max_workers = os.cpu_count() or 1
-        elif raw == "serial":
-            return 0
-        else:
-            try:
-                max_workers = int(raw)
-            except ValueError:
-                raise ValueError(
-                    f"{PARALLEL_ENV} must be 'auto', 'serial', or an "
-                    f"integer, got {raw!r}"
-                ) from None
+        max_workers = resolve_count_env(
+            PARALLEL_ENV, os.cpu_count() or 1, aliases={"serial": 0}
+        )
     if max_workers <= 1:
         return 0
     return min(max_workers, n_cells)

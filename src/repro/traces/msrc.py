@@ -17,7 +17,6 @@ from __future__ import annotations
 import csv
 import heapq
 import io
-from itertools import islice
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Union
 
@@ -103,6 +102,14 @@ def iter_msrc_csv(
     Feed it to the lane engine directly, or wrap it in
     :class:`StreamingMSRCTrace` when the harness needs a sized,
     re-iterable source.
+
+    The file opens lazily on the first ``next()`` and is closed in a
+    ``finally`` the moment the generator ends — exhaustion, the
+    reorder-window ``ValueError``, an explicit ``.close()``, or garbage
+    collection of an abandoned generator all release the handle.
+    Callers that stop consuming early (e.g. a truncating wrapper)
+    should ``.close()`` the generator rather than leave the handle's
+    lifetime to the collector.
     """
     if reorder_window < 1:
         raise ValueError("reorder_window must be >= 1")
@@ -129,7 +136,9 @@ def iter_msrc_csv(
             size=max(1, -(-size // PAGE_SIZE_BYTES)),  # ceil div
         )
 
-    with open(path, newline="") as handle:
+    handle = None
+    try:
+        handle = open(path, newline="")
         heap: List[tuple] = []
         t0: Optional[int] = None
         last: Optional[int] = None
@@ -153,6 +162,9 @@ def iter_msrc_csv(
             if t0 is None:
                 t0 = smallest[0]
             yield emit(smallest, t0)
+    finally:
+        if handle is not None:
+            handle.close()
 
 
 class StreamingMSRCTrace:
@@ -187,8 +199,31 @@ class StreamingMSRCTrace:
     def __iter__(self) -> Iterator[Request]:
         stream = iter_msrc_csv(self.path, reorder_window=self.reorder_window)
         if self.max_requests is not None:
-            return islice(stream, self.max_requests)
+            return self._truncate(stream, self.max_requests)
         return stream
+
+    @staticmethod
+    def _truncate(stream: Iterator[Request], limit: int) -> Iterator[Request]:
+        """``islice`` that closes the source at the truncation point.
+
+        A bare ``islice`` leaves the underlying generator suspended
+        inside its open file once the limit is hit, pinning the handle
+        until garbage collection; simulation lanes hold their iterators
+        for a whole run, so truncated streaming lanes would each keep a
+        stale descriptor open.  The ``finally`` also covers a consumer
+        abandoning *this* wrapper and a pass failing mid-file, so the
+        trace is always re-iterable afterwards with no handle left
+        behind.
+        """
+        try:
+            remaining = limit
+            for request in stream:
+                yield request
+                remaining -= 1
+                if remaining <= 0:
+                    return
+        finally:
+            stream.close()
 
     def __len__(self) -> int:
         if self._length is None:

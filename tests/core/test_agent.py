@@ -245,6 +245,80 @@ class TestTrainingGateRegression:
             )
 
 
+class TestExternalTrainingHooks:
+    """The train_begin/train_commit pair mirroring place_begin/commit:
+    the fused multi-lane engine drives the heavy half externally."""
+
+    def test_external_mode_defers_training(self, agent, hm_system):
+        agent.attach(hm_system)
+        agent.external_training = True
+        drive(agent, hm_system, make_requests(17))
+        assert agent.train_pending
+        assert agent.train_events == 0 and not agent.losses
+        agent.train_commit()
+        assert not agent.train_pending
+        assert agent.train_events == 1
+        assert len(agent.losses) == agent.hyperparams.batches_per_training
+
+    def test_split_path_equals_inline_training(self, fast_hp, hm_system):
+        """begin+commit(None) must compute exactly what inline feedback
+        training computes: same RNG draws, same losses, same weights."""
+        def run(external):
+            hss = HybridStorageSystem(make_devices("H&M"), [64, None])
+            agent = SibylAgent(hyperparams=fast_hp, seed=4)
+            agent.attach(hss)
+            agent.external_training = external
+            for req in make_requests(80):
+                action = agent.place(req)
+                result = hss.serve(req, action)
+                agent.feedback(req, action, result)
+                if external and agent.train_pending:
+                    agent.train_commit()
+            return agent
+
+        inline, split = run(False), run(True)
+        assert inline.losses and inline.losses == split.losses
+        assert np.array_equal(
+            inline.training_net.network.flat_parameters,
+            split.training_net.network.flat_parameters,
+        )
+
+    def test_double_begin_rejected(self, agent, hm_system):
+        agent.attach(hm_system)
+        agent.external_training = True
+        drive(agent, hm_system, make_requests(17))
+        with pytest.raises(RuntimeError):
+            agent.train_begin()
+
+    def test_commit_without_begin_rejected(self, agent, hm_system):
+        agent.attach(hm_system)
+        with pytest.raises(RuntimeError):
+            agent.train_commit()
+
+    def test_external_losses_recorded_verbatim(self, agent, hm_system):
+        agent.attach(hm_system)
+        agent.external_training = True
+        drive(agent, hm_system, make_requests(17))
+        agent.train_commit(losses=[0.5, 0.25])
+        assert agent.losses == [0.5, 0.25]
+        assert agent.train_events == 1
+
+    def test_reset_clears_hook_state(self, agent, hm_system):
+        agent.attach(hm_system)
+        agent.external_training = True
+        drive(agent, hm_system, make_requests(17))
+        agent.reset()
+        assert not agent.external_training
+        assert not agent.train_pending
+
+    def test_weights_version_tracks_weight_rewrites(self, agent, hm_system):
+        agent.attach(hm_system)
+        version = agent.weights_version
+        drive(agent, hm_system, make_requests(40))
+        assert agent.train_events > 0
+        assert agent.weights_version == version + agent.train_events
+
+
 class TestCheckpointing:
     def test_save_load_round_trip_restores_weights(self, agent, hm_system,
                                                    tmp_path):
@@ -286,6 +360,22 @@ class TestCheckpointing:
     def test_load_before_attach_raises(self, agent, tmp_path):
         with pytest.raises(RuntimeError):
             agent.load_checkpoint(tmp_path / "missing.npz")
+
+    def test_load_resets_pretraining_artifacts(self, agent, hm_system,
+                                               tmp_path):
+        """Pending training jobs and the optimizer's moment estimates
+        describe the pre-restore run and must not leak across a load."""
+        agent.attach(hm_system)
+        drive(agent, hm_system, make_requests(40))
+        path = tmp_path / "ckpt.npz"
+        agent.save_checkpoint(path)
+        agent.external_training = True
+        drive(agent, hm_system, make_requests(17, seed=2))
+        assert agent.train_pending
+        assert agent.training_net.optimizer._t > 0
+        agent.load_checkpoint(path)
+        assert not agent.train_pending
+        assert agent.training_net.optimizer._t == 0
 
 
 class TestReproducibility:

@@ -8,14 +8,21 @@ equality below is float equality, never approx.
 import numpy as np
 import pytest
 
+import repro.sim.lanes as lanes_module
 from repro.baselines.cde import CDEPolicy
 from repro.baselines.extremes import FastOnlyPolicy, SlowOnlyPolicy
 from repro.baselines.hps import HPSPolicy
 from repro.baselines.oracle import OraclePolicy
 from repro.core.agent import SibylAgent
+from repro.core.hyperparams import SIBYL_DEFAULT
 from repro.rl.c51 import C51Config, C51LaneStack, C51Network
 from repro.rl.dqn import DQNConfig, DQNLaneStack, DQNNetwork
-from repro.sim.lanes import LaneSpec, resolve_lanes, run_lanes
+from repro.sim.lanes import (
+    LaneSpec,
+    resolve_lanes,
+    resolve_train_align,
+    run_lanes,
+)
 from repro.sim.runner import run_policy
 from repro.traces.workloads import make_trace
 
@@ -119,6 +126,286 @@ class TestLaneBitIdentity:
             ]
         )
         assert serial == laned
+
+
+def _assert_agents_identical(serial_agents, laned_agents):
+    """Losses, final weights, and optimizer state must match bitwise."""
+    for serial, laned in zip(serial_agents, laned_agents):
+        assert serial.losses == laned.losses
+        assert serial.train_events == laned.train_events
+        for attr in ("training_net", "inference_net"):
+            s_net = getattr(serial, attr).network
+            l_net = getattr(laned, attr).network
+            assert np.array_equal(s_net.flat_parameters, l_net.flat_parameters)
+        s_opt = serial.training_net.optimizer
+        l_opt = laned.training_net.optimizer
+        assert s_opt._t == l_opt._t
+        for s_state, l_state in zip(s_opt._m + s_opt._v, l_opt._m + l_opt._v):
+            assert np.array_equal(s_state, l_state)
+
+
+def _spy_fused_events(monkeypatch):
+    """Record the lane count of every fused training event."""
+    sizes = []
+    original = lanes_module.fused_train_event
+
+    def spy(agents, *args, **kwargs):
+        sizes.append(len(agents))
+        return original(agents, *args, **kwargs)
+
+    monkeypatch.setattr(lanes_module, "fused_train_event", spy)
+    return sizes
+
+
+class TestFusedTraining:
+    """Cross-lane fused training: same-tick (and window-aligned) events
+    run through one stacked forward/backward, bit-identical to serial —
+    weights, losses, and optimizer state included."""
+
+    @pytest.mark.parametrize("n_lanes", [2, 7])
+    def test_fused_events_fire_and_match_serial(self, n_lanes, monkeypatch):
+        sizes = _spy_fused_events(monkeypatch)
+        traces = [
+            make_trace("rsrch_0", n_requests=1400, seed=i)
+            for i in range(n_lanes)
+        ]
+        serial_agents = [SibylAgent(seed=i) for i in range(n_lanes)]
+        serial = [
+            run_policy(serial_agents[i], traces[i]) for i in range(n_lanes)
+        ]
+        laned_agents = [SibylAgent(seed=i) for i in range(n_lanes)]
+        laned = run_lanes(
+            [
+                LaneSpec(policy=laned_agents[i], trace=traces[i])
+                for i in range(n_lanes)
+            ]
+        )
+        assert serial == laned
+        _assert_agents_identical(serial_agents, laned_agents)
+        assert serial_agents[0].train_events > 0, "runs never trained"
+        if n_lanes > 1:
+            # Same train_interval and trace length: events align on the
+            # same ticks, so fusion must actually engage (a silent
+            # fallback to per-lane training would also pass identity).
+            assert sizes, "no fused training event ever fired"
+            assert max(sizes) > 1
+
+    def test_dqn_lanes_fuse(self, monkeypatch):
+        sizes = _spy_fused_events(monkeypatch)
+        trace = make_trace("rsrch_0", n_requests=1200, seed=3)
+        serial_agents = [SibylAgent(head="dqn", seed=i) for i in range(3)]
+        serial = [run_policy(agent, trace) for agent in serial_agents]
+        laned_agents = [SibylAgent(head="dqn", seed=i) for i in range(3)]
+        laned = run_lanes(
+            [LaneSpec(policy=agent, trace=trace) for agent in laned_agents]
+        )
+        assert serial == laned
+        _assert_agents_identical(serial_agents, laned_agents)
+        assert sizes and max(sizes) == 3
+
+    @pytest.mark.parametrize("window", [0, 8, 50])
+    def test_misaligned_intervals_and_mixed_lanes(self, window, monkeypatch):
+        """Intervals that collide on some ticks and not others, a lane
+        finishing its trace mid-window, and heuristic lanes interleaved
+        — identical to serial at every alignment window."""
+        sizes = _spy_fused_events(monkeypatch)
+        hyperparams = [
+            SIBYL_DEFAULT,
+            SIBYL_DEFAULT.replace(train_interval=300),
+            SIBYL_DEFAULT,
+            SIBYL_DEFAULT.replace(train_interval=375),
+        ]
+        long = make_trace("rsrch_0", n_requests=1600, seed=0)
+        short = make_trace("usr_0", n_requests=700, seed=3)
+
+        def lineup():
+            policies = [
+                SibylAgent(hyperparams=hp, seed=i)
+                for i, hp in enumerate(hyperparams)
+            ]
+            policies.append(SibylAgent(seed=9))  # finishes mid-window
+            policies.append(CDEPolicy())         # heuristic interleaved
+            traces = [long, long, long, long, short, long]
+            return policies, traces
+
+        serial_policies, serial_traces = lineup()
+        serial = [
+            run_policy(policy, trace)
+            for policy, trace in zip(serial_policies, serial_traces)
+        ]
+        laned_policies, laned_traces = lineup()
+        laned = run_lanes(
+            [
+                LaneSpec(policy=policy, trace=trace)
+                for policy, trace in zip(laned_policies, laned_traces)
+            ],
+            align_window=window,
+        )
+        assert serial == laned
+        _assert_agents_identical(serial_policies[:5], laned_policies[:5])
+        assert sizes and max(sizes) > 1
+        if window >= 50:
+            # A wide window must merge the misaligned 250/300-interval
+            # events that a same-tick-only flush cannot.
+            assert max(sizes) > 2
+
+    def test_different_batch_shapes_do_not_fuse(self, monkeypatch):
+        """Lanes with different batch sizes share an architecture group
+        but cannot share a stacked training step."""
+        sizes = _spy_fused_events(monkeypatch)
+        trace = make_trace("rsrch_0", n_requests=1200, seed=1)
+        small = SIBYL_DEFAULT.replace(batch_size=64)
+
+        def lineup():
+            return [
+                SibylAgent(seed=0),
+                SibylAgent(hyperparams=small, seed=1),
+            ]
+
+        serial_agents = lineup()
+        serial = [run_policy(agent, trace) for agent in serial_agents]
+        laned_agents = lineup()
+        laned = run_lanes(
+            [LaneSpec(policy=agent, trace=trace) for agent in laned_agents],
+            align_window=20,
+        )
+        assert serial == laned
+        _assert_agents_identical(serial_agents, laned_agents)
+        assert all(size == 1 for size in sizes) or not sizes
+
+    def test_training_only_stacks_skip_inference_buffers(self, monkeypatch):
+        """The per-event training stacks never run fused inference, so
+        they must not allocate or sync the stacked inference weights."""
+        import repro.sim.lanes as lanes
+
+        captured = {}
+        original = lanes.fused_train_event
+
+        def spy(agents, stack_cache=None, cache_key=None):
+            result = original(agents, stack_cache, cache_key)
+            captured.update(stack_cache or {})
+            return result
+
+        monkeypatch.setattr(lanes, "fused_train_event", spy)
+        trace = make_trace("rsrch_0", n_requests=1200, seed=0)
+        run_lanes(
+            [LaneSpec(policy=SibylAgent(seed=i), trace=trace) for i in range(2)]
+        )
+        assert captured, "no fused event fired; test proves nothing"
+        for head, _ in captured.values():
+            assert not head.stack._weights
+
+    def test_exception_mid_run_aborts_held_lanes(self):
+        """An error unwinding run_lanes must leave every agent in
+        standalone mode with no training event pending, even lanes held
+        in an alignment queue."""
+
+        class Boom(Exception):
+            pass
+
+        class ExplodingSibyl(SibylAgent):
+            def feedback(self, request, action, result):
+                super().feedback(request, action, result)
+                if self._requests_seen == 900:
+                    raise Boom
+
+        trace = make_trace("rsrch_0", n_requests=1500, seed=0)
+        held = SibylAgent(
+            hyperparams=SIBYL_DEFAULT.replace(train_interval=300), seed=1
+        )
+        survivor = SibylAgent(seed=0)
+        with pytest.raises(Boom):
+            run_lanes(
+                [
+                    LaneSpec(policy=survivor, trace=trace),
+                    LaneSpec(policy=held, trace=trace),
+                    LaneSpec(policy=ExplodingSibyl(seed=2), trace=trace),
+                ],
+                align_window=100,
+            )
+        for agent in (survivor, held):
+            assert not agent.train_pending
+            assert not agent.external_training
+        # The agents remain serially usable.
+        result = run_policy(survivor, trace)
+        assert survivor.train_events > 0 and result.n_requests == 1500
+
+    def test_env_align_window(self, monkeypatch):
+        monkeypatch.delenv("SIBYL_TRAIN_ALIGN", raising=False)
+        assert resolve_train_align() == 0
+        monkeypatch.setenv("SIBYL_TRAIN_ALIGN", "12")
+        assert resolve_train_align() == 12
+        monkeypatch.setenv("SIBYL_TRAIN_ALIGN", "sometimes")
+        with pytest.raises(ValueError):
+            resolve_train_align()
+        monkeypatch.setenv("SIBYL_TRAIN_ALIGN", "-1")
+        with pytest.raises(ValueError):
+            resolve_train_align()
+
+
+class _CheckpointRestoringSibyl(SibylAgent):
+    """Loads a checkpoint mid-run (an online deployment restoring a
+    pre-trained policy into a live lane)."""
+
+    def __init__(self, checkpoint_path, restore_at, **kwargs):
+        super().__init__(**kwargs)
+        self._checkpoint_path = checkpoint_path
+        self._restore_at = restore_at
+
+    def feedback(self, request, action, result):
+        super().feedback(request, action, result)
+        if self._requests_seen == self._restore_at:
+            self.load_checkpoint(self._checkpoint_path)
+
+
+class TestCheckpointResync:
+    """Regression: a checkpoint restore rewrites a lane's inference
+    weights without touching ``train_events``; the lane engine must
+    still re-sync that lane's slice of the stacked weights (and the
+    agent must drop its greedy-action memo)."""
+
+    @pytest.fixture()
+    def donor_checkpoint(self, tmp_path):
+        """Weights of a trained, differently-seeded agent."""
+        donor = SibylAgent(seed=77)
+        run_policy(donor, make_trace("rsrch_0", n_requests=1500, seed=5))
+        assert donor.train_events > 0
+        path = tmp_path / "donor.npz"
+        donor.save_checkpoint(path)
+        return path
+
+    def test_restore_before_first_training_matches_serial(
+        self, donor_checkpoint
+    ):
+        """The nastiest case: the restore happens while train_events is
+        still 0, so an event-count-based staleness check sees nothing
+        to refresh and the lane keeps deciding with its pre-restore
+        stacked weights."""
+        trace = make_trace("rsrch_0", n_requests=1200, seed=0)
+
+        def lineup():
+            return [
+                _CheckpointRestoringSibyl(donor_checkpoint, 100, seed=1),
+                SibylAgent(seed=2),
+            ]
+
+        serial = [run_policy(policy, trace) for policy in lineup()]
+        laned_policies = lineup()
+        laned = run_lanes(
+            [LaneSpec(policy=policy, trace=trace) for policy in laned_policies]
+        )
+        assert serial == laned
+
+    def test_load_checkpoint_bumps_weights_version_and_clears_memo(
+        self, donor_checkpoint
+    ):
+        agent = SibylAgent(seed=1)
+        run_policy(agent, make_trace("rsrch_0", n_requests=600, seed=0))
+        version = agent.weights_version
+        assert agent._action_cache, "memo never warmed; test proves nothing"
+        agent.load_checkpoint(donor_checkpoint)
+        assert agent.weights_version > version
+        assert not agent._action_cache and not agent._cache_obs
 
 
 class TestPerLaneRNG:

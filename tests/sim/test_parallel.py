@@ -54,6 +54,17 @@ class TestResolveWorkers:
         with pytest.raises(ValueError):
             resolve_workers(10)
 
+    def test_env_negative_rejected(self, monkeypatch):
+        """Unified contract with SIBYL_LANES: a negative count is a
+        misconfiguration, not a silent request for the serial path."""
+        monkeypatch.setenv("SIBYL_PARALLEL", "-3")
+        with pytest.raises(ValueError):
+            resolve_workers(10)
+
+    def test_env_zero_means_serial(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_PARALLEL", "0")
+        assert resolve_workers(10) == 0
+
 
 class TestRunMany:
     def test_serial_results_in_order(self):

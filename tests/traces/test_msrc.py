@@ -128,6 +128,71 @@ class TestStreamingIterator:
         capped = StreamingMSRCTrace(path, max_requests=40)
         assert len(capped) == 40
 
+    def _tracked_open(self, monkeypatch):
+        """Patch ``open`` inside the msrc module to record file handles."""
+        import builtins
+
+        import repro.traces.msrc as msrc_module
+
+        handles = []
+        real_open = builtins.open
+
+        def tracking_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(msrc_module, "open", tracking_open, raising=False)
+        return handles
+
+    def test_reorder_error_closes_file(self, tmp_path, monkeypatch):
+        """The reorder-window ValueError must not leak the handle."""
+        path = self._write_trace(tmp_path, n=200)
+        lines = path.read_text().splitlines()
+        lines.append(lines.pop(0))
+        path.write_text("\n".join(lines) + "\n")
+        handles = self._tracked_open(monkeypatch)
+        with pytest.raises(ValueError, match="out of order"):
+            list(iter_msrc_csv(path, reorder_window=4))
+        assert handles and all(handle.closed for handle in handles)
+
+    def test_abandoned_iterator_closes_on_close(self, tmp_path, monkeypatch):
+        """A consumer that stops early can release the handle
+        deterministically via the generator protocol."""
+        path = self._write_trace(tmp_path, n=100)
+        handles = self._tracked_open(monkeypatch)
+        stream = iter_msrc_csv(path, reorder_window=8)
+        next(stream)
+        assert handles and not handles[0].closed
+        stream.close()
+        assert handles[0].closed
+
+    def test_truncated_streaming_trace_closes_at_limit(self, tmp_path,
+                                                       monkeypatch):
+        """Hitting max_requests must close the underlying file at the
+        truncation point, not leave it pinned to a suspended reader."""
+        path = self._write_trace(tmp_path, n=120)
+        handles = self._tracked_open(monkeypatch)
+        source = StreamingMSRCTrace(path, max_requests=30)
+        assert len(list(source)) == 30
+        assert handles and all(handle.closed for handle in handles)
+
+    def test_streaming_trace_reiterable_after_failed_pass(self, tmp_path):
+        """A pass that dies on the reorder check must leave the trace
+        usable: the next pass starts from scratch and fails (or
+        succeeds) identically instead of inheriting broken state."""
+        path = self._write_trace(tmp_path, n=200)
+        lines = path.read_text().splitlines()
+        lines.append(lines.pop(0))
+        path.write_text("\n".join(lines) + "\n")
+        source = StreamingMSRCTrace(path, reorder_window=4)
+        for _ in range(2):
+            with pytest.raises(ValueError, match="out of order"):
+                list(source)
+        # A wide-enough window over the same object then succeeds.
+        recovered = StreamingMSRCTrace(path, reorder_window=512)
+        assert len(recovered) == 200
+
     def test_streaming_trace_fingerprint_stable(self, tmp_path):
         path = self._write_trace(tmp_path, n=50)
         a = StreamingMSRCTrace(path)
