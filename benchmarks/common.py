@@ -18,6 +18,11 @@ Scale knobs (environment variables):
 * ``SIBYL_LANES``           — sweep cells packed per worker task (the
   lane engine then shares per-process caches — notably the Fast-Only
   reference memo — across the packed cells; see ``repro.sim.lanes``)
+* ``SIBYL_BENCH_SEEDS``     — seeds per figure campaign (default 1).
+  With more than one seed every table cell becomes a mean ±95%
+  confidence band over the seed axis (``repro.sim.campaign``); the seed
+  replicas ride the multi-lane engine, so N seeds cost far less than N
+  campaigns.  Shape assertions then check the seed-axis means.
 
 Within every cell the policy lineup itself runs on the multi-lane
 engine: all policies of a comparison advance over the trace in
@@ -33,13 +38,16 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sim.experiment import compare_policies, tri_hybrid_comparison
-from repro.sim.report import format_table, geomean
+from repro.sim.report import export_json, format_table, geomean
 from repro.traces.workloads import MOTIVATION_WORKLOADS, workload_names
 
 N_REQUESTS = int(os.environ.get("SIBYL_BENCH_REQUESTS", "10000"))
 _MODE = os.environ.get("SIBYL_BENCH_WORKLOADS", "all")
 _WORKERS_RAW = os.environ.get("SIBYL_BENCH_WORKERS", "")
 MAX_WORKERS: Optional[int] = int(_WORKERS_RAW) if _WORKERS_RAW else None
+N_SEEDS = int(os.environ.get("SIBYL_BENCH_SEEDS", "1"))
+#: kwargs adding the seed axis to a campaign (empty = legacy single-seed).
+SEED_AXIS = {"n_seeds": N_SEEDS} if N_SEEDS > 1 else {}
 
 RESULTS_DIR = Path(__file__).parent / "results"
 RESULTS_DIR.mkdir(exist_ok=True)
@@ -64,7 +72,7 @@ def comparison(workloads: Tuple[str, ...], config: str) -> Dict:
     """
     return compare_policies(
         list(workloads), config=config, n_requests=N_REQUESTS, seed=0,
-        max_workers=MAX_WORKERS,
+        max_workers=MAX_WORKERS, **SEED_AXIS,
     )
 
 
@@ -72,12 +80,32 @@ def comparison(workloads: Tuple[str, ...], config: str) -> Dict:
 def tri_comparison(workloads: Tuple[str, ...], config: str) -> Dict:
     return tri_hybrid_comparison(
         list(workloads), config=config, n_requests=N_REQUESTS, seed=0,
-        max_workers=MAX_WORKERS,
+        max_workers=MAX_WORKERS, **SEED_AXIS,
     )
 
 
+def metric_value(value) -> float:
+    """Scalar view of a table cell: the seed-axis mean when banded.
+
+    Figure shape assertions compare scalars; with ``SIBYL_BENCH_SEEDS``
+    > 1 the cells are ``SeededResult`` bands, so assertions (and the
+    geomean row) act on the means.  (The predicate matches report.py's
+    band detection — ``hasattr(value, "mean")`` alone would misfire on
+    numpy scalars, whose ``.mean`` is a bound method.)
+    """
+    if hasattr(value, "mean") and hasattr(value, "ci_lo") and hasattr(
+        value, "ci_hi"
+    ):
+        return value.mean
+    return value
+
+
 def metric_table(results: Dict, metric: str) -> list:
-    """Rows of {workload, policy_1: value, ...} plus a geomean row."""
+    """Rows of {workload, policy_1: value, ...} plus a geomean row.
+
+    Banded cells stay banded (the table renderer prints mean ±CI); the
+    geomean summary row is computed over the per-cell scalar views.
+    """
     policies = list(next(iter(results.values())).keys())
     rows = []
     for workload, by_policy in results.items():
@@ -87,7 +115,7 @@ def metric_table(results: Dict, metric: str) -> list:
         rows.append(row)
     avg = {"workload": "GEOMEAN"}
     for policy in policies:
-        values = [results[w][policy][metric] for w in results]
+        values = [metric_value(results[w][policy][metric]) for w in results]
         try:
             avg[policy] = geomean(values)
         except ValueError:
@@ -104,6 +132,15 @@ def emit(name: str, text: str) -> None:
 
 
 def render(name: str, results: Dict, metric: str, title: str) -> str:
+    """Render, print, and persist one figure table (ASCII + JSON).
+
+    The JSON sibling under ``benchmarks/results/`` carries the full
+    (possibly banded) grid machine-readably — per-seed values included
+    — so plots and CI checks never re-parse the ASCII art.
+    """
+    if N_SEEDS > 1:
+        title += f" — mean ±95% CI over {N_SEEDS} seeds"
     text = format_table(metric_table(results, metric), title=title)
     emit(name, text)
+    export_json(results, path=RESULTS_DIR / f"{name}.json")
     return text

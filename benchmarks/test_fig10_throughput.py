@@ -6,14 +6,16 @@ baseline on average, and Slow-Only's H&L throughput collapses (the
 paper's 0.005-0.01 range on the right plot).
 """
 
-from common import comparison, full_workload_list, render
+from common import comparison, full_workload_list, metric_value, render
 
 from repro.sim.report import geomean
 
 
 def _geomean(results, policy):
+    # Seed-axis means when the campaign is banded (SIBYL_BENCH_SEEDS > 1).
     return geomean([
-        max(1e-9, row[policy]["iops"]) for row in results.values()
+        max(1e-9, metric_value(row[policy]["iops"]))
+        for row in results.values()
     ])
 
 

@@ -5,13 +5,16 @@ extra capacity feature) beats the statically-thresholded
 hot/cold/frozen heuristic on average — the paper reports 23.9-48.2%.
 """
 
-from common import full_workload_list, render, tri_comparison
+from common import full_workload_list, metric_value, render, tri_comparison
 
 from repro.sim.report import geomean
 
 
 def _geomean(results, policy):
-    return geomean([row[policy]["latency"] for row in results.values()])
+    # Seed-axis means when the campaign is banded (SIBYL_BENCH_SEEDS > 1).
+    return geomean(
+        [metric_value(row[policy]["latency"]) for row in results.values()]
+    )
 
 
 def test_fig16a_trihybrid_hml(benchmark):

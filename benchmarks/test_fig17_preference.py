@@ -6,7 +6,7 @@ pays despite evictions) than under H&M (small gap — selectivity pays),
 on average across workloads.
 """
 
-from common import comparison, full_workload_list, emit
+from common import comparison, full_workload_list, emit, metric_value
 
 from repro.sim.report import format_table
 
@@ -19,8 +19,12 @@ def build_preferences():
         rows.append(
             {
                 "workload": workload,
-                "pref_HM": hm[workload]["Sibyl"]["fast_preference"],
-                "pref_HL": hl[workload]["Sibyl"]["fast_preference"],
+                "pref_HM": metric_value(
+                    hm[workload]["Sibyl"]["fast_preference"]
+                ),
+                "pref_HL": metric_value(
+                    hl[workload]["Sibyl"]["fast_preference"]
+                ),
             }
         )
     return rows

@@ -5,7 +5,7 @@ workloads and no single baseline wins everywhere, in both the
 performance-oriented (H&M) and cost-oriented (H&L) configurations.
 """
 
-from common import comparison, motivation_workloads, render
+from common import comparison, metric_value, motivation_workloads, render
 
 
 def test_fig2a_motivation_hm(benchmark):
@@ -18,9 +18,9 @@ def test_fig2a_motivation_hm(benchmark):
         "Fig 2(a): normalized avg request latency, H&M (vs Fast-Only)",
     )
     for workload, row in results.items():
-        oracle = row["Oracle"]["latency"]
+        oracle = metric_value(row["Oracle"]["latency"])
         for policy in ("CDE", "HPS", "Archivist", "RNN-HSS"):
-            assert row[policy]["latency"] >= oracle * 0.9
+            assert metric_value(row[policy]["latency"]) >= oracle * 0.9
 
 
 def test_fig2b_motivation_hl(benchmark):
@@ -33,5 +33,7 @@ def test_fig2b_motivation_hl(benchmark):
         "Fig 2(b): normalized avg request latency, H&L (vs Fast-Only)",
     )
     # The latency gap is far larger in H&L (paper's 0-100+ axis).
-    slow_latencies = [row["Slow-Only"]["latency"] for row in results.values()]
+    slow_latencies = [
+        metric_value(row["Slow-Only"]["latency"]) for row in results.values()
+    ]
     assert max(slow_latencies) > 20

@@ -9,13 +9,17 @@ The headline result.  Shape targets from the paper:
   in H&L (tens to hundreds).
 """
 
-from common import comparison, full_workload_list, render
+from common import comparison, full_workload_list, metric_value, render
 
 from repro.sim.report import geomean
 
 
 def _geomean(results, policy):
-    return geomean([row[policy]["latency"] for row in results.values()])
+    # metric_value: with SIBYL_BENCH_SEEDS > 1 the cells are banded
+    # SeededResults; the shape targets then hold on the seed-axis means.
+    return geomean(
+        [metric_value(row[policy]["latency"]) for row in results.values()]
+    )
 
 
 def test_fig9a_latency_hm(benchmark):

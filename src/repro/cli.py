@@ -8,6 +8,8 @@ Commands
     Run one policy over one workload and print the metrics.
 ``compare``
     Run the full Fig. 9 lineup over workloads and print the table.
+    ``--seeds N`` runs an N-seed campaign and prints mean ±95%
+    confidence bands; ``--json PATH`` exports the machine-readable grid.
 ``overhead``
     Print the §10 overhead analysis.
 ``export-trace``
@@ -25,7 +27,7 @@ from .core.agent import SibylAgent
 from .core.hyperparams import SIBYL_DEFAULT
 from .core.overhead import compute_overhead
 from .sim.experiment import compare_policies
-from .sim.report import format_table
+from .sim.report import export_json, format_table
 from .sim.runner import run_policy
 from .traces.msrc import dump_msrc_csv
 from .traces.workloads import ALL_WORKLOADS, make_trace
@@ -62,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--config", default="H&M")
     compare.add_argument("--requests", type=int, default=10_000)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="run each workload on N seeds (base --seed upward) and "
+             "report mean ±95%% confidence bands instead of point "
+             "estimates (the seed axis rides the multi-lane engine)",
+    )
+    compare.add_argument(
+        "--json", metavar="PATH",
+        help="also write the full (banded) result grid as JSON",
+    )
 
     sub.add_parser("overhead", help="print the Sec. 10 overhead analysis")
 
@@ -121,10 +133,20 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    results = compare_policies(
-        args.workloads, config=args.config, n_requests=args.requests,
-        seed=args.seed,
+    n_seeds = max(1, args.seeds)
+    kwargs = dict(
+        config=args.config, n_requests=args.requests, seed=args.seed,
     )
+    if n_seeds > 1:
+        # Stream per-workload completions so long multi-seed campaigns
+        # show progress instead of going silent until the full grid is
+        # materialised.
+        def on_cell(key, _result):
+            print(f"[campaign] {key}: {n_seeds} seeds done",
+                  file=sys.stderr, flush=True)
+
+        kwargs.update(n_seeds=n_seeds, on_cell=on_cell)
+    results = compare_policies(args.workloads, **kwargs)
     policies = list(next(iter(results.values())).keys())
     rows = []
     for workload, by_policy in results.items():
@@ -132,10 +154,13 @@ def _cmd_compare(args) -> int:
         for p in policies:
             row[p] = by_policy[p]["latency"]
         rows.append(row)
-    print(format_table(
-        rows,
-        title=f"Normalized avg request latency vs Fast-Only ({args.config})",
-    ))
+    title = f"Normalized avg request latency vs Fast-Only ({args.config})"
+    if n_seeds > 1:
+        title += f" — mean ±95% CI over {n_seeds} seeds"
+    print(format_table(rows, title=title))
+    if getattr(args, "json", None):
+        export_json(results, path=args.json)
+        print(f"wrote JSON grid to {args.json}")
     return 0
 
 

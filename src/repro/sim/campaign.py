@@ -1,0 +1,511 @@
+"""Multi-seed campaign engine: confidence bands riding the lane stack.
+
+The paper's figures are single-seed point estimates; a production-scale
+reproduction should quantify run-to-run variance.  This module turns
+any sweep of :mod:`repro.sim.experiment` into an N-seed **campaign**:
+every grid cell runs once per seed, and the per-seed metric values
+collapse into a :class:`SeededResult` carrying mean, standard
+deviation, min/max, and a bootstrap 95% confidence interval.
+
+The seed axis costs barely more than a single seed because it rides
+the engines PR 1–3 built:
+
+* **Across processes** — the (cell × seed) grid fans out through
+  :func:`repro.sim.parallel.run_many`; each parallel task carries one
+  grid cell *with its whole seed axis inside*.
+* **Within a process** — a cell's seed replicas are packed into the
+  multi-lane engine (:func:`repro.sim.lanes.run_lanes`) **as extra
+  lanes**: all seeds of all RL policies in the cell advance in
+  lockstep, sharing one fused network forward per tick (and fused
+  training events), exactly as PR 2/3's lanes do.  4 seeds ≈ one
+  marginally wider batch, not 4× the work.
+
+The hard guarantee is inherited from the lane engine and asserted by
+``tests/sim/test_campaign.py``: each seed's trajectory in a campaign is
+**bit-identical** to the corresponding serial single-seed run — a
+campaign changes how much you know about variance, never the numbers
+themselves.  Single-seed sweep calls (no ``seeds=``/``n_seeds=``) do
+not go through this module at all and keep their historical output.
+
+Layering: this module builds *on* :mod:`repro.sim.experiment` (lineup
+builders, trace resolution, the Oracle row) — experiment's sweeps
+import it lazily when a seed axis is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.hyperparams import SIBYL_DEFAULT
+from ..core.agent import SibylAgent
+from ..traces.mixer import make_mixed_trace
+from .experiment import (
+    DEFAULT_WARMUP,
+    _capacity_lineup,
+    _compare_lineup,
+    _mixed_lineup,
+    _resolve_trace,
+    _tri_hybrid_lineup,
+    _unseen_lineup,
+    oracle_row,
+    run_oracle_best,
+)
+from .lanes import LaneSpec, run_lanes
+from .runner import normalized_row, reference_row, run_reference
+
+__all__ = [
+    "SeededResult",
+    "resolve_seeds",
+    "bootstrap_ci",
+    "aggregate_seeds",
+    "run_seeded_normalized",
+    "compare_cell_seeds",
+    "seeded_compare_cell",
+    "seeded_capacity_cell",
+    "seeded_hyperparameter_cell",
+    "seeded_feature_cell",
+    "seeded_buffer_size_cell",
+    "seeded_tri_hybrid_cell",
+    "seeded_mixed_cell",
+    "seeded_unseen_cell",
+]
+
+#: Bootstrap resamples behind every 95% confidence interval.  Fixed (and
+#: drawn from a fixed-seed generator) so a campaign's bands are exactly
+#: reproducible run to run.
+BOOTSTRAP_RESAMPLES = 1000
+
+#: Confidence level of the reported interval.
+CONFIDENCE = 0.95
+
+
+def resolve_seeds(
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    base_seed: int = 0,
+) -> Tuple[int, ...]:
+    """Normalise a sweep's seed-axis arguments into a seed tuple.
+
+    Exactly one of ``seeds`` (explicit list) and ``n_seeds`` (the seeds
+    ``base_seed .. base_seed + n_seeds - 1``) must be given.  Seeds
+    must be non-empty and unique — a duplicated seed would silently
+    double-weight one replicate in every aggregate.
+    """
+    if (seeds is None) == (n_seeds is None):
+        raise ValueError("pass exactly one of seeds= and n_seeds=")
+    if seeds is None:
+        n = int(n_seeds)  # type: ignore[arg-type]
+        if n < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {n_seeds!r}")
+        return tuple(int(base_seed) + i for i in range(n))
+    axis = tuple(int(s) for s in seeds)
+    if not axis:
+        raise ValueError("seeds must be non-empty")
+    if len(set(axis)) != len(axis):
+        raise ValueError(f"seeds must be unique, got {axis}")
+    return axis
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = CONFIDENCE,
+    n_resamples: int = BOOTSTRAP_RESAMPLES,
+    rng_seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Resamples ``values`` with replacement ``n_resamples`` times and
+    returns the ``(1-confidence)/2`` and ``1-(1-confidence)/2``
+    quantiles of the resampled means.  With a single value the interval
+    degenerates to that value.  Deterministic: the resampling generator
+    is seeded by ``rng_seed``, never by global state.
+    """
+    data = np.asarray(list(values), dtype=float)
+    n = data.size
+    if n == 0:
+        raise ValueError("bootstrap_ci of empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n == 1:
+        return float(data[0]), float(data[0])
+    rng = np.random.default_rng(rng_seed)
+    indices = rng.integers(0, n, size=(int(n_resamples), n))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+@dataclass(frozen=True)
+class SeededResult:
+    """One metric aggregated across a campaign's seed axis.
+
+    Carries the raw per-seed ``values`` (aligned with ``seeds`` when
+    known) plus the summary statistics every figure band needs: mean,
+    sample standard deviation (ddof=1; 0.0 for a single seed), min/max,
+    and a bootstrap 95% confidence interval ``[ci_lo, ci_hi]`` for the
+    mean.  Renders as ``mean ±half-width`` in report tables
+    (:func:`repro.sim.report.format_band`) and exports losslessly via
+    :func:`repro.sim.report.to_jsonable`.
+    """
+
+    values: Tuple[float, ...]
+    mean: float
+    std: float
+    min: float
+    max: float
+    ci_lo: float
+    ci_hi: float
+    seeds: Optional[Tuple[int, ...]] = None
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[float],
+        seeds: Optional[Sequence[int]] = None,
+        confidence: float = CONFIDENCE,
+        n_resamples: int = BOOTSTRAP_RESAMPLES,
+    ) -> "SeededResult":
+        """Aggregate per-seed metric values into a banded statistic."""
+        data = tuple(float(v) for v in values)
+        if not data:
+            raise ValueError("SeededResult of empty values")
+        if seeds is not None and len(seeds) != len(data):
+            raise ValueError(
+                f"{len(seeds)} seeds for {len(data)} values"
+            )
+        arr = np.asarray(data)
+        ci_lo, ci_hi = bootstrap_ci(
+            data, confidence=confidence, n_resamples=n_resamples
+        )
+        return cls(
+            values=data,
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if len(data) > 1 else 0.0,
+            min=float(arr.min()),
+            max=float(arr.max()),
+            ci_lo=ci_lo,
+            ci_hi=ci_hi,
+            seeds=tuple(int(s) for s in seeds) if seeds is not None else None,
+        )
+
+
+def aggregate_seeds(per_seed: Sequence, seeds: Optional[Sequence[int]] = None):
+    """Collapse per-seed sweep outputs into one banded structure.
+
+    ``per_seed`` holds one result per seed, all with the same shape
+    (arbitrarily nested dicts of metrics, or bare numbers).  The
+    returned structure mirrors that shape with every numeric leaf
+    replaced by a :class:`SeededResult` over the seed axis; non-numeric
+    leaves (names, labels) keep the first seed's value.
+    """
+    per_seed = list(per_seed)
+    if not per_seed:
+        raise ValueError("aggregate_seeds of empty per-seed results")
+    first = per_seed[0]
+    if isinstance(first, Mapping):
+        return {
+            key: aggregate_seeds([entry[key] for entry in per_seed], seeds)
+            for key in first
+        }
+    if isinstance(first, (int, float, np.integer, np.floating)) and not isinstance(
+        first, bool
+    ):
+        return SeededResult.from_values(per_seed, seeds=seeds)
+    return first
+
+
+# --------------------------------------------------------------------------
+# The lane-packing core: one run_lanes call for a whole seed axis.
+# --------------------------------------------------------------------------
+
+def run_seeded_normalized(
+    seeds: Sequence[int],
+    traces: Sequence,
+    lineups: Sequence[Sequence],
+    config: str = "H&M",
+    capacity_fractions: Optional[Sequence[float]] = None,
+    max_requests: Optional[int] = None,
+    warmup_fraction: float = 0.0,
+    with_oracle: bool = False,
+    align_window: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[Dict[str, Dict[str, float]]]:
+    """Run one cell's whole seed axis through a single lane-engine call.
+
+    ``traces[i]`` and ``lineups[i]`` belong to ``seeds[i]``; every
+    (seed, policy) pair becomes one lane of one
+    :func:`repro.sim.lanes.run_lanes` call, so all seeds' RL lanes
+    share fused inference forwards and fused training events.  Returns
+    one :func:`repro.sim.runner.run_normalized`-shaped dict per seed —
+    bit-identical to running that seed's lineup alone, because lane
+    results never depend on co-lanes.  ``with_oracle`` adds each seed's
+    best-of-horizons Oracle entry exactly as the single-seed sweep
+    cells do.  ``stats`` is forwarded to ``run_lanes`` for engine
+    counters (see there); use it to *observe* that the seed axis really
+    shares fused forwards.
+    """
+    seeds = list(seeds)
+    traces = list(traces)
+    lineups = [list(lineup) for lineup in lineups]
+    if not (len(seeds) == len(traces) == len(lineups)):
+        raise ValueError(
+            f"seed axis misaligned: {len(seeds)} seeds, "
+            f"{len(traces)} traces, {len(lineups)} lineups"
+        )
+    # A one-shot iterator can feed at most one lane; materialise it once
+    # (mirrors run_normalized's guard).
+    traces = [
+        trace
+        if isinstance(trace, (list, tuple))
+        or (hasattr(trace, "__len__") and hasattr(trace, "__iter__"))
+        else list(trace)
+        for trace in traces
+    ]
+    references = [
+        run_reference(
+            trace,
+            config=config,
+            max_requests=max_requests,
+            warmup_fraction=warmup_fraction,
+        )
+        for trace in traces
+    ]
+    specs = [
+        LaneSpec(
+            policy=policy,
+            trace=trace,
+            config=config,
+            capacity_fractions=capacity_fractions,
+            max_requests=max_requests,
+            warmup_fraction=warmup_fraction,
+        )
+        for trace, lineup in zip(traces, lineups)
+        for policy in lineup
+    ]
+    results = run_lanes(specs, align_window=align_window, stats=stats)
+    out: List[Dict[str, Dict[str, float]]] = []
+    cursor = 0
+    for trace, lineup, reference in zip(traces, lineups, references):
+        row: Dict[str, Dict[str, float]] = {
+            "Fast-Only": reference_row(reference)
+        }
+        for _ in lineup:
+            result = results[cursor]
+            cursor += 1
+            row[result.policy] = normalized_row(result, reference)
+        if with_oracle:
+            oracle = run_oracle_best(
+                trace, config, capacity_fractions, warmup_fraction
+            )
+            row["Oracle"] = oracle_row(oracle, row["Fast-Only"])
+        out.append(row)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Seeded grid cells.  Module-level (picklable) mirrors of experiment.py's
+# single-seed cells: same trace resolution, same lineup builders, same
+# metric projections — run once per seed with the seed axis in lanes.
+# --------------------------------------------------------------------------
+
+def compare_cell_seeds(
+    workload: str,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[Dict[str, Dict[str, float]]]:
+    """Per-seed (pre-aggregation) results of one comparison cell.
+
+    Element ``i`` is exactly what the single-seed comparison cell
+    returns for ``seed=seeds[i]`` — the bit-identity contract tests
+    pin this with float equality.
+    """
+    return run_seeded_normalized(
+        seeds,
+        [_resolve_trace(workload, n_requests, s) for s in seeds],
+        [_compare_lineup(s) for s in seeds],
+        config=config,
+        warmup_fraction=warmup_fraction,
+        with_oracle=True,
+        stats=stats,
+    )
+
+
+def seeded_compare_cell(
+    workload: str,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, SeededResult]]:
+    """One comparison cell with confidence bands over the seed axis."""
+    return aggregate_seeds(
+        compare_cell_seeds(
+            workload, config, n_requests, seeds, warmup_fraction
+        ),
+        seeds=seeds,
+    )
+
+
+def seeded_capacity_cell(
+    workload: str,
+    frac: float,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, SeededResult]]:
+    """One capacity-sweep point with confidence bands over seeds."""
+    per_seed = run_seeded_normalized(
+        seeds,
+        [_resolve_trace(workload, n_requests, s) for s in seeds],
+        [_capacity_lineup(s) for s in seeds],
+        config=config,
+        capacity_fractions=(frac,),
+        warmup_fraction=warmup_fraction,
+        with_oracle=True,
+    )
+    return aggregate_seeds(per_seed, seeds=seeds)
+
+
+def seeded_hyperparameter_cell(
+    parameter: str,
+    value,
+    workload: str,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, SeededResult]:
+    """One hyper-parameter point: Sibyl's banded normalised metrics."""
+    hp = SIBYL_DEFAULT.replace(**{parameter: value})
+    per_seed = run_seeded_normalized(
+        seeds,
+        [_resolve_trace(workload, n_requests, s) for s in seeds],
+        [[SibylAgent(hyperparams=hp, seed=s)] for s in seeds],
+        config=config,
+        warmup_fraction=warmup_fraction,
+    )
+    return aggregate_seeds([entry["Sibyl"] for entry in per_seed], seeds=seeds)
+
+
+def seeded_feature_cell(
+    workload: str,
+    feature_set: str,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> SeededResult:
+    """One feature-ablation point: banded normalised latency."""
+
+    def agent(seed: int) -> SibylAgent:
+        a = SibylAgent(feature_set=feature_set, seed=seed)
+        a.name = f"Sibyl[{feature_set}]"
+        return a
+
+    name = f"Sibyl[{feature_set}]"
+    per_seed = run_seeded_normalized(
+        seeds,
+        [_resolve_trace(workload, n_requests, s) for s in seeds],
+        [[agent(s)] for s in seeds],
+        config=config,
+        warmup_fraction=warmup_fraction,
+    )
+    return aggregate_seeds(
+        [entry[name]["latency"] for entry in per_seed], seeds=seeds
+    )
+
+
+def seeded_buffer_size_cell(
+    size: int,
+    workload: str,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> SeededResult:
+    """One buffer-size point: banded normalised latency."""
+    hp = SIBYL_DEFAULT.replace(
+        buffer_capacity=size,
+        batch_size=min(SIBYL_DEFAULT.batch_size, max(1, size)),
+    )
+    per_seed = run_seeded_normalized(
+        seeds,
+        [_resolve_trace(workload, n_requests, s) for s in seeds],
+        [[SibylAgent(hyperparams=hp, seed=s)] for s in seeds],
+        config=config,
+        warmup_fraction=warmup_fraction,
+    )
+    return aggregate_seeds(
+        [entry["Sibyl"]["latency"] for entry in per_seed], seeds=seeds
+    )
+
+
+def seeded_tri_hybrid_cell(
+    workload: str,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, SeededResult]]:
+    """One tri-hybrid cell with confidence bands over seeds."""
+    per_seed = run_seeded_normalized(
+        seeds,
+        [_resolve_trace(workload, n_requests, s) for s in seeds],
+        [_tri_hybrid_lineup(s) for s in seeds],
+        config=config,
+        warmup_fraction=warmup_fraction,
+    )
+    return aggregate_seeds(per_seed, seeds=seeds)
+
+
+def seeded_mixed_cell(
+    mix: str,
+    config: str,
+    n_requests_per_component: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, SeededResult]]:
+    """One mixed-workload cell with confidence bands over seeds."""
+    per_seed = run_seeded_normalized(
+        seeds,
+        [
+            make_mixed_trace(
+                mix,
+                n_requests_per_component=n_requests_per_component,
+                seed=s,
+            )
+            for s in seeds
+        ],
+        [_mixed_lineup(s) for s in seeds],
+        config=config,
+        warmup_fraction=warmup_fraction,
+        with_oracle=True,
+    )
+    return aggregate_seeds(per_seed, seeds=seeds)
+
+
+def seeded_unseen_cell(
+    workload: str,
+    config: str,
+    n_requests: int,
+    seeds: Sequence[int],
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, SeededResult]]:
+    """One unseen-workload cell with confidence bands over seeds."""
+    per_seed = run_seeded_normalized(
+        seeds,
+        [_resolve_trace(workload, n_requests, s) for s in seeds],
+        [_unseen_lineup(s) for s in seeds],
+        config=config,
+        warmup_fraction=warmup_fraction,
+        with_oracle=True,
+    )
+    return aggregate_seeds(per_seed, seeds=seeds)

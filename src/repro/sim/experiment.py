@@ -26,11 +26,24 @@ chunk-by-chunk (:class:`repro.traces.msrc.StreamingMSRCTrace`), so
 full-length captures feed the lanes without materialising the request
 list.  ``n_requests`` then caps the streamed prefix and ``seed`` only
 seeds the policies.
+
+Every sweep also takes a **seed axis**: pass ``seeds=[...]`` (explicit
+seed list) or ``n_seeds=N`` (seeds ``seed .. seed+N-1``) and the sweep
+runs every cell once per seed — the seed replicas ride the multi-lane
+engine together (one fused forward per tick across seeds; see
+:mod:`repro.sim.campaign`) — and returns the same result structure
+with every numeric leaf replaced by a
+:class:`~repro.sim.campaign.SeededResult` carrying mean, std, min/max,
+and a bootstrap 95% confidence interval.  Without a seed axis the
+output is bit-identical to what it always was.  ``on_cell(key,
+result)``, when given, fires as each grid cell completes (completion
+order), so long campaigns can stream rows into a report instead of
+materialising the full grid first.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import (
     ArchivistPolicy,
@@ -47,7 +60,7 @@ from ..core.hyperparams import SIBYL_DEFAULT, SIBYL_OPT, SibylHyperParams
 from ..hss.request import Request
 from ..traces.mixer import make_mixed_trace
 from ..traces.workloads import make_trace
-from .parallel import Cell, run_grid, run_many
+from .parallel import Cell, iter_many, run_grid
 from .runner import run_normalized, run_policy
 
 __all__ = [
@@ -118,6 +131,24 @@ def run_oracle_best(
     return best
 
 
+def oracle_row(oracle, reference_row: Dict[str, float]) -> Dict[str, float]:
+    """The Oracle's metrics dict, normalised against a Fast-Only row.
+
+    Shared by the single-seed cells here and the multi-seed campaign
+    layer (:mod:`repro.sim.campaign`), so both compute the Oracle entry
+    from identical expressions.
+    """
+    reference_latency = reference_row["avg_latency_s"]
+    reference_iops = reference_row["raw_iops"]
+    return {
+        "latency": oracle.avg_latency_s / reference_latency,
+        "iops": oracle.iops / reference_iops if reference_iops else 0.0,
+        "eviction_fraction": oracle.eviction_fraction,
+        "fast_preference": oracle.profile.fast_preference,
+        "avg_latency_s": oracle.avg_latency_s,
+    }
+
+
 def _with_oracle(
     lineup: Sequence[PlacementPolicy],
     trace: Sequence[Request],
@@ -136,15 +167,7 @@ def _with_oracle(
     oracle = run_oracle_best(
         trace, config, capacity_fractions, warmup_fraction
     )
-    reference_latency = out["Fast-Only"]["avg_latency_s"]
-    reference_iops = out["Fast-Only"]["raw_iops"]
-    out["Oracle"] = {
-        "latency": oracle.avg_latency_s / reference_latency,
-        "iops": oracle.iops / reference_iops if reference_iops else 0.0,
-        "eviction_fraction": oracle.eviction_fraction,
-        "fast_preference": oracle.profile.fast_preference,
-        "avg_latency_s": oracle.avg_latency_s,
-    }
+    out["Oracle"] = oracle_row(oracle, out["Fast-Only"])
     return out
 
 
@@ -169,6 +192,57 @@ def _resolve_trace(workload: str, n_requests: int, seed: int):
     return make_trace(workload, n_requests=n_requests, seed=seed)
 
 
+# Per-sweep policy lineups, factored out so the single-seed cells below
+# and the multi-seed campaign layer (repro.sim.campaign) construct
+# *identical* lineups from identical expressions — the precondition for
+# a campaign's per-seed rows being bit-identical to single-seed cells.
+
+def _compare_lineup(seed: int) -> List[PlacementPolicy]:
+    return standard_policies(seed=seed)
+
+
+def _capacity_lineup(seed: int) -> List[PlacementPolicy]:
+    return [
+        CDEPolicy(),
+        HPSPolicy(),
+        ArchivistPolicy(seed=seed),
+        RNNHSSPolicy(seed=seed),
+        SibylAgent(seed=seed),
+    ]
+
+
+def _tri_hybrid_lineup(seed: int) -> List[PlacementPolicy]:
+    return [
+        TriHeuristicPolicy(),
+        SibylAgent(seed=seed),
+    ]
+
+
+def _mixed_lineup(seed: int) -> List[PlacementPolicy]:
+    sibyl_def = SibylAgent(seed=seed)
+    sibyl_def.name = "Sibyl_Def"
+    sibyl_opt = SibylAgent(hyperparams=SIBYL_OPT, seed=seed)
+    sibyl_opt.name = "Sibyl_Opt"
+    return [
+        SlowOnlyPolicy(),
+        CDEPolicy(),
+        HPSPolicy(),
+        ArchivistPolicy(seed=seed),
+        RNNHSSPolicy(seed=seed),
+        sibyl_def,
+        sibyl_opt,
+    ]
+
+
+def _unseen_lineup(seed: int) -> List[PlacementPolicy]:
+    return [
+        SlowOnlyPolicy(),
+        ArchivistPolicy(seed=seed),
+        RNNHSSPolicy(seed=seed),
+        SibylAgent(seed=seed),
+    ]
+
+
 def _compare_cell(
     workload: str,
     config: str,
@@ -177,7 +251,7 @@ def _compare_cell(
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
     trace = _resolve_trace(workload, n_requests, seed)
-    lineup = standard_policies(seed=seed)
+    lineup = _compare_lineup(seed)
     return _with_oracle(lineup, trace, config, warmup_fraction=warmup_fraction)
 
 
@@ -190,13 +264,7 @@ def _capacity_cell(
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
     trace = _resolve_trace(workload, n_requests, seed)
-    lineup: List[PlacementPolicy] = [
-        CDEPolicy(),
-        HPSPolicy(),
-        ArchivistPolicy(seed=seed),
-        RNNHSSPolicy(seed=seed),
-        SibylAgent(seed=seed),
-    ]
+    lineup = _capacity_lineup(seed)
     return _with_oracle(
         lineup,
         trace,
@@ -266,10 +334,7 @@ def _tri_hybrid_cell(
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
     trace = _resolve_trace(workload, n_requests, seed)
-    lineup: List[PlacementPolicy] = [
-        TriHeuristicPolicy(),
-        SibylAgent(seed=seed),
-    ]
+    lineup = _tri_hybrid_lineup(seed)
     return run_normalized(
         lineup, trace, config=config, warmup_fraction=warmup_fraction
     )
@@ -285,19 +350,7 @@ def _mixed_cell(
     trace = make_mixed_trace(
         mix, n_requests_per_component=n_requests_per_component, seed=seed
     )
-    sibyl_def = SibylAgent(seed=seed)
-    sibyl_def.name = "Sibyl_Def"
-    sibyl_opt = SibylAgent(hyperparams=SIBYL_OPT, seed=seed)
-    sibyl_opt.name = "Sibyl_Opt"
-    lineup: List[PlacementPolicy] = [
-        SlowOnlyPolicy(),
-        CDEPolicy(),
-        HPSPolicy(),
-        ArchivistPolicy(seed=seed),
-        RNNHSSPolicy(seed=seed),
-        sibyl_def,
-        sibyl_opt,
-    ]
+    lineup = _mixed_lineup(seed)
     return _with_oracle(lineup, trace, config, warmup_fraction=warmup_fraction)
 
 
@@ -309,18 +362,26 @@ def _unseen_cell(
     warmup_fraction: float,
 ) -> Dict[str, Dict[str, float]]:
     trace = _resolve_trace(workload, n_requests, seed)
-    lineup: List[PlacementPolicy] = [
-        SlowOnlyPolicy(),
-        ArchivistPolicy(seed=seed),
-        RNNHSSPolicy(seed=seed),
-        SibylAgent(seed=seed),
-    ]
+    lineup = _unseen_lineup(seed)
     return _with_oracle(lineup, trace, config, warmup_fraction=warmup_fraction)
 
 
 # --------------------------------------------------------------------------
 # Public sweeps: build the grid, fan it out, merge the results.
 # --------------------------------------------------------------------------
+
+def _seed_axis(seeds, n_seeds, base_seed) -> Optional[Tuple[int, ...]]:
+    """The sweep's resolved seed axis, or None for the legacy path.
+
+    Lazy import: :mod:`repro.sim.campaign` builds on this module, so
+    the dependency must point campaign → experiment at import time.
+    """
+    if seeds is None and n_seeds is None:
+        return None
+    from .campaign import resolve_seeds
+
+    return resolve_seeds(seeds=seeds, n_seeds=n_seeds, base_seed=base_seed)
+
 
 def compare_policies(
     workloads: Sequence[str],
@@ -330,20 +391,67 @@ def compare_policies(
     policies: Optional[Callable[[], List[PlacementPolicy]]] = None,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 2/9/10/18-style comparison: {workload: {policy: metrics}}.
 
+    With a seed axis (``seeds=`` or ``n_seeds=``), each workload cell
+    runs once per seed — the seed replicas ride the multi-lane engine
+    together — and every metric leaf is a
+    :class:`~repro.sim.campaign.SeededResult` confidence band.
+
     A custom ``policies`` factory (often a closure) cannot be shipped to
-    worker processes, so that path runs serially.
+    worker processes, so that path runs serially in-process (the seed
+    axis still rides lanes there; the factory is called once per seed
+    and owns any policy seeding itself).
     """
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
     if policies is not None:
-        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        out: Dict[str, Dict[str, Dict[str, object]]] = {}
         for name in workloads:
-            trace = make_trace(name, n_requests=n_requests, seed=seed)
-            out[name] = _with_oracle(
-                policies(), trace, config, warmup_fraction=warmup_fraction
-            )
+            if seed_axis is None:
+                trace = make_trace(name, n_requests=n_requests, seed=seed)
+                out[name] = _with_oracle(
+                    policies(), trace, config, warmup_fraction=warmup_fraction
+                )
+            else:
+                from .campaign import aggregate_seeds, run_seeded_normalized
+
+                per_seed = run_seeded_normalized(
+                    seed_axis,
+                    [
+                        make_trace(name, n_requests=n_requests, seed=s)
+                        for s in seed_axis
+                    ],
+                    [policies() for _ in seed_axis],
+                    config=config,
+                    warmup_fraction=warmup_fraction,
+                    with_oracle=True,
+                )
+                out[name] = aggregate_seeds(per_seed, seeds=seed_axis)
+            if on_cell is not None:
+                on_cell(name, out[name])
         return out
+    if seed_axis is not None:
+        from .campaign import seeded_compare_cell
+
+        cells = [
+            Cell(
+                key=name,
+                fn=seeded_compare_cell,
+                kwargs=dict(
+                    workload=name,
+                    config=config,
+                    n_requests=n_requests,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for name in workloads
+        ]
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
     cells = [
         Cell(
             key=name,
@@ -358,7 +466,7 @@ def compare_policies(
         )
         for name in workloads
     ]
-    return run_grid(cells, max_workers=max_workers)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
 
 
 def capacity_sweep(
@@ -369,11 +477,34 @@ def capacity_sweep(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[float, Dict[str, Dict[str, float]]]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[float, Dict[str, Dict[str, object]]]:
     """Fig. 15: normalised latency vs available fast-storage capacity."""
     for frac in fractions:
         if frac <= 0:
             raise ValueError("capacity fractions must be positive")
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
+    if seed_axis is not None:
+        from .campaign import seeded_capacity_cell
+
+        cells = [
+            Cell(
+                key=frac,
+                fn=seeded_capacity_cell,
+                kwargs=dict(
+                    workload=workload,
+                    frac=frac,
+                    config=config,
+                    n_requests=n_requests,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for frac in fractions
+        ]
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
     cells = [
         Cell(
             key=frac,
@@ -389,7 +520,7 @@ def capacity_sweep(
         )
         for frac in fractions
     ]
-    return run_grid(cells, max_workers=max_workers)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
 
 
 def hyperparameter_sweep(
@@ -401,8 +532,32 @@ def hyperparameter_sweep(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[object, Dict[str, float]]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[object, Dict[str, object]]:
     """Fig. 14: Sibyl's normalised metrics as one hyper-parameter varies."""
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
+    if seed_axis is not None:
+        from .campaign import seeded_hyperparameter_cell
+
+        cells = [
+            Cell(
+                key=value,
+                fn=seeded_hyperparameter_cell,
+                kwargs=dict(
+                    parameter=parameter,
+                    value=value,
+                    workload=workload,
+                    config=config,
+                    n_requests=n_requests,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for value in values
+        ]
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
     cells = [
         Cell(
             key=value,
@@ -419,7 +574,7 @@ def hyperparameter_sweep(
         )
         for value in values
     ]
-    return run_grid(cells, max_workers=max_workers)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
 
 
 def feature_ablation(
@@ -430,28 +585,58 @@ def feature_ablation(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[str, Dict[str, float]]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[str, Dict[str, object]]:
     """Fig. 13: {workload: {feature_set: normalised latency}} on H&L."""
-    cells = [
-        Cell(
-            key=(name, fs),
-            fn=_feature_cell,
-            kwargs=dict(
-                workload=name,
-                feature_set=fs,
-                config=config,
-                n_requests=n_requests,
-                seed=seed,
-                warmup_fraction=warmup_fraction,
-            ),
-        )
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
+    if seed_axis is not None:
+        from .campaign import seeded_feature_cell
+
+        cells = [
+            Cell(
+                key=(name, fs),
+                fn=seeded_feature_cell,
+                kwargs=dict(
+                    workload=name,
+                    feature_set=fs,
+                    config=config,
+                    n_requests=n_requests,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for name in workloads
+            for fs in feature_sets
+        ]
+    else:
+        cells = [
+            Cell(
+                key=(name, fs),
+                fn=_feature_cell,
+                kwargs=dict(
+                    workload=name,
+                    feature_set=fs,
+                    config=config,
+                    n_requests=n_requests,
+                    seed=seed,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for name in workloads
+            for fs in feature_sets
+        ]
+    collected: Dict[str, Dict[str, object]] = {name: {} for name in workloads}
+    for (name, fs), latency in iter_many(cells, max_workers=max_workers):
+        if on_cell is not None:
+            on_cell((name, fs), latency)
+        collected[name][fs] = latency
+    # Completion order may interleave; re-key in grid order.
+    return {
+        name: {fs: collected[name][fs] for fs in feature_sets}
         for name in workloads
-        for fs in feature_sets
-    ]
-    out: Dict[str, Dict[str, float]] = {name: {} for name in workloads}
-    for (name, fs), latency in run_many(cells, max_workers=max_workers):
-        out[name][fs] = latency
-    return out
+    }
 
 
 def buffer_size_sweep(
@@ -462,8 +647,31 @@ def buffer_size_sweep(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[int, float]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[int, object]:
     """Fig. 8: normalised latency vs experience-buffer capacity."""
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
+    if seed_axis is not None:
+        from .campaign import seeded_buffer_size_cell
+
+        cells = [
+            Cell(
+                key=size,
+                fn=seeded_buffer_size_cell,
+                kwargs=dict(
+                    size=size,
+                    workload=workload,
+                    config=config,
+                    n_requests=n_requests,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for size in sizes
+        ]
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
     cells = [
         Cell(
             key=size,
@@ -479,7 +687,7 @@ def buffer_size_sweep(
         )
         for size in sizes
     ]
-    return run_grid(cells, max_workers=max_workers)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
 
 
 def tri_hybrid_comparison(
@@ -489,8 +697,30 @@ def tri_hybrid_comparison(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 16: heuristic tri-hybrid vs 3-action Sibyl."""
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
+    if seed_axis is not None:
+        from .campaign import seeded_tri_hybrid_cell
+
+        cells = [
+            Cell(
+                key=name,
+                fn=seeded_tri_hybrid_cell,
+                kwargs=dict(
+                    workload=name,
+                    config=config,
+                    n_requests=n_requests,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for name in workloads
+        ]
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
     cells = [
         Cell(
             key=name,
@@ -505,7 +735,7 @@ def tri_hybrid_comparison(
         )
         for name in workloads
     ]
-    return run_grid(cells, max_workers=max_workers)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
 
 
 def mixed_workload_comparison(
@@ -515,8 +745,30 @@ def mixed_workload_comparison(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 12: Sibyl_Def vs Sibyl_Opt vs baselines on Table 5 mixes."""
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
+    if seed_axis is not None:
+        from .campaign import seeded_mixed_cell
+
+        cells = [
+            Cell(
+                key=mix,
+                fn=seeded_mixed_cell,
+                kwargs=dict(
+                    mix=mix,
+                    config=config,
+                    n_requests_per_component=n_requests_per_component,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for mix in mixes
+        ]
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
     cells = [
         Cell(
             key=mix,
@@ -531,7 +783,7 @@ def mixed_workload_comparison(
         )
         for mix in mixes
     ]
-    return run_grid(cells, max_workers=max_workers)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
 
 
 def unseen_workload_comparison(
@@ -541,8 +793,30 @@ def unseen_workload_comparison(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP,
     max_workers: Optional[int] = None,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+    seeds: Optional[Sequence[int]] = None,
+    n_seeds: Optional[int] = None,
+    on_cell: Optional[Callable] = None,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 11: generalisation to FileBench workloads never tuned on."""
+    seed_axis = _seed_axis(seeds, n_seeds, seed)
+    if seed_axis is not None:
+        from .campaign import seeded_unseen_cell
+
+        cells = [
+            Cell(
+                key=name,
+                fn=seeded_unseen_cell,
+                kwargs=dict(
+                    workload=name,
+                    config=config,
+                    n_requests=n_requests,
+                    seeds=seed_axis,
+                    warmup_fraction=warmup_fraction,
+                ),
+            )
+            for name in workloads
+        ]
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
     cells = [
         Cell(
             key=name,
@@ -557,4 +831,4 @@ def unseen_workload_comparison(
         )
         for name in workloads
     ]
-    return run_grid(cells, max_workers=max_workers)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)

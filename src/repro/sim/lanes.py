@@ -348,7 +348,9 @@ def _group_signature(policy) -> tuple:
 
 
 def run_lanes(
-    specs: Sequence[LaneSpec], align_window: Optional[int] = None
+    specs: Sequence[LaneSpec],
+    align_window: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[RunResult]:
     """Advance all lanes in lockstep; results in spec order.
 
@@ -360,9 +362,24 @@ def run_lanes(
     ticks a lane with a pending training event waits for co-trainers
     (default: the ``SIBYL_TRAIN_ALIGN`` environment variable, else 0 =
     fuse same-tick events only).
+
+    ``stats``, when given, is filled with engine counters — pure
+    observation, never behaviour: ``ticks`` (lockstep rounds that
+    advanced at least one RL lane), ``fused_forwards`` (stacked
+    inference calls; at most one per architecture group per tick),
+    ``fused_rows`` (total lane-observations those forwards carried), and
+    ``max_fused_rows`` (widest single forward).  ``fused_rows >
+    fused_forwards`` is the smoking gun that independent lanes — e.g.
+    the seed replicas of a multi-seed campaign — actually shared
+    batched inference instead of each paying its own forward.
     """
     if align_window is None:
         align_window = resolve_train_align()
+    if stats is not None:
+        stats.setdefault("ticks", 0)
+        stats.setdefault("fused_forwards", 0)
+        stats.setdefault("fused_rows", 0)
+        stats.setdefault("max_fused_rows", 0)
     runs = [spec.make_run() for spec in specs]
 
     # Partition: lanes whose policy exposes the externally-driven
@@ -398,6 +415,8 @@ def run_lanes(
             if active_plain:
                 active_plain = [run for run in active_plain if run.step()]
             if active_rl:
+                if stats is not None:
+                    stats["ticks"] += 1
                 next_rl: List[PolicyRun] = []
                 for run in active_rl:
                     if id(run) in held:
@@ -415,6 +434,12 @@ def run_lanes(
                         group.pending.append((run, row))
                 for group in groups:
                     if group.pending:
+                        if stats is not None:
+                            rows = len(group.pending)
+                            stats["fused_forwards"] += 1
+                            stats["fused_rows"] += rows
+                            if rows > stats["max_fused_rows"]:
+                                stats["max_fused_rows"] = rows
                         actions = group.stack.best_actions(group.obs)
                         for run, row in group.pending:
                             run.step_finish(int(actions[row]))

@@ -41,13 +41,23 @@ Packing never changes results, only scheduling granularity.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .lanes import resolve_count_env, resolve_lanes
 
-__all__ = ["Cell", "run_many", "run_grid", "resolve_workers"]
+__all__ = ["Cell", "run_many", "iter_many", "run_grid", "resolve_workers"]
 
 #: Environment knob controlling parallel fan-out (see module docstring).
 PARALLEL_ENV = "SIBYL_PARALLEL"
@@ -130,9 +140,65 @@ def run_many(
     return [(cell.key, result) for cell, result in zip(cells, results)]
 
 
+def iter_many(
+    cells: Sequence[Cell],
+    max_workers: Optional[int] = None,
+    lane_pack: Optional[int] = None,
+) -> Iterator[Tuple[Hashable, Any]]:
+    """Stream ``(key, result)`` pairs as cells complete.
+
+    The streaming counterpart of :func:`run_many`: results arrive in
+    **completion order** (cell order on the serial path), so a caller
+    can fold each cell into a report the moment it finishes instead of
+    materialising the full grid first — the difference between staring
+    at a silent campaign for minutes and watching its rows land.  Every
+    cell computes exactly what :func:`run_many` would compute for it;
+    only the delivery order and latency change.
+
+    ``lane_pack`` groups consecutive cells per worker task exactly as
+    in :func:`run_many`; a packed chunk is delivered together (in cell
+    order within the chunk) when the chunk completes.
+    """
+    cells = list(cells)
+    workers = resolve_workers(len(cells), max_workers)
+    if workers == 0:
+        for cell in cells:
+            yield cell.key, cell.run()
+        return
+    pack = resolve_lanes(1) if lane_pack is None else max(1, int(lane_pack))
+    chunks = [cells[i:i + max(1, pack)] for i in range(0, len(cells), max(1, pack))]
+    workers = min(workers, len(chunks))
+    if workers <= 1:
+        for chunk in chunks:
+            for cell, result in zip(chunk, _run_cell_pack(chunk)):
+                yield cell.key, result
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_cell_pack, chunk): chunk for chunk in chunks
+        }
+        for future in as_completed(futures):
+            chunk = futures[future]
+            for cell, result in zip(chunk, future.result()):
+                yield cell.key, result
+
+
 def run_grid(
     cells: Sequence[Cell],
     max_workers: Optional[int] = None,
+    on_cell: Optional[Callable[[Hashable, Any], None]] = None,
 ) -> Dict[Hashable, Any]:
-    """:func:`run_many`, merged into a dict keyed by each cell's key."""
-    return dict(run_many(cells, max_workers=max_workers))
+    """:func:`run_many`, merged into a dict keyed by each cell's key.
+
+    ``on_cell(key, result)``, when given, fires once per cell **as the
+    cell completes** (completion order — :func:`iter_many` underneath),
+    so sweeps can stream rows into a live report; the returned dict is
+    always in cell order regardless.
+    """
+    cells = list(cells)
+    results: Dict[Hashable, Any] = {}
+    for key, result in iter_many(cells, max_workers=max_workers):
+        if on_cell is not None:
+            on_cell(key, result)
+        results[key] = result
+    return {cell.key: results[cell.key] for cell in cells}

@@ -1,20 +1,59 @@
-"""Plain-text reporting of paper tables and figure series.
+"""Plain-text and machine-readable reporting of paper tables and series.
 
 The benchmark harness prints the same rows/series the paper plots; the
 helpers here render aligned ASCII tables and labelled series so bench
 output is directly comparable to the figures.
+
+Cells may be plain numbers **or** banded statistics from a multi-seed
+campaign (:class:`repro.sim.campaign.SeededResult` — any object with
+``mean``/``ci_lo``/``ci_hi`` attributes): banded cells render as
+``mean ±half-width`` of their 95% confidence interval, so the same
+``format_table``/``format_series`` calls serve single-seed point
+estimates and multi-seed confidence bands.  :func:`to_jsonable` /
+:func:`export_json` turn any (possibly banded, arbitrarily nested)
+result grid into machine-readable JSON.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Union
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_series", "geomean"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_band",
+    "to_jsonable",
+    "export_json",
+    "geomean",
+]
 
-Number = Union[int, float]
+
+def _is_band(value: object) -> bool:
+    """Duck-typed banded statistic: mean plus a confidence interval."""
+    return (
+        hasattr(value, "mean")
+        and hasattr(value, "ci_lo")
+        and hasattr(value, "ci_hi")
+    )
+
+
+def format_band(stat, precision: int = 3) -> str:
+    """Render a banded statistic as ``mean ±half-width`` of its CI.
+
+    The half-width is the larger deviation of the two interval ends
+    from the mean (bootstrap intervals need not be symmetric), so the
+    printed band always covers the actual interval.
+    """
+    half = max(stat.ci_hi - stat.mean, stat.mean - stat.ci_lo)
+    return f"{stat.mean:.{precision}f} ±{half:.{precision}f}"
 
 
 def _fmt(value: object, precision: int) -> str:
+    if _is_band(value):
+        return format_band(value, precision)
     if isinstance(value, float):
         return f"{value:.{precision}f}"
     return str(value)
@@ -26,7 +65,11 @@ def format_table(
     precision: int = 3,
     title: str | None = None,
 ) -> str:
-    """Render dict rows as an aligned ASCII table."""
+    """Render dict rows as an aligned ASCII table.
+
+    Cells may be plain numbers, strings, or banded statistics (see
+    :func:`format_band`); mixed columns align on the rendered text.
+    """
     if not rows:
         return "(empty table)"
     headers = list(headers) if headers else list(rows[0].keys())
@@ -49,25 +92,86 @@ def format_table(
 
 
 def format_series(
-    series: Mapping[object, Number],
+    series: Mapping[object, object],
     label: str = "value",
     precision: int = 3,
     title: str | None = None,
 ) -> str:
-    """Render an x→y series (one figure line) as two aligned columns."""
+    """Render an x→y series (one figure line) as two aligned columns.
+
+    ``y`` values may be plain numbers or banded statistics — a
+    multi-seed sweep's series renders with its confidence band inline.
+    """
     rows = [
         {"x": str(x), label: y} for x, y in series.items()
     ]
     return format_table(rows, headers=["x", label], precision=precision, title=title)
 
 
-def geomean(values: Sequence[float]) -> float:
-    """Geometric mean, the conventional summary for normalised latencies."""
+def to_jsonable(obj):
+    """Recursively convert a result grid into JSON-serialisable data.
+
+    Banded statistics become ``{"mean", "std", "min", "max", "ci95":
+    [lo, hi], "n", "values"}`` dicts; mappings keep their (stringified)
+    keys; sequences become lists; everything else passes through.  The
+    inverse direction is not needed — the JSON is an export format for
+    plotting/CI tooling, not a round-trip serialisation.
+    """
+    if _is_band(obj):
+        out = {
+            "mean": obj.mean,
+            "std": getattr(obj, "std", None),
+            "min": getattr(obj, "min", None),
+            "max": getattr(obj, "max", None),
+            "ci95": [obj.ci_lo, obj.ci_hi],
+        }
+        values = getattr(obj, "values", None)
+        if values is not None:
+            out["n"] = len(values)
+            out["values"] = [float(v) for v in values]
+        seeds = getattr(obj, "seeds", None)
+        if seeds is not None:
+            out["seeds"] = [int(s) for s in seeds]
+        return out
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "item") and callable(obj.item) and not isinstance(obj, str):
+        return obj.item()  # numpy scalar
+    return obj
+
+
+def export_json(
+    grid, path: Optional[Union[str, Path]] = None, indent: int = 2
+) -> str:
+    """Serialise a (possibly banded) result grid as JSON text.
+
+    Returns the JSON string; when ``path`` is given the text is also
+    written there (with a trailing newline), which is how benchmarks
+    persist machine-readable tables next to their ASCII ones.
+    """
+    text = json.dumps(to_jsonable(grid), indent=indent)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional summary for normalised latencies.
+
+    Computed in log space, so long sequences of large or tiny values
+    cannot overflow/underflow the running product into ``inf``/``0.0``
+    garbage.  Empty input and non-positive values raise ``ValueError``
+    (naming the offending value) — a geometric mean is undefined there,
+    and silently returning something would poison a summary row.
+    """
+    values = [float(v) for v in values]
     if not values:
         raise ValueError("geomean of empty sequence")
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
-    product = 1.0
     for v in values:
-        product *= v
-    return product ** (1.0 / len(values))
+        if not v > 0:  # catches non-positives and NaN in one test
+            raise ValueError(f"geomean requires positive values, got {v!r}")
+    if len(values) == 1:
+        return values[0]
+    return math.exp(math.fsum(map(math.log, values)) / len(values))

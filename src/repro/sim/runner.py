@@ -43,6 +43,8 @@ __all__ = [
     "run_policy",
     "run_reference",
     "run_normalized",
+    "reference_row",
+    "normalized_row",
     "clear_reference_cache",
 ]
 
@@ -392,6 +394,44 @@ def clear_reference_cache() -> None:
     _REFERENCE_CACHE.clear()
 
 
+def reference_row(reference: RunResult) -> Dict[str, float]:
+    """The Fast-Only row of a normalised result dict.
+
+    Everything is relative to Fast-Only (the paper's universal
+    baseline), so its own normalised metrics are 1.0 by construction;
+    the raw reference latency and IOPS ride along so callers adding
+    extra policies later (e.g. the Oracle row of a sweep cell, or a
+    multi-seed campaign) can normalise against the same reference.
+    """
+    return {
+        "latency": 1.0,
+        "iops": 1.0,
+        "eviction_fraction": reference.eviction_fraction,
+        "fast_preference": 1.0,
+        "avg_latency_s": reference.avg_latency_s,
+        # Raw (unnormalised) reference throughput, kept so callers
+        # adding extra policies later can normalise against it.
+        "raw_iops": reference.iops,
+    }
+
+
+def normalized_row(result: RunResult, reference: RunResult) -> Dict[str, float]:
+    """One policy's metrics dict, latency/IOPS normalised to ``reference``.
+
+    The single home of the metric projection shared by
+    :func:`run_normalized` and the multi-seed campaign layer
+    (:mod:`repro.sim.campaign`) — one implementation is what keeps a
+    campaign's per-seed rows bit-identical to single-seed sweep cells.
+    """
+    return {
+        "latency": result.normalized_latency(reference),
+        "iops": result.normalized_iops(reference),
+        "eviction_fraction": result.eviction_fraction,
+        "fast_preference": result.profile.fast_preference,
+        "avg_latency_s": result.avg_latency_s,
+    }
+
+
 def run_normalized(
     policies: Sequence[PlacementPolicy],
     trace: Union[Sequence[Request], Iterable[Request]],
@@ -426,18 +466,7 @@ def run_normalized(
         max_requests=max_requests,
         warmup_fraction=warmup_fraction,
     )
-    out: Dict[str, Dict[str, float]] = {
-        "Fast-Only": {
-            "latency": 1.0,
-            "iops": 1.0,
-            "eviction_fraction": reference.eviction_fraction,
-            "fast_preference": 1.0,
-            "avg_latency_s": reference.avg_latency_s,
-            # Raw (unnormalised) reference throughput, kept so callers
-            # adding extra policies later can normalise against it.
-            "raw_iops": reference.iops,
-        }
-    }
+    out: Dict[str, Dict[str, float]] = {"Fast-Only": reference_row(reference)}
     results = run_lanes(
         [
             LaneSpec(
@@ -452,11 +481,5 @@ def run_normalized(
         ]
     )
     for result in results:
-        out[result.policy] = {
-            "latency": result.normalized_latency(reference),
-            "iops": result.normalized_iops(reference),
-            "eviction_fraction": result.eviction_fraction,
-            "fast_preference": result.profile.fast_preference,
-            "avg_latency_s": result.avg_latency_s,
-        }
+        out[result.policy] = normalized_row(result, reference)
     return out

@@ -518,6 +518,36 @@ class TestLaneStacks:
             C51LaneStack([a, b])
 
 
+class TestEngineStats:
+    """run_lanes(stats=) counters: pure observation, never behaviour."""
+
+    def test_counters_populated_and_results_unchanged(self):
+        trace = make_trace("rsrch_0", n_requests=900, seed=0)
+
+        def lineup():
+            return [SibylAgent(seed=0), SibylAgent(seed=1), CDEPolicy()]
+
+        plain = run_lanes([LaneSpec(policy=p, trace=trace) for p in lineup()])
+        stats = {}
+        observed = run_lanes(
+            [LaneSpec(policy=p, trace=trace) for p in lineup()], stats=stats
+        )
+        assert observed == plain  # observing must not perturb anything
+        assert stats["ticks"] > 0
+        assert 0 < stats["fused_forwards"] <= stats["ticks"]
+        assert stats["fused_rows"] >= stats["fused_forwards"]
+        assert 1 <= stats["max_fused_rows"] <= 2
+
+    def test_heuristic_only_lanes_never_forward(self):
+        trace = make_trace("usr_0", n_requests=400, seed=0)
+        stats = {}
+        run_lanes(
+            [LaneSpec(policy=CDEPolicy(), trace=trace)], stats=stats
+        )
+        assert stats["fused_forwards"] == 0
+        assert stats["fused_rows"] == 0
+
+
 class TestResolveLanes:
     def test_default(self, monkeypatch):
         monkeypatch.delenv("SIBYL_LANES", raising=False)

@@ -5,7 +5,13 @@ import os
 import pytest
 
 from repro.sim.experiment import buffer_size_sweep, hyperparameter_sweep
-from repro.sim.parallel import Cell, resolve_workers, run_grid, run_many
+from repro.sim.parallel import (
+    Cell,
+    iter_many,
+    resolve_workers,
+    run_grid,
+    run_many,
+)
 
 
 def _square(x):
@@ -92,6 +98,59 @@ class TestRunMany:
     def test_run_grid_merges(self):
         cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(3)]
         assert run_grid(cells, max_workers=1) == {0: 0, 1: 1, 2: 4}
+
+
+class TestIterMany:
+    """Streaming delivery: same results as run_many, arriving as cells
+    complete instead of all at once."""
+
+    def test_serial_streams_in_cell_order(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(4)]
+        assert list(iter_many(cells, max_workers=1)) == [
+            (i, i * i) for i in range(4)
+        ]
+
+    def test_serial_is_lazy(self):
+        """The serial path must yield before later cells run — that is
+        the whole point of streaming into a report."""
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(3)]
+        stream = iter_many(cells, max_workers=1)
+        assert next(stream) == (0, 0)  # no exception from later cells
+
+    def test_pool_matches_run_many_as_set(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(6)]
+        streamed = sorted(iter_many(cells, max_workers=2))
+        assert streamed == run_many(cells, max_workers=2)
+
+    def test_pool_with_packing(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(7)]
+        streamed = sorted(iter_many(cells, max_workers=2, lane_pack=3))
+        assert streamed == [(i, i * i) for i in range(7)]
+
+    def test_empty(self):
+        assert list(iter_many([])) == []
+
+    def test_worker_exception_propagates(self):
+        cells = [Cell(key=0, fn=_fail), Cell(key=1, fn=_fail)]
+        with pytest.raises(RuntimeError):
+            list(iter_many(cells, max_workers=2))
+
+
+class TestOnCell:
+    def test_run_grid_on_cell_fires_per_cell(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(4)]
+        seen = []
+        out = run_grid(
+            cells, max_workers=1,
+            on_cell=lambda key, result: seen.append((key, result)),
+        )
+        assert seen == [(i, i * i) for i in range(4)]
+        assert out == {i: i * i for i in range(4)}
+
+    def test_run_grid_key_order_preserved_under_pool(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(5)]
+        out = run_grid(cells, max_workers=2)
+        assert list(out) == list(range(5))
 
 
 class TestSweepEquivalence:

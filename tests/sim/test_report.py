@@ -1,8 +1,19 @@
-"""Tests for table/series formatting helpers."""
+"""Tests for table/series formatting, JSON export, and geomean."""
+
+import json
+import math
 
 import pytest
 
-from repro.sim.report import format_series, format_table, geomean
+from repro.sim.campaign import SeededResult
+from repro.sim.report import (
+    export_json,
+    format_band,
+    format_series,
+    format_table,
+    geomean,
+    to_jsonable,
+)
 
 
 class TestFormatTable:
@@ -42,6 +53,55 @@ class TestFormatSeries:
         assert "0.500" in text
 
 
+class TestBands:
+    def band(self, mean=2.0, lo=1.8, hi=2.3):
+        return SeededResult(
+            values=(1.8, 2.3),
+            mean=mean,
+            std=0.3,
+            min=1.8,
+            max=2.3,
+            ci_lo=lo,
+            ci_hi=hi,
+        )
+
+    def test_format_band_half_width(self):
+        # Asymmetric interval: the half-width covers the wider side.
+        assert format_band(self.band(), precision=2) == "2.00 ±0.30"
+
+    def test_table_renders_bands(self):
+        rows = [{"policy": "Sibyl", "latency": self.band()}]
+        text = format_table(rows)
+        assert "±" in text
+        assert "2.000" in text
+
+    def test_series_renders_bands(self):
+        text = format_series({10: self.band()}, label="latency")
+        assert "±" in text
+
+    def test_to_jsonable_band(self):
+        out = to_jsonable({"Sibyl": self.band()})
+        entry = out["Sibyl"]
+        assert entry["mean"] == 2.0
+        assert entry["ci95"] == [1.8, 2.3]
+        assert entry["n"] == 2 and entry["values"] == [1.8, 2.3]
+
+    def test_export_json_round_trips(self, tmp_path):
+        path = tmp_path / "grid.json"
+        text = export_json({"w": {"Sibyl": self.band(), "note": "x"}}, path=path)
+        parsed = json.loads(path.read_text())
+        assert parsed == json.loads(text)
+        assert parsed["w"]["Sibyl"]["mean"] == 2.0
+        assert parsed["w"]["note"] == "x"
+
+    def test_to_jsonable_plain_values_pass_through(self):
+        assert to_jsonable({"a": [1, 2.5, "s"]}) == {"a": [1, 2.5, "s"]}
+
+    def test_to_jsonable_keeps_seed_axis(self):
+        stat = SeededResult.from_values([1.0, 2.0], seeds=(4, 9))
+        assert to_jsonable(stat)["seeds"] == [4, 9]
+
+
 class TestGeomean:
     def test_value(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
@@ -56,3 +116,26 @@ class TestGeomean:
     def test_nonpositive(self):
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
+
+    def test_nonpositive_message_names_value(self):
+        with pytest.raises(ValueError, match="-2.0"):
+            geomean([1.0, -2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, float("nan")])
+
+    def test_no_overflow_on_huge_values(self):
+        # The old running product overflowed to inf (garbage) here.
+        assert geomean([1e200] * 4) == pytest.approx(1e200, rel=1e-12)
+
+    def test_no_underflow_on_tiny_values(self):
+        assert geomean([1e-200] * 4) == pytest.approx(1e-200, rel=1e-12)
+
+    def test_accepts_iterator(self):
+        assert geomean(iter([2.0, 8.0])) == pytest.approx(4.0)
+
+    def test_matches_log_space_definition(self):
+        values = [0.5, 1.5, 2.5, 3.5]
+        expected = math.exp(sum(map(math.log, values)) / len(values))
+        assert geomean(values) == pytest.approx(expected, rel=1e-15)
