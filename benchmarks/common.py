@@ -23,6 +23,12 @@ Scale knobs (environment variables):
   confidence band over the seed axis (``repro.sim.campaign``); the seed
   replicas ride the multi-lane engine, so N seeds cost far less than N
   campaigns.  Shape assertions then check the seed-axis means.
+* ``SIBYL_STORE``           — durable campaign store directory
+  (``repro.store``).  When set, every figure campaign persists its
+  finished cells there and serves already-stored cells from disk, so a
+  repeated benchmark run (or one interrupted and restarted) recomputes
+  only what is missing — with byte-identical tables and JSON exports,
+  because stored cells round-trip losslessly.
 
 Within every cell the policy lineup itself runs on the multi-lane
 engine: all policies of a comparison advance over the trace in
@@ -39,6 +45,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sim.experiment import compare_policies, tri_hybrid_comparison
 from repro.sim.report import export_json, format_table, geomean
+from repro.store import store_from_env
 from repro.traces.workloads import MOTIVATION_WORKLOADS, workload_names
 
 N_REQUESTS = int(os.environ.get("SIBYL_BENCH_REQUESTS", "10000"))
@@ -48,6 +55,9 @@ MAX_WORKERS: Optional[int] = int(_WORKERS_RAW) if _WORKERS_RAW else None
 N_SEEDS = int(os.environ.get("SIBYL_BENCH_SEEDS", "1"))
 #: kwargs adding the seed axis to a campaign (empty = legacy single-seed).
 SEED_AXIS = {"n_seeds": N_SEEDS} if N_SEEDS > 1 else {}
+
+#: Durable campaign store (``SIBYL_STORE``), or None for undurable runs.
+STORE = store_from_env()
 
 RESULTS_DIR = Path(__file__).parent / "results"
 RESULTS_DIR.mkdir(exist_ok=True)
@@ -72,7 +82,7 @@ def comparison(workloads: Tuple[str, ...], config: str) -> Dict:
     """
     return compare_policies(
         list(workloads), config=config, n_requests=N_REQUESTS, seed=0,
-        max_workers=MAX_WORKERS, **SEED_AXIS,
+        max_workers=MAX_WORKERS, store=STORE, **SEED_AXIS,
     )
 
 
@@ -80,7 +90,7 @@ def comparison(workloads: Tuple[str, ...], config: str) -> Dict:
 def tri_comparison(workloads: Tuple[str, ...], config: str) -> Dict:
     return tri_hybrid_comparison(
         list(workloads), config=config, n_requests=N_REQUESTS, seed=0,
-        max_workers=MAX_WORKERS, **SEED_AXIS,
+        max_workers=MAX_WORKERS, store=STORE, **SEED_AXIS,
     )
 
 

@@ -7,7 +7,7 @@ RNN-HSS, which chase stale labels) on average in both configurations.
 
 from functools import lru_cache
 
-from common import N_REQUESTS, render
+from common import N_REQUESTS, STORE, render
 
 from repro.sim.experiment import unseen_workload_comparison
 from repro.sim.report import geomean
@@ -19,7 +19,7 @@ UNSEEN = tuple(workload_names("filebench"))
 @lru_cache(maxsize=None)
 def unseen(config):
     return unseen_workload_comparison(
-        list(UNSEEN), config=config, n_requests=N_REQUESTS
+        list(UNSEEN), config=config, n_requests=N_REQUESTS, store=STORE
     )
 
 

@@ -8,7 +8,7 @@ learning rate) does not trail Sibyl_Def on average.
 
 from functools import lru_cache
 
-from common import N_REQUESTS, render
+from common import N_REQUESTS, STORE, render
 
 from repro.sim.experiment import mixed_workload_comparison
 from repro.sim.report import geomean
@@ -23,6 +23,7 @@ def mixed(config):
         list(ALL_MIXES),
         config=config,
         n_requests_per_component=max(2000, N_REQUESTS // 2),
+        store=STORE,
     )
 
 

@@ -6,7 +6,7 @@ configurations produce working policies — the paper's point that RL
 extracts more from the same features than fixed heuristics can.
 """
 
-from common import N_REQUESTS, emit, motivation_workloads
+from common import N_REQUESTS, STORE, emit, motivation_workloads
 
 from repro.sim.experiment import feature_ablation
 from repro.sim.report import format_table, geomean
@@ -18,7 +18,7 @@ def test_fig13_feature_ablation(benchmark):
     results = benchmark.pedantic(
         lambda: feature_ablation(
             motivation_workloads(), FEATURE_SETS,
-            config="H&L", n_requests=N_REQUESTS,
+            config="H&L", n_requests=N_REQUESTS, store=STORE,
         ),
         rounds=1, iterations=1,
     )

@@ -13,7 +13,7 @@ better); we report normalised latency too (lower is better).
 
 from functools import lru_cache
 
-from common import N_REQUESTS, emit
+from common import N_REQUESTS, STORE, emit
 
 from repro.sim.experiment import hyperparameter_sweep
 from repro.sim.report import format_table
@@ -27,7 +27,7 @@ EPSILONS = (1e-5, 1e-3, 1e-2, 1e-1, 1.0)
 def sweep(parameter, values):
     return hyperparameter_sweep(
         parameter, values, workload="rsrch_0", config="H&M",
-        n_requests=N_REQUESTS,
+        n_requests=N_REQUESTS, store=STORE,
     )
 
 

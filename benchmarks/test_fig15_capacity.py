@@ -7,7 +7,7 @@ device grows toward 100% of the working set.
 
 from functools import lru_cache
 
-from common import N_REQUESTS, emit
+from common import N_REQUESTS, STORE, emit
 
 from repro.sim.experiment import capacity_sweep
 from repro.sim.report import format_table
@@ -18,7 +18,8 @@ FRACTIONS = (0.01, 0.02, 0.04, 0.10, 0.20, 0.40, 0.80, 1.0)
 @lru_cache(maxsize=None)
 def sweep(config):
     return capacity_sweep(
-        "rsrch_0", FRACTIONS, config=config, n_requests=N_REQUESTS
+        "rsrch_0", FRACTIONS, config=config, n_requests=N_REQUESTS,
+        store=STORE,
     )
 
 

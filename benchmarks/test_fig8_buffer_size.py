@@ -5,7 +5,7 @@ The paper sweeps 1..100000 entries and finds performance saturating at
 buffers do not beat the chosen one.
 """
 
-from common import N_REQUESTS, emit
+from common import N_REQUESTS, STORE, emit
 
 from repro.sim.experiment import buffer_size_sweep
 from repro.sim.report import format_series
@@ -16,7 +16,8 @@ SIZES = (1, 10, 100, 1000, 10000)
 def test_fig8_experience_buffer_size(benchmark):
     series = benchmark.pedantic(
         lambda: buffer_size_sweep(SIZES, workload="rsrch_0",
-                                  config="H&M", n_requests=N_REQUESTS),
+                                  config="H&M", n_requests=N_REQUESTS,
+                                  store=STORE),
         rounds=1, iterations=1,
     )
     emit(

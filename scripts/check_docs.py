@@ -11,8 +11,10 @@ Two checks keep the documentation honest:
    different info string (```` ```text ````, ```` ```bash ````).
 
 2. **Public API is documented.**  Every public function and class of
-   the audited modules (``repro.sim.campaign``, ``repro.sim.report``)
-   must carry a docstring.
+   the audited modules (``repro.sim.campaign``, ``repro.sim.report``,
+   and the durable-store package ``repro.store.*``) must carry a
+   docstring — for the store, public *methods* too: a persistence
+   layer's contract lives in its method docs.
 
 Run:  python scripts/check_docs.py
 Exit status is non-zero on any failure; CI runs this as the docs job.
@@ -30,7 +32,18 @@ from typing import Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DOCS_DIR = REPO_ROOT / "docs"
-AUDITED_MODULES = ("repro.sim.campaign", "repro.sim.report")
+AUDITED_MODULES = (
+    "repro.sim.campaign",
+    "repro.sim.report",
+    "repro.store.fingerprint",
+    "repro.store.serialize",
+    "repro.store.journal",
+    "repro.store.store",
+)
+
+#: Modules whose public *methods* are audited too (the store's
+#: durability contract is a method-level API).
+METHOD_AUDITED_MODULES = ("repro.store.store", "repro.store.journal")
 
 _FENCE_RE = re.compile(
     r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
@@ -89,6 +102,27 @@ def check_docstrings(module_names=AUDITED_MODULES) -> List[str]:
                 continue  # re-export; audited where it is defined
             if not (inspect.getdoc(obj) or "").strip():
                 failures.append(f"{name}.{attr}: missing docstring")
+                continue
+            if inspect.isclass(obj) and name in METHOD_AUDITED_MODULES:
+                # vars() sees the raw class dict, so classmethods,
+                # staticmethods, and properties are audited too (and
+                # inherited members are naturally skipped — they are
+                # audited on the class that defines them).
+                for meth_name, raw in vars(obj).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if isinstance(raw, property):
+                        target = raw.fget
+                    elif isinstance(raw, (classmethod, staticmethod)):
+                        target = raw.__func__
+                    elif inspect.isfunction(raw):
+                        target = raw
+                    else:
+                        continue
+                    if not (inspect.getdoc(target) or "").strip():
+                        failures.append(
+                            f"{name}.{attr}.{meth_name}: missing docstring"
+                        )
     return failures
 
 

@@ -1,0 +1,423 @@
+#!/usr/bin/env python3
+"""Render exported campaign grids as mean ±CI band figures (SVG).
+
+The sweeps export machine-readable JSON grids
+(:func:`repro.sim.report.export_json` — the ``results/*.json`` files the
+benchmarks and ``repro compare --json`` write).  This script turns one
+metric of such a grid into a publication-style line figure: one series
+per policy, the mean as a 2px line with markers, and the bootstrap 95%
+confidence interval as a translucent band around it.  Single-seed grids
+(plain floats) render as plain lines — the band collapses to the mean.
+
+Pure stdlib + the JSON on disk: the SVG is assembled as text, no
+matplotlib required, and output is deterministic (same JSON in, same
+bytes out).
+
+Accepted grid shapes (auto-detected, all produced by the repo's sweeps):
+
+* ``{x: {series: {metric: leaf}}}``  — comparison grids (Fig. 9/10/...)
+* ``{x: {metric: leaf}}``            — hyper-parameter sweeps (Fig. 14)
+* ``{x: leaf}``                      — single-metric sweeps (Fig. 8)
+
+where a *leaf* is either a number or a band dict
+(``{"mean": ..., "ci95": [lo, hi], ...}``).
+
+Usage::
+
+    python scripts/plot_bands.py results/*.json --metric latency \
+        --out-dir figures/
+
+Colors come from the skill-validated reference categorical palette
+(8 slots, adjacent-pair CVD-safe in the documented order); well-known
+policies keep fixed slots so a policy wears the same hue in every
+figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "extract_series",
+    "render_svg",
+    "plot_file",
+    "main",
+]
+
+# Validated categorical palette (reference instance, light mode, fixed
+# slot order — the ordering is the colorblind-safety mechanism).
+PALETTE = (
+    "#2a78d6",  # 1 blue
+    "#eb6834",  # 2 orange
+    "#1baf7a",  # 3 aqua
+    "#eda100",  # 4 yellow
+    "#e87ba4",  # 5 magenta
+    "#008300",  # 6 green
+    "#4a3aa7",  # 7 violet
+    "#e34948",  # 8 red
+)
+
+#: Preferred palette slots for the standard lineup: color follows the
+#: policy, not its position in any one figure's series list.  These are
+#: *preferences* — :func:`_assign_slots` guarantees every series in a
+#: figure gets a distinct slot, bumping later claimants of a taken slot
+#: to the next free one (e.g. Fig. 12 shows Sibyl_Def and Sibyl_Opt
+#: together).
+POLICY_SLOTS = {
+    "Sibyl": 0,
+    "Sibyl_Def": 0,
+    "Sibyl_Opt": 6,
+    "Oracle": 1,
+    "CDE": 2,
+    "HPS": 3,
+    "Archivist": 4,
+    "RNN-HSS": 5,
+    "TriHeuristic": 6,
+    "Heuristic-Tri-Hybrid": 6,
+    "Fast-Only": 7,
+    "Slow-Only": 6,
+}
+
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID_LINE = "#e7e6e3"
+
+WIDTH, HEIGHT = 880, 520
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 180, 56, 56
+
+
+def _is_band(leaf) -> bool:
+    return isinstance(leaf, dict) and "mean" in leaf and "ci95" in leaf
+
+
+def _is_leaf(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) or (
+        _is_band(value)
+    )
+
+
+def _leaf_stats(leaf) -> Tuple[float, float, float]:
+    """``(mean, ci_lo, ci_hi)`` of a leaf; points collapse to the value."""
+    if _is_band(leaf):
+        lo, hi = leaf["ci95"]
+        return float(leaf["mean"]), float(lo), float(hi)
+    value = float(leaf)
+    return value, value, value
+
+
+def extract_series(
+    grid: Dict, metric: str
+) -> Tuple[List[str], Dict[str, List[Tuple[float, float, float]]]]:
+    """Pull one metric's ``(x labels, {series: [(mean, lo, hi), ...]})``.
+
+    Handles the three exported grid shapes (module docstring); raises
+    ``ValueError`` when the metric cannot be found in a nested grid.
+    """
+    xs = [str(x) for x in grid]
+    series: Dict[str, List[Tuple[float, float, float]]] = {}
+    for x, row in grid.items():
+        if _is_leaf(row):
+            series.setdefault(metric, []).append(_leaf_stats(row))
+        elif isinstance(row, dict) and metric in row and _is_leaf(row[metric]):
+            # {x: {metric: leaf}} — a single-policy metric sweep.
+            series.setdefault(metric, []).append(_leaf_stats(row[metric]))
+        elif isinstance(row, dict):
+            found = False
+            for name, cell in row.items():
+                if isinstance(cell, dict) and metric in cell and _is_leaf(
+                    cell[metric]
+                ):
+                    series.setdefault(str(name), []).append(
+                        _leaf_stats(cell[metric])
+                    )
+                    found = True
+            if not found:
+                raise ValueError(
+                    f"metric {metric!r} not found under x={x!r}"
+                )
+        else:
+            raise ValueError(f"unrecognised grid row for x={x!r}: {row!r}")
+    # Drop ragged series (a policy absent from some x) — plotting them
+    # against the shared x axis would silently misalign points.
+    full = {
+        name: points
+        for name, points in series.items()
+        if len(points) == len(xs)
+    }
+    dropped = sorted(set(series) - set(full))
+    if dropped:
+        print(
+            f"warning: dropping ragged series {dropped}", file=sys.stderr
+        )
+    if not full:
+        raise ValueError(f"no complete series for metric {metric!r}")
+    return xs, full
+
+
+def _assign_slots(names: Sequence[str]) -> Dict[str, int]:
+    """One distinct palette slot per series, honouring preferences.
+
+    Series with a free preferred slot (``POLICY_SLOTS``) keep it; every
+    other series takes the lowest slot still unclaimed, in series
+    order.  Two series in one figure therefore never share a color
+    (callers cap ``names`` at the palette size first).
+    """
+    slots: Dict[str, int] = {}
+    taken = set()
+    for name in names:
+        preferred = POLICY_SLOTS.get(name)
+        if preferred is not None and preferred not in taken:
+            slots[name] = preferred
+            taken.add(preferred)
+    free = (s for s in range(len(PALETTE)) if s not in taken)
+    for name in names:
+        if name not in slots:
+            slots[name] = next(free)
+    return slots
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """~n readable tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    import math
+
+    raw = (hi - lo) / max(1, n - 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * step:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+def render_svg(
+    xs: Sequence[str],
+    series: Dict[str, List[Tuple[float, float, float]]],
+    title: str,
+    metric: str,
+) -> str:
+    """Assemble the band figure as SVG text (deterministic)."""
+    names = list(series)
+    if len(names) > len(PALETTE):
+        print(
+            f"warning: {len(names)} series exceeds the {len(PALETTE)}-slot "
+            "palette; plotting the first "
+            f"{len(PALETTE)} only",
+            file=sys.stderr,
+        )
+        names = names[: len(PALETTE)]
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    # x scale: numeric (log when wide-ranged and positive) or categorical.
+    numeric: Optional[List[float]] = None
+    try:
+        numeric = [float(x) for x in xs]
+    except ValueError:
+        numeric = None
+    import math
+
+    if numeric is not None and len(set(numeric)) == len(numeric):
+        log_x = min(numeric) > 0 and max(numeric) / min(numeric) >= 64
+        pos = [math.log10(v) for v in numeric] if log_x else numeric
+        x_lo, x_hi = min(pos), max(pos)
+        span = (x_hi - x_lo) or 1.0
+        x_px = [
+            MARGIN_L + plot_w * (p - x_lo) / span for p in pos
+        ]
+    else:
+        log_x = False
+        step = plot_w / max(1, len(xs) - 1) if len(xs) > 1 else 0.0
+        x_px = [
+            MARGIN_L + (i * step if len(xs) > 1 else plot_w / 2)
+            for i in range(len(xs))
+        ]
+
+    y_values = [
+        v
+        for name in names
+        for point in series[name]
+        for v in point
+        if math.isfinite(v)
+    ]
+    if not y_values:
+        raise ValueError("no finite values to plot")
+    y_lo, y_hi = min(y_values), max(y_values)
+    pad = (y_hi - y_lo) * 0.08 or abs(y_hi) * 0.08 or 1.0
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def y_px(v: float) -> float:
+        return MARGIN_T + plot_h * (1 - (v - y_lo) / (y_hi - y_lo))
+
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="system-ui, sans-serif">'
+    )
+    out.append(
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>'
+    )
+    out.append(
+        f'<text x="{MARGIN_L}" y="{MARGIN_T - 28}" font-size="16" '
+        f'font-weight="600" fill="{TEXT_PRIMARY}">{_escape(title)}</text>'
+    )
+    out.append(
+        f'<text x="{MARGIN_L}" y="{MARGIN_T - 10}" font-size="12" '
+        f'fill="{TEXT_SECONDARY}">{_escape(metric)} — mean with 95% CI '
+        f"band</text>"
+    )
+
+    # Recessive horizontal grid + y tick labels.
+    for tick in _nice_ticks(y_lo, y_hi):
+        py = y_px(tick)
+        out.append(
+            f'<line x1="{MARGIN_L}" y1="{py:.2f}" '
+            f'x2="{MARGIN_L + plot_w}" y2="{py:.2f}" '
+            f'stroke="{GRID_LINE}" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{MARGIN_L - 8}" y="{py + 4:.2f}" font-size="11" '
+            f'text-anchor="end" fill="{TEXT_SECONDARY}">{_fmt(tick)}</text>'
+        )
+
+    # x tick labels at the data positions (thinned when crowded).
+    label_every = max(1, len(xs) // 10)
+    for i, (x, px) in enumerate(zip(xs, x_px)):
+        if i % label_every:
+            continue
+        out.append(
+            f'<text x="{px:.2f}" y="{MARGIN_T + plot_h + 20}" '
+            f'font-size="11" text-anchor="middle" '
+            f'fill="{TEXT_SECONDARY}">{_escape(str(x))}</text>'
+        )
+    if log_x:
+        out.append(
+            f'<text x="{MARGIN_L + plot_w / 2}" '
+            f'y="{MARGIN_T + plot_h + 40}" font-size="11" '
+            f'text-anchor="middle" fill="{TEXT_SECONDARY}">'
+            "(log scale)</text>"
+        )
+
+    slots = _assign_slots(names)
+
+    # Bands under lines, lines under markers.
+    for name in names:
+        color = PALETTE[slots[name]]
+        points = series[name]
+        band = [
+            (px, y_px(hi)) for px, (_, _, hi) in zip(x_px, points)
+        ] + [
+            (px, y_px(lo))
+            for px, (_, lo, _) in reversed(list(zip(x_px, points)))
+        ]
+        if any(hi != lo for _, lo, hi in points):
+            path = " ".join(f"{px:.2f},{py:.2f}" for px, py in band)
+            out.append(
+                f'<polygon points="{path}" fill="{color}" '
+                'fill-opacity="0.15" stroke="none"/>'
+            )
+    for name in names:
+        color = PALETTE[slots[name]]
+        points = series[name]
+        line = " ".join(
+            f"{px:.2f},{y_px(mean):.2f}"
+            for px, (mean, _, _) in zip(x_px, points)
+        )
+        out.append(
+            f'<polyline points="{line}" fill="none" stroke="{color}" '
+            'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        for px, (mean, lo, hi) in zip(x_px, points):
+            tooltip = f"{name}: {mean:.4g}"
+            if hi != lo:
+                tooltip += f" (95% CI {lo:.4g}–{hi:.4g})"
+            out.append(
+                f'<circle cx="{px:.2f}" cy="{y_px(mean):.2f}" r="4" '
+                f'fill="{color}" stroke="{SURFACE}" stroke-width="2">'
+                f"<title>{_escape(tooltip)}</title></circle>"
+            )
+
+    # Legend (identity is never color-alone: swatch + text label).
+    lx = MARGIN_L + plot_w + 16
+    for row, name in enumerate(names):
+        color = PALETTE[slots[name]]
+        ly = MARGIN_T + 8 + row * 22
+        out.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="3"/>'
+        )
+        out.append(
+            f'<text x="{lx + 24}" y="{ly + 4}" font-size="12" '
+            f'fill="{TEXT_PRIMARY}">{_escape(name)}</text>'
+        )
+
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def plot_file(
+    json_path: Path, metric: str, out_dir: Path, title: Optional[str] = None
+) -> Path:
+    """Render one exported grid's metric to ``out_dir``; returns the SVG path."""
+    grid = json.loads(Path(json_path).read_text())
+    xs, series = extract_series(grid, metric)
+    name = Path(json_path).stem
+    svg = render_svg(xs, series, title or name, metric)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"{name}_{metric}.svg"
+    out_path.write_text(svg)
+    return out_path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI driver: one SVG per input JSON grid."""
+    parser = argparse.ArgumentParser(
+        description="Render exported campaign JSON grids as mean ±95% CI "
+        "band figures (SVG, no plotting deps)."
+    )
+    parser.add_argument("inputs", nargs="+", type=Path,
+                        help="results/*.json grids from export_json")
+    parser.add_argument("--metric", default="latency",
+                        help="metric leaf to plot (default: latency)")
+    parser.add_argument("--out-dir", type=Path, default=Path("figures"),
+                        help="output directory (default: figures/)")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.inputs:
+        try:
+            out = plot_file(path, args.metric, args.out_dir)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"wrote {out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

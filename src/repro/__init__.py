@@ -15,6 +15,11 @@ Quickstart::
     print(result.avg_latency_s, result.iops)
 """
 
+# Defined before the subpackage imports below: the durable campaign
+# store folds the engine version into every cell fingerprint, and its
+# modules may be imported while this package is still initialising.
+__version__ = "1.0.0"
+
 from .baselines import (
     ArchivistPolicy,
     CDEPolicy,
@@ -60,8 +65,6 @@ from .traces import (
     make_mixed_trace,
     make_trace,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "ALL_WORKLOADS",

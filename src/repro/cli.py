@@ -10,6 +10,10 @@ Commands
     Run the full Fig. 9 lineup over workloads and print the table.
     ``--seeds N`` runs an N-seed campaign and prints mean ±95%
     confidence bands; ``--json PATH`` exports the machine-readable grid.
+    ``--store PATH`` / ``--resume`` / ``--no-store`` control the durable
+    campaign store (:mod:`repro.store`): with a store, finished cells
+    persist on disk and reruns/resumed campaigns recompute only what is
+    missing, rendering byte-identical output.
 ``overhead``
     Print the §10 overhead analysis.
 ``export-trace``
@@ -74,6 +78,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="also write the full (banded) result grid as JSON",
     )
+    compare.add_argument(
+        "--store", metavar="PATH",
+        help="durable campaign store directory: finished cells persist "
+             "there and already-stored cells are served from disk "
+             "without re-simulation (default: the SIBYL_STORE "
+             "environment variable, if set)",
+    )
+    compare.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign: shorthand for --store "
+             ".sibyl-store when no --store/SIBYL_STORE is given (a "
+             "warm store always resumes; this flag just picks the "
+             "default location)",
+    )
+    compare.add_argument(
+        "--no-store", action="store_true",
+        help="force an undurable run even when SIBYL_STORE is set",
+    )
 
     sub.add_parser("overhead", help="print the Sec. 10 overhead analysis")
 
@@ -132,10 +154,33 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _resolve_cli_store(args):
+    """The compare command's store, from flags and ``SIBYL_STORE``.
+
+    Precedence: ``--no-store`` disables everything; ``--store PATH``
+    wins; otherwise the ``SIBYL_STORE`` environment variable; a bare
+    ``--resume`` falls back to the default ``.sibyl-store/`` directory.
+    """
+    from .store import DEFAULT_STORE_DIR, CampaignStore, store_from_env
+
+    if args.no_store:
+        return None
+    if args.store:
+        return CampaignStore(args.store)
+    env_store = store_from_env()
+    if env_store is not None:
+        return env_store
+    if args.resume:
+        return CampaignStore(DEFAULT_STORE_DIR)
+    return None
+
+
 def _cmd_compare(args) -> int:
     n_seeds = max(1, args.seeds)
+    store = _resolve_cli_store(args)
     kwargs = dict(
         config=args.config, n_requests=args.requests, seed=args.seed,
+        store=store,
     )
     if n_seeds > 1:
         # Stream per-workload completions so long multi-seed campaigns
@@ -147,6 +192,12 @@ def _cmd_compare(args) -> int:
 
         kwargs.update(n_seeds=n_seeds, on_cell=on_cell)
     results = compare_policies(args.workloads, **kwargs)
+    if store is not None:
+        print(
+            f"[store] {store.root}: {store.hits} cell(s) served from "
+            f"store, {store.puts} newly stored",
+            file=sys.stderr, flush=True,
+        )
     policies = list(next(iter(results.values())).keys())
     rows = []
     for workload, by_policy in results.items():

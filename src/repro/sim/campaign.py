@@ -30,6 +30,14 @@ not go through this module at all and keep their historical output.
 Layering: this module builds *on* :mod:`repro.sim.experiment` (lineup
 builders, trace resolution, the Oracle row) — experiment's sweeps
 import it lazily when a seed axis is requested.
+
+Durability: a seeded sweep invoked with ``store=``/``resume=`` caches
+at **cell granularity** — one blob per grid cell, holding that cell's
+whole aggregated seed axis (the seed tuple is part of the fingerprint,
+so changing the axis re-simulates).  :class:`SeededResult` bands
+round-trip the store losslessly (:mod:`repro.store.serialize` rebuilds
+real instances), which is why a warm campaign's tables and JSON
+exports are byte-identical to a cold run's.
 """
 
 from __future__ import annotations

@@ -39,6 +39,18 @@ output is bit-identical to what it always was.  ``on_cell(key,
 result)``, when given, fires as each grid cell completes (completion
 order), so long campaigns can stream rows into a report instead of
 materialising the full grid first.
+
+Finally, every sweep can be made **durable**: pass ``store=`` (a
+:class:`repro.store.CampaignStore` or a path) and each finished cell
+persists on disk keyed by its content fingerprint, so re-running the
+sweep recomputes nothing that already ran — and a sweep killed
+mid-grid resumes from its journal, dispatching only the missing cells.
+``resume=True`` with no explicit store opens the default
+``.sibyl-store/`` directory.  Stored cells round-trip losslessly
+(``docs/store.md``), so a warm or resumed sweep's tables and JSON
+exports are byte-identical to a cold run's.  The one exception is the
+``policies=`` factory path of :func:`compare_policies`: a closure-built
+lineup has no content identity, so that path always recomputes.
 """
 
 from __future__ import annotations
@@ -383,6 +395,22 @@ def _seed_axis(seeds, n_seeds, base_seed) -> Optional[Tuple[int, ...]]:
     return resolve_seeds(seeds=seeds, n_seeds=n_seeds, base_seed=base_seed)
 
 
+def _campaign_store(store, resume: bool):
+    """Resolve a sweep's ``store=``/``resume=`` pair into a store.
+
+    ``store`` may be a :class:`repro.store.CampaignStore`, a path to
+    one, or ``None``; ``resume=True`` without an explicit store opens
+    the default store directory (``.sibyl-store/``), which is what
+    "resume the campaign I just lost" should mean with no ceremony.
+    Returns ``None`` when the sweep runs undurably.
+    """
+    from ..store import DEFAULT_STORE_DIR, resolve_store
+
+    if store is None and resume:
+        store = DEFAULT_STORE_DIR
+    return resolve_store(store)
+
+
 def compare_policies(
     workloads: Sequence[str],
     config: str = "H&M",
@@ -394,6 +422,8 @@ def compare_policies(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 2/9/10/18-style comparison: {workload: {policy: metrics}}.
 
@@ -408,6 +438,7 @@ def compare_policies(
     and owns any policy seeding itself).
     """
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if policies is not None:
         out: Dict[str, Dict[str, Dict[str, object]]] = {}
         for name in workloads:
@@ -451,7 +482,7 @@ def compare_policies(
             )
             for name in workloads
         ]
-        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
     cells = [
         Cell(
             key=name,
@@ -466,7 +497,7 @@ def compare_policies(
         )
         for name in workloads
     ]
-    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
 
 
 def capacity_sweep(
@@ -480,12 +511,15 @@ def capacity_sweep(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[float, Dict[str, Dict[str, object]]]:
     """Fig. 15: normalised latency vs available fast-storage capacity."""
     for frac in fractions:
         if frac <= 0:
             raise ValueError("capacity fractions must be positive")
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if seed_axis is not None:
         from .campaign import seeded_capacity_cell
 
@@ -504,7 +538,7 @@ def capacity_sweep(
             )
             for frac in fractions
         ]
-        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
     cells = [
         Cell(
             key=frac,
@@ -520,7 +554,7 @@ def capacity_sweep(
         )
         for frac in fractions
     ]
-    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
 
 
 def hyperparameter_sweep(
@@ -535,9 +569,12 @@ def hyperparameter_sweep(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[object, Dict[str, object]]:
     """Fig. 14: Sibyl's normalised metrics as one hyper-parameter varies."""
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if seed_axis is not None:
         from .campaign import seeded_hyperparameter_cell
 
@@ -557,7 +594,7 @@ def hyperparameter_sweep(
             )
             for value in values
         ]
-        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
     cells = [
         Cell(
             key=value,
@@ -574,7 +611,7 @@ def hyperparameter_sweep(
         )
         for value in values
     ]
-    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
 
 
 def feature_ablation(
@@ -588,9 +625,12 @@ def feature_ablation(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Fig. 13: {workload: {feature_set: normalised latency}} on H&L."""
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if seed_axis is not None:
         from .campaign import seeded_feature_cell
 
@@ -628,7 +668,7 @@ def feature_ablation(
             for fs in feature_sets
         ]
     collected: Dict[str, Dict[str, object]] = {name: {} for name in workloads}
-    for (name, fs), latency in iter_many(cells, max_workers=max_workers):
+    for (name, fs), latency in iter_many(cells, max_workers=max_workers, store=store):
         if on_cell is not None:
             on_cell((name, fs), latency)
         collected[name][fs] = latency
@@ -650,9 +690,12 @@ def buffer_size_sweep(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[int, object]:
     """Fig. 8: normalised latency vs experience-buffer capacity."""
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if seed_axis is not None:
         from .campaign import seeded_buffer_size_cell
 
@@ -671,7 +714,7 @@ def buffer_size_sweep(
             )
             for size in sizes
         ]
-        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
     cells = [
         Cell(
             key=size,
@@ -687,7 +730,7 @@ def buffer_size_sweep(
         )
         for size in sizes
     ]
-    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
 
 
 def tri_hybrid_comparison(
@@ -700,9 +743,12 @@ def tri_hybrid_comparison(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 16: heuristic tri-hybrid vs 3-action Sibyl."""
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if seed_axis is not None:
         from .campaign import seeded_tri_hybrid_cell
 
@@ -720,7 +766,7 @@ def tri_hybrid_comparison(
             )
             for name in workloads
         ]
-        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
     cells = [
         Cell(
             key=name,
@@ -735,7 +781,7 @@ def tri_hybrid_comparison(
         )
         for name in workloads
     ]
-    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
 
 
 def mixed_workload_comparison(
@@ -748,9 +794,12 @@ def mixed_workload_comparison(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 12: Sibyl_Def vs Sibyl_Opt vs baselines on Table 5 mixes."""
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if seed_axis is not None:
         from .campaign import seeded_mixed_cell
 
@@ -768,7 +817,7 @@ def mixed_workload_comparison(
             )
             for mix in mixes
         ]
-        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
     cells = [
         Cell(
             key=mix,
@@ -783,7 +832,7 @@ def mixed_workload_comparison(
         )
         for mix in mixes
     ]
-    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
 
 
 def unseen_workload_comparison(
@@ -796,9 +845,12 @@ def unseen_workload_comparison(
     seeds: Optional[Sequence[int]] = None,
     n_seeds: Optional[int] = None,
     on_cell: Optional[Callable] = None,
+    store=None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fig. 11: generalisation to FileBench workloads never tuned on."""
     seed_axis = _seed_axis(seeds, n_seeds, seed)
+    store = _campaign_store(store, resume)
     if seed_axis is not None:
         from .campaign import seeded_unseen_cell
 
@@ -816,7 +868,7 @@ def unseen_workload_comparison(
             )
             for name in workloads
         ]
-        return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+        return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)
     cells = [
         Cell(
             key=name,
@@ -831,4 +883,4 @@ def unseen_workload_comparison(
         )
         for name in workloads
     ]
-    return run_grid(cells, max_workers=max_workers, on_cell=on_cell)
+    return run_grid(cells, max_workers=max_workers, on_cell=on_cell, store=store)

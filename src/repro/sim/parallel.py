@@ -36,6 +36,18 @@ sweep campaigns whose points share a reference cell (capacity sweeps,
 hyper-parameter sweeps) then simulate it once per worker instead of
 once per point — and task-dispatch overhead drops by the pack factor.
 Packing never changes results, only scheduling granularity.
+
+Durable campaigns (``store=``): every entry point accepts a
+:class:`repro.store.CampaignStore` (or a path to one).  Each cell is
+then content-fingerprinted before dispatch; cells already stored are
+served from disk — **zero simulation ticks** — and stream through the
+same delivery path as fresh results, while missing cells execute
+normally and persist the moment they finish (atomic write, crash-safe).
+A campaign journal records the grid before dispatch, so a sweep killed
+mid-grid resumes by computing only its missing cells.  Because stored
+results round-trip losslessly, a warm or resumed campaign is
+bit-identical to a cold one; the store only changes how much work a
+rerun repeats.
 """
 
 from __future__ import annotations
@@ -108,6 +120,7 @@ def run_many(
     cells: Sequence[Cell],
     max_workers: Optional[int] = None,
     lane_pack: Optional[int] = None,
+    store=None,
 ) -> List[Tuple[Hashable, Any]]:
     """Execute ``cells`` and return ``[(key, result), ...]`` in cell order.
 
@@ -119,8 +132,20 @@ def run_many(
     ``lane_pack`` (default: the ``SIBYL_LANES`` environment variable,
     else 1) groups that many consecutive cells into each worker task;
     see the module docstring for why packing helps campaigns.
+
+    ``store`` (a :class:`repro.store.CampaignStore` or a path) serves
+    already-stored cells from disk and persists the rest — results are
+    identical either way, only the amount of recomputation changes.
     """
     cells = list(cells)
+    if store is not None:
+        collected = {
+            id(cell): result
+            for cell, result in _iter_with_store(
+                cells, store, max_workers=max_workers, lane_pack=lane_pack
+            )
+        }
+        return [(cell.key, collected[id(cell)]) for cell in cells]
     workers = resolve_workers(len(cells), max_workers)
     if workers == 0:
         return [(cell.key, cell.run()) for cell in cells]
@@ -140,10 +165,88 @@ def run_many(
     return [(cell.key, result) for cell, result in zip(cells, results)]
 
 
+def _execute_iter(
+    cells: Sequence[Cell],
+    max_workers: Optional[int] = None,
+    lane_pack: Optional[int] = None,
+) -> Iterator[Tuple[Cell, Any]]:
+    """Execute cells, yielding ``(cell, result)`` in completion order."""
+    cells = list(cells)
+    workers = resolve_workers(len(cells), max_workers)
+    if workers == 0:
+        for cell in cells:
+            yield cell, cell.run()
+        return
+    pack = resolve_lanes(1) if lane_pack is None else max(1, int(lane_pack))
+    chunks = [cells[i:i + max(1, pack)] for i in range(0, len(cells), max(1, pack))]
+    workers = min(workers, len(chunks))
+    if workers <= 1:
+        for chunk in chunks:
+            for cell, result in zip(chunk, _run_cell_pack(chunk)):
+                yield cell, result
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_cell_pack, chunk): chunk for chunk in chunks
+        }
+        for future in as_completed(futures):
+            chunk = futures[future]
+            for cell, result in zip(chunk, future.result()):
+                yield cell, result
+
+
+def _iter_with_store(
+    cells: Sequence[Cell],
+    store,
+    max_workers: Optional[int] = None,
+    lane_pack: Optional[int] = None,
+) -> Iterator[Tuple[Cell, Any]]:
+    """The durable-campaign path of :func:`iter_many`.
+
+    Fingerprints the grid, journals its membership, serves stored cells
+    first (delivery only — a hit computes nothing), then executes the
+    missing cells and persists each one the moment it completes.  The
+    journal is marked complete only after every cell landed, so an
+    interrupted campaign is visible as such and resumes by recomputing
+    exactly its missing cells.
+    """
+    from ..store import MISS, resolve_store  # lazy: repro imports us at init
+
+    store = resolve_store(store)
+    cells = list(cells)
+    fingerprints = [store.fingerprint(cell.fn, cell.kwargs) for cell in cells]
+    journaled = [
+        (cell.key, fp)
+        for cell, fp in zip(cells, fingerprints)
+        if fp is not None
+    ]
+    journal = store.begin_campaign(
+        [key for key, _ in journaled], [fp for _, fp in journaled]
+    )
+    pending: List[Cell] = []
+    fingerprint_of: Dict[int, Optional[str]] = {}
+    for cell, fp in zip(cells, fingerprints):
+        hit = MISS if fp is None else store.get(fp)
+        if hit is MISS:
+            pending.append(cell)
+            fingerprint_of[id(cell)] = fp
+        else:
+            yield cell, hit
+    for cell, result in _execute_iter(
+        pending, max_workers=max_workers, lane_pack=lane_pack
+    ):
+        fp = fingerprint_of[id(cell)]
+        if fp is not None:
+            store.put(fp, result, fn=cell.fn, key=cell.key)
+        yield cell, result
+    store.finish_campaign(journal)
+
+
 def iter_many(
     cells: Sequence[Cell],
     max_workers: Optional[int] = None,
     lane_pack: Optional[int] = None,
+    store=None,
 ) -> Iterator[Tuple[Hashable, Any]]:
     """Stream ``(key, result)`` pairs as cells complete.
 
@@ -158,46 +261,45 @@ def iter_many(
     ``lane_pack`` groups consecutive cells per worker task exactly as
     in :func:`run_many`; a packed chunk is delivered together (in cell
     order within the chunk) when the chunk completes.
+
+    With a ``store`` (a :class:`repro.store.CampaignStore` or a path),
+    already-stored cells are delivered first — straight from disk, zero
+    simulation ticks — and the missing cells follow as they execute and
+    persist; both kinds stream through this same interface, so callers
+    (``on_cell`` consumers, live reports) cannot tell a warm cell from
+    a fresh one.
     """
     cells = list(cells)
-    workers = resolve_workers(len(cells), max_workers)
-    if workers == 0:
-        for cell in cells:
-            yield cell.key, cell.run()
+    if store is not None:
+        for cell, result in _iter_with_store(
+            cells, store, max_workers=max_workers, lane_pack=lane_pack
+        ):
+            yield cell.key, result
         return
-    pack = resolve_lanes(1) if lane_pack is None else max(1, int(lane_pack))
-    chunks = [cells[i:i + max(1, pack)] for i in range(0, len(cells), max(1, pack))]
-    workers = min(workers, len(chunks))
-    if workers <= 1:
-        for chunk in chunks:
-            for cell, result in zip(chunk, _run_cell_pack(chunk)):
-                yield cell.key, result
-        return
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(_run_cell_pack, chunk): chunk for chunk in chunks
-        }
-        for future in as_completed(futures):
-            chunk = futures[future]
-            for cell, result in zip(chunk, future.result()):
-                yield cell.key, result
+    for cell, result in _execute_iter(
+        cells, max_workers=max_workers, lane_pack=lane_pack
+    ):
+        yield cell.key, result
 
 
 def run_grid(
     cells: Sequence[Cell],
     max_workers: Optional[int] = None,
     on_cell: Optional[Callable[[Hashable, Any], None]] = None,
+    store=None,
 ) -> Dict[Hashable, Any]:
     """:func:`run_many`, merged into a dict keyed by each cell's key.
 
     ``on_cell(key, result)``, when given, fires once per cell **as the
     cell completes** (completion order — :func:`iter_many` underneath),
     so sweeps can stream rows into a live report; the returned dict is
-    always in cell order regardless.
+    always in cell order regardless.  ``store`` makes the grid durable
+    (see :func:`iter_many`); store hits fire ``on_cell`` exactly like
+    fresh results.
     """
     cells = list(cells)
     results: Dict[Hashable, Any] = {}
-    for key, result in iter_many(cells, max_workers=max_workers):
+    for key, result in iter_many(cells, max_workers=max_workers, store=store):
         if on_cell is not None:
             on_cell(key, result)
         results[key] = result

@@ -12,6 +12,13 @@ campaign (:class:`repro.sim.campaign.SeededResult` — any object with
 estimates and multi-seed confidence bands.  :func:`to_jsonable` /
 :func:`export_json` turn any (possibly banded, arbitrarily nested)
 result grid into machine-readable JSON.
+
+Rendering is insensitive to where a cell came from: the durable
+campaign store (:mod:`repro.store`) reconstructs cached cells as the
+exact objects the sweep produced (same floats, same container types,
+same dict order, real ``SeededResult`` bands), so a table or JSON
+export over a warm/resumed grid is byte-identical to one over a cold
+grid — asserted end-to-end by ``tests/store/``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,101 @@
+"""Campaign journals: durable grid membership for crash-safe resume.
+
+A journal records *what a campaign was going to compute* — the ordered
+``(cell key, cell fingerprint)`` grid — before any cell is dispatched.
+Cells themselves are content-addressed (a finished cell's blob exists
+independently of any campaign), so the journal's job is bookkeeping,
+not recovery: after a crash it tells you which campaign was interrupted
+and how far it got (``store.contains`` over its grid), and a rerun of
+the same sweep lands on the same journal (the grid fingerprint is
+order-independent) and dispatches only the missing cells.
+
+Journals are written atomically (temp file + ``os.replace``) in the
+store's ``journals/`` directory, one file per grid fingerprint, and are
+as corruption-tolerant as cell blobs: a torn or garbage journal is
+logged and rewritten, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from .fingerprint import fingerprint_grid
+
+__all__ = ["CampaignJournal", "load_journal", "write_journal"]
+
+logger = logging.getLogger("repro.store")
+
+
+@dataclass
+class CampaignJournal:
+    """One campaign's durable grid record.
+
+    ``grid`` is the order-independent fingerprint of the cell set;
+    ``cells`` the ordered ``(printable key, fingerprint)`` membership;
+    ``status`` is ``"running"`` until every cell landed, then
+    ``"complete"``; ``runs`` counts how many times this grid was
+    (re)started — 2+ with status ``"running"`` is the signature of a
+    crash-and-resume history.
+    """
+
+    grid: str
+    cells: List[Tuple[str, str]]
+    status: str = "running"
+    runs: int = 1
+
+    @classmethod
+    def for_grid(
+        cls, keys: Sequence[Hashable], fingerprints: Sequence[str]
+    ) -> "CampaignJournal":
+        """Fresh journal for a grid of cells (keys rendered printable)."""
+        cells = [
+            (repr(key), fp) for key, fp in zip(keys, fingerprints)
+        ]
+        return cls(grid=fingerprint_grid(list(fingerprints)), cells=cells)
+
+    def path_in(self, journals_dir: Path) -> Path:
+        """This journal's file under a store's ``journals/`` directory."""
+        return journals_dir / f"{self.grid}.json"
+
+
+def load_journal(path: Path) -> Optional[CampaignJournal]:
+    """Read a journal file; a missing/torn/garbage file is ``None``.
+
+    Corruption is logged and treated as absence — the caller rewrites
+    the journal, and the content-addressed cells are unaffected.
+    """
+    try:
+        payload = json.loads(path.read_text())
+        cells = [
+            (str(key), str(fp)) for key, fp in payload["cells"]
+        ]
+        return CampaignJournal(
+            grid=str(payload["grid"]),
+            cells=cells,
+            status=str(payload["status"]),
+            runs=int(payload["runs"]),
+        )
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        logger.warning("ignoring corrupt campaign journal %s: %s", path, exc)
+        return None
+
+
+def write_journal(journal: CampaignJournal, journals_dir: Path) -> Path:
+    """Atomically persist a journal (temp file + rename)."""
+    from .store import atomic_write_text  # shared atomic-rename helper
+
+    path = journal.path_in(journals_dir)
+    payload = {
+        "grid": journal.grid,
+        "status": journal.status,
+        "runs": journal.runs,
+        "cells": [list(cell) for cell in journal.cells],
+    }
+    atomic_write_text(path, json.dumps(payload, indent=1) + "\n")
+    return path

@@ -1,0 +1,123 @@
+"""Lossless JSON serialisation of cell results.
+
+The store's contract is that a warm campaign renders **byte-identical**
+reports to a cold one, so the round trip through disk must preserve
+cell results exactly: float leaves (``repr``-round-tripping is native
+to :mod:`json`, and ``NaN``/``Infinity`` tokens cover the degenerate
+normalised metrics), container types (a tuple must come back a tuple),
+dict insertion order (report tables render in it), and the
+:class:`repro.sim.campaign.SeededResult` bands of multi-seed campaigns
+(rebuilt as real ``SeededResult`` instances, so
+:func:`repro.sim.report.format_table` and :func:`~repro.sim.report.export_json`
+cannot tell a cached cell from a fresh one).
+
+This is deliberately **not** a general object serialiser: anything
+outside the closed set above raises :class:`Unstorable`, and the store
+then skips caching that cell rather than persisting something it could
+not faithfully restore.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["Unstorable", "encode_result", "decode_result"]
+
+#: Marker key of tagged container encodings.  Results never contain it
+#: as a plain dict key (enforced on encode), so decoding is unambiguous.
+_KIND = "__kind__"
+
+
+class Unstorable(TypeError):
+    """A cell result contains a value the store cannot round-trip."""
+
+
+def _is_seeded(value: Any) -> bool:
+    # Duck-typed to avoid importing the campaign layer for every store
+    # operation; matches repro.sim.campaign.SeededResult's field set.
+    return (
+        hasattr(value, "values")
+        and hasattr(value, "mean")
+        and hasattr(value, "ci_lo")
+        and hasattr(value, "ci_hi")
+        and hasattr(value, "std")
+        and not isinstance(value, Mapping)
+    )
+
+
+def encode_result(value: Any) -> Any:
+    """Encode a cell result as JSON-able data (see module docstring)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value  # json emits repr / NaN / Infinity, all round-trip
+    if _is_seeded(value):
+        seeds = getattr(value, "seeds", None)
+        return {
+            _KIND: "seeded",
+            "values": [float(v) for v in value.values],
+            "mean": float(value.mean),
+            "std": float(value.std),
+            "min": float(value.min),
+            "max": float(value.max),
+            "ci_lo": float(value.ci_lo),
+            "ci_hi": float(value.ci_hi),
+            "seeds": None if seeds is None else [int(s) for s in seeds],
+        }
+    if isinstance(value, Mapping):
+        if all(isinstance(k, str) for k in value) and _KIND not in value:
+            return {k: encode_result(v) for k, v in value.items()}
+        # Non-string (or marker-colliding) keys: keep order, tag types.
+        return {
+            _KIND: "dict",
+            "items": [
+                [encode_result(_encode_key(k)), encode_result(v)]
+                for k, v in value.items()
+            ],
+        }
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [encode_result(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_result(v) for v in value]
+    raise Unstorable(
+        f"cannot losslessly store {type(value).__name__}: {value!r}"
+    )
+
+
+def _encode_key(key: Any) -> Any:
+    if key is None or isinstance(key, (bool, int, float, str, tuple)):
+        return key
+    raise Unstorable(f"cannot losslessly store dict key {key!r}")
+
+
+def decode_result(value: Any) -> Any:
+    """Invert :func:`encode_result` exactly."""
+    if isinstance(value, list):
+        return [decode_result(v) for v in value]
+    if isinstance(value, dict):
+        kind = value.get(_KIND)
+        if kind is None:
+            return {k: decode_result(v) for k, v in value.items()}
+        if kind == "tuple":
+            return tuple(decode_result(v) for v in value["items"])
+        if kind == "dict":
+            return {
+                decode_result(k): decode_result(v)
+                for k, v in value["items"]
+            }
+        if kind == "seeded":
+            from ..sim.campaign import SeededResult
+
+            seeds = value["seeds"]
+            return SeededResult(
+                values=tuple(float(v) for v in value["values"]),
+                mean=float(value["mean"]),
+                std=float(value["std"]),
+                min=float(value["min"]),
+                max=float(value["max"]),
+                ci_lo=float(value["ci_lo"]),
+                ci_hi=float(value["ci_hi"]),
+                seeds=None if seeds is None else tuple(int(s) for s in seeds),
+            )
+        raise Unstorable(f"unknown stored kind {kind!r}")
+    return value

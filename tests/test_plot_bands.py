@@ -1,0 +1,133 @@
+"""scripts/plot_bands.py: exported JSON grids render as CI-band SVGs."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.campaign import SeededResult
+from repro.sim.report import export_json
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_plot_bands():
+    spec = importlib.util.spec_from_file_location(
+        "plot_bands", REPO_ROOT / "scripts" / "plot_bands.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def plot_bands():
+    return _load_plot_bands()
+
+
+def _banded_grid():
+    def band(center):
+        return SeededResult.from_values(
+            [center * f for f in (0.95, 1.0, 1.05)], seeds=[0, 1, 2]
+        )
+
+    return {
+        str(x): {
+            "Sibyl": {"latency": band(1.0 + 0.1 * i), "iops": band(0.8)},
+            "CDE": {"latency": band(2.0 - 0.1 * i), "iops": band(0.5)},
+        }
+        for i, x in enumerate((0.05, 0.1, 0.2, 0.4))
+    }
+
+
+class TestExtractSeries:
+    def test_three_level_grid(self, plot_bands):
+        grid = json.loads(export_json(_banded_grid()))
+        xs, series = plot_bands.extract_series(grid, "latency")
+        assert xs == ["0.05", "0.1", "0.2", "0.4"]
+        assert set(series) == {"Sibyl", "CDE"}
+        mean, lo, hi = series["Sibyl"][0]
+        assert lo <= mean <= hi and hi > lo
+
+    def test_two_level_metric_grid(self, plot_bands):
+        grid = {"0.5": {"latency": 1.5, "iops": 0.9},
+                "1.0": {"latency": 1.2, "iops": 1.0}}
+        xs, series = plot_bands.extract_series(grid, "latency")
+        assert xs == ["0.5", "1.0"]
+        assert series == {"latency": [(1.5, 1.5, 1.5), (1.2, 1.2, 1.2)]}
+
+    def test_flat_leaf_grid(self, plot_bands):
+        grid = {"10": 1.5, "100": 2.5}
+        xs, series = plot_bands.extract_series(grid, "latency")
+        assert series == {"latency": [(1.5, 1.5, 1.5), (2.5, 2.5, 2.5)]}
+
+    def test_ragged_series_dropped(self, plot_bands, capsys):
+        grid = {
+            "a": {"Sibyl": {"latency": 1.0}, "CDE": {"latency": 2.0}},
+            "b": {"Sibyl": {"latency": 1.1}},
+        }
+        _, series = plot_bands.extract_series(grid, "latency")
+        assert set(series) == {"Sibyl"}
+        assert "ragged" in capsys.readouterr().err
+
+    def test_missing_metric_raises(self, plot_bands):
+        with pytest.raises(ValueError):
+            plot_bands.extract_series({"a": {"Sibyl": {"x": 1.0}}}, "latency")
+
+
+class TestRenderSvg:
+    def test_plot_file_end_to_end(self, plot_bands, tmp_path):
+        grid_path = tmp_path / "fig_test.json"
+        export_json(_banded_grid(), path=grid_path)
+        out = plot_bands.plot_file(grid_path, "latency", tmp_path / "figs")
+        assert out == tmp_path / "figs" / "fig_test_latency.svg"
+        svg = out.read_text()
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == 2  # one mean line per series
+        assert svg.count("<polygon") == 2  # one CI band per series
+        assert "Sibyl" in svg and "CDE" in svg  # legend labels
+        assert "95% CI" in svg
+
+    def test_deterministic_bytes(self, plot_bands, tmp_path):
+        grid_path = tmp_path / "fig.json"
+        export_json(_banded_grid(), path=grid_path)
+        first = plot_bands.plot_file(grid_path, "latency", tmp_path / "a")
+        second = plot_bands.plot_file(grid_path, "latency", tmp_path / "b")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_point_grid_has_no_bands(self, plot_bands, tmp_path):
+        grid_path = tmp_path / "points.json"
+        grid_path.write_text(json.dumps({"10": 1.0, "20": 1.5, "40": 2.0}))
+        out = plot_bands.plot_file(grid_path, "latency", tmp_path / "figs")
+        svg = out.read_text()
+        assert "<polygon" not in svg  # bands collapse for point data
+        assert svg.count("<polyline") == 1
+
+    def test_log_scale_for_wide_numeric_axes(self, plot_bands, tmp_path):
+        grid_path = tmp_path / "wide.json"
+        grid_path.write_text(
+            json.dumps({str(x): float(i) for i, x in
+                        enumerate((1, 100, 10_000, 1_000_000))})
+        )
+        out = plot_bands.plot_file(grid_path, "latency", tmp_path / "figs")
+        assert "log scale" in out.read_text()
+
+    def test_main_cli(self, plot_bands, tmp_path, capsys):
+        grid_path = tmp_path / "grid.json"
+        export_json(_banded_grid(), path=grid_path)
+        status = plot_bands.main(
+            [str(grid_path), "--metric", "iops",
+             "--out-dir", str(tmp_path / "figs")]
+        )
+        assert status == 0
+        assert (tmp_path / "figs" / "grid_iops.svg").is_file()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_main_skips_bad_inputs(self, plot_bands, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert plot_bands.main(
+            [str(bad), "--out-dir", str(tmp_path / "figs")]
+        ) == 1
+        assert "skipping" in capsys.readouterr().err
