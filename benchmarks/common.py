@@ -41,17 +41,22 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.sim.experiment import compare_policies, tri_hybrid_comparison
+from repro.sim.lanes import resolve_count_env
 from repro.sim.report import export_json, format_table, geomean
 from repro.store import store_from_env
 from repro.traces.workloads import MOTIVATION_WORKLOADS, workload_names
 
 N_REQUESTS = int(os.environ.get("SIBYL_BENCH_REQUESTS", "10000"))
 _MODE = os.environ.get("SIBYL_BENCH_WORKLOADS", "all")
-_WORKERS_RAW = os.environ.get("SIBYL_BENCH_WORKERS", "")
-MAX_WORKERS: Optional[int] = int(_WORKERS_RAW) if _WORKERS_RAW else None
+#: Worker processes per campaign, via the shared knob contract so
+#: garbage/negative values raise instead of silently forcing a serial
+#: run; unset/``auto``/``0`` → the engine's auto policy (None).
+MAX_WORKERS: Optional[int] = (
+    resolve_count_env("SIBYL_BENCH_WORKERS", 0) or None
+)
 N_SEEDS = int(os.environ.get("SIBYL_BENCH_SEEDS", "1"))
 #: kwargs adding the seed axis to a campaign (empty = legacy single-seed).
 SEED_AXIS = {"n_seeds": N_SEEDS} if N_SEEDS > 1 else {}

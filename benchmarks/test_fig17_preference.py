@@ -6,7 +6,7 @@ pays despite evictions) than under H&M (small gap — selectivity pays),
 on average across workloads.
 """
 
-from common import comparison, full_workload_list, emit, metric_value
+from common import comparison, emit, full_workload_list, metric_value
 
 from repro.sim.report import format_table
 

@@ -39,11 +39,25 @@ AUDITED_MODULES = (
     "repro.store.serialize",
     "repro.store.journal",
     "repro.store.store",
+    "repro.analysis.core",
+    "repro.analysis.reporters",
+    "repro.analysis.cli",
+    "repro.analysis.rules",
+    "repro.analysis.rules.determinism",
+    "repro.analysis.rules.hookpairs",
+    "repro.analysis.rules.fingerprint",
+    "repro.analysis.rules.envknobs",
+    "repro.analysis.rules.forksafety",
 )
 
 #: Modules whose public *methods* are audited too (the store's
-#: durability contract is a method-level API).
-METHOD_AUDITED_MODULES = ("repro.store.store", "repro.store.journal")
+#: durability contract is a method-level API; the analyzer's rule and
+#: framework classes are a subclassing surface).
+METHOD_AUDITED_MODULES = (
+    "repro.store.store",
+    "repro.store.journal",
+    "repro.analysis.core",
+)
 
 _FENCE_RE = re.compile(
     r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL

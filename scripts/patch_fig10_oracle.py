@@ -11,7 +11,6 @@ so this script recomputes just that column and rewrites the two files.
 from __future__ import annotations
 
 import os
-import re
 import sys
 from pathlib import Path
 

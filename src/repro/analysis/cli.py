@@ -1,0 +1,113 @@
+"""The ``repro lint`` / ``python -m repro.analysis`` command line.
+
+Exit status contract (what CI keys on):
+
+* ``0`` — analyzed everything, zero unsuppressed findings;
+* ``1`` — analyzed everything, at least one finding (printed);
+* ``2`` — fatal error (missing path, unknown rule ID, unreadable
+  docs file): the run itself could not complete.  Fatal errors print
+  one ``error: ...`` line on stderr — never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import run_lint
+from .reporters import render_json, render_text
+from .rules import default_rules
+
+__all__ = ["build_lint_parser", "add_lint_arguments", "run_lint_cli"]
+
+#: Default docs file the SBL-ENV rule cross-checks when present.
+DEFAULT_DOCS = "docs/configuration.md"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared between the
+    ``repro lint`` verb and ``python -m repro.analysis``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the versioned CI schema)",
+    )
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]",
+        help="run only these rule IDs (e.g. SBL-DET,SBL-ENV)",
+    )
+    parser.add_argument(
+        "--docs", metavar="PATH", default=None,
+        help="configuration reference for the SBL-ENV documentation "
+             f"cross-check (default: {DEFAULT_DOCS} when it exists)",
+    )
+    parser.add_argument(
+        "--det-scope", metavar="PREFIX[,PREFIX...]", default=None,
+        help="dotted-module prefixes SBL-DET polices (default: the "
+             "bit-identity core; 'all' = every file)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Stand-alone parser for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Sibyl contract analyzer: static enforcement of the "
+                    "repo's determinism, hook-pair, fingerprint, and "
+                    "env-knob invariants",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    only = args.rules.split(",") if args.rules else None
+    rules = default_rules(only)
+    if args.docs is not None:
+        docs_path: Optional[Path] = Path(args.docs)
+        if not docs_path.is_file():
+            raise FileNotFoundError(f"docs file not found: {docs_path}")
+    else:
+        docs_path = Path(DEFAULT_DOCS) if Path(DEFAULT_DOCS).is_file() else None
+    kwargs = {}
+    if args.det_scope == "all":
+        kwargs["determinism_scope"] = None
+    elif args.det_scope:
+        kwargs["determinism_scope"] = tuple(
+            prefix for prefix in args.det_scope.split(",") if prefix
+        )
+    report = run_lint(
+        [Path(p) for p in args.paths],
+        rules=rules,
+        docs_path=docs_path,
+        **kwargs,
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    args = build_lint_parser().parse_args(argv)
+    try:
+        return run_lint_cli(args)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

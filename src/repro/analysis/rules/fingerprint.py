@@ -1,0 +1,198 @@
+"""SBL-FPR: sweep-cell functions must stay content-fingerprintable.
+
+The durable campaign store (:mod:`repro.store`) addresses a cell by a
+SHA-256 over its function's qualified name plus canonicalised kwargs
+(:func:`repro.store.fingerprint.fingerprint_cell`).  That breaks
+*silently* when a cell function drifts out of the canonical universe:
+a lambda or closure has no addressable qualified name, and a parameter
+default outside :func:`repro.store.fingerprint.canonicalize`'s accepted
+types (``None``/``bool``/``int``/``float``/``str`` and
+lists/tuples/dicts thereof) raises ``Unfingerprintable`` at dispatch —
+the sweep still runs, but every such cell quietly stops being cached
+and warm reruns re-simulate it forever.
+
+This rule statically audits every ``Cell(...)`` construction
+(:class:`repro.sim.parallel.Cell`):
+
+* the ``fn`` argument must be a module-level function — lambdas,
+  nested functions (closure captures), and computed callables are
+  flagged;
+* when ``fn`` resolves to a definition inside the analyzed file set
+  (directly or through one import hop), every parameter default must
+  be canonicalisable: a literal of the accepted types, a
+  ``-``/``+``-signed number, or a name that resolves (through
+  module-level constants and imports) to such a literal.
+
+The accepted-type set deliberately mirrors
+``repro.store.fingerprint.canonicalize`` — if that contract grows,
+grow :data:`_CANONICAL_CONST_TYPES` with it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..core import FileContext, Finding, Project, Rule
+
+__all__ = ["FingerprintRule"]
+
+#: Python constant types ``canonicalize`` accepts verbatim.  Mirrors
+#: :func:`repro.store.fingerprint.canonicalize`; keep the two in sync.
+_CANONICAL_CONST_TYPES = (type(None), bool, int, float, str)
+
+
+class FingerprintRule(Rule):
+    """Audit ``Cell(...)`` constructions for fingerprintable cells."""
+
+    id = "SBL-FPR"
+    title = "sweep-cell functions stay addressable and canonicalisable"
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        """Scan every ``Cell(...)`` call in ``ctx``."""
+        if ctx.tree is None:
+            return
+        if not _imports_cell(ctx, project):
+            return
+        enclosing = _enclosing_functions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Cell"
+            ):
+                continue
+            fn_expr = _fn_argument(node)
+            if fn_expr is None:
+                continue
+            yield from self._check_fn(ctx, project, node, fn_expr, enclosing)
+
+    # ------------------------------------------------------------- helpers
+    def _check_fn(self, ctx, project, call, fn_expr, enclosing):
+        if isinstance(fn_expr, ast.Lambda):
+            yield ctx.finding(
+                self.id, fn_expr,
+                "a lambda has no addressable qualified name, so this cell "
+                "can never be fingerprinted or cached; use a module-level "
+                "function",
+            )
+            return
+        if not isinstance(fn_expr, ast.Name):
+            yield ctx.finding(
+                self.id, fn_expr,
+                "the cell `fn` is computed at runtime; the store can only "
+                "address a module-level function named statically",
+            )
+            return
+        # A name defined by a def nested inside the enclosing function
+        # is a closure — unpicklable for workers and unfingerprintable.
+        for scope in enclosing.get(id(call), []):
+            for stmt in ast.walk(scope):
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt is not scope
+                    and stmt.name == fn_expr.id
+                ):
+                    yield ctx.finding(
+                        self.id, fn_expr,
+                        f"`{fn_expr.id}` is a nested function (closure); "
+                        "cell functions must be module-level so they have "
+                        "a stable qualified name",
+                    )
+                    return
+        resolved = project.resolve_function(ctx, fn_expr.id)
+        if resolved is None:
+            return  # defined outside the analyzed file set
+        def_ctx, fndef = resolved
+        for param, default in _defaults(fndef):
+            if not _canonical_default(default, def_ctx.module, project):
+                yield ctx.finding(
+                    self.id, call,
+                    f"cell function `{fndef.name}` has an "
+                    f"unfingerprintable default for parameter `{param}` "
+                    f"(line {default.lineno} of {def_ctx.display}); "
+                    "defaults must reduce to None/bool/int/float/str or "
+                    "lists/tuples/dicts of those "
+                    "(repro.store.fingerprint.canonicalize)",
+                )
+
+
+def _imports_cell(ctx: FileContext, project: Project) -> bool:
+    """Whether ``Cell`` in this file names the sweep-grid dataclass."""
+    imap = project.imports.get(ctx.module)
+    if imap is None:
+        return False
+    origin = imap.from_imports.get("Cell")
+    return origin is not None and origin[0].endswith("parallel")
+
+
+def _fn_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The ``fn`` argument of a ``Cell(...)`` call (kw or positional)."""
+    for kw in call.keywords:
+        if kw.arg == "fn":
+            return kw.value
+    if len(call.args) >= 2:
+        return call.args[1]
+    return None
+
+
+def _enclosing_functions(tree: ast.Module) -> dict:
+    """Map ``id(node)`` -> enclosing function defs, innermost last."""
+    out: dict = {}
+
+    def visit(node: ast.AST, stack: List[ast.AST]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack = stack + [node]
+        for child in ast.iter_child_nodes(node):
+            out[id(child)] = stack
+            visit(child, stack)
+
+    visit(tree, [])
+    return out
+
+
+def _defaults(fndef: ast.FunctionDef) -> List[Tuple[str, ast.expr]]:
+    """``(parameter name, default expr)`` pairs of a function def."""
+    args = fndef.args
+    out: List[Tuple[str, ast.expr]] = []
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        out.append((arg.arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            out.append((arg.arg, default))
+    return out
+
+
+def _canonical_default(
+    expr: ast.expr, module: str, project: Project, depth: int = 6
+) -> bool:
+    """Whether a default expression reduces to a canonicalisable value."""
+    if depth <= 0:
+        return False
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, _CANONICAL_CONST_TYPES)
+    if isinstance(expr, ast.UnaryOp) and isinstance(
+        expr.op, (ast.USub, ast.UAdd)
+    ):
+        return _canonical_default(expr.operand, module, project, depth - 1)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return all(
+            _canonical_default(e, module, project, depth - 1)
+            for e in expr.elts
+        )
+    if isinstance(expr, ast.Dict):
+        return all(
+            k is not None and _canonical_default(k, module, project, depth - 1)
+            for k in expr.keys
+        ) and all(
+            _canonical_default(v, module, project, depth - 1)
+            for v in expr.values
+        )
+    if isinstance(expr, ast.Name):
+        resolved = project.resolve_constant(module, expr.id)
+        if resolved is None:
+            return False
+        return _canonical_default(resolved, module, project, depth - 1)
+    return False

@@ -1,0 +1,186 @@
+"""SBL-FORK: no mutable module state reachable from pool workers.
+
+The parallel engine (:mod:`repro.sim.parallel`) fans sweep cells out
+over a ``ProcessPoolExecutor``.  Worker processes inherit a *copy* of
+module state at fork/spawn time; a worker function that reads — and
+especially mutates — a mutable module-level global silently diverges
+from the serial path: each worker sees its own copy, mutations never
+propagate back, and whether two cells share state depends on which
+worker they landed on.  That breaks the bit-identity contract in the
+worst way — nondeterministically, only under parallel execution.
+(Per-process *memo caches* like the Fast-Only reference memo are fine
+**by design** — but they live in modules that never submit themselves
+to a pool, and their values are pure functions of their keys.)
+
+For every module that imports ``ProcessPoolExecutor`` (or
+``multiprocessing``), this rule:
+
+1. collects the functions the module submits to a pool — the first
+   argument of ``.submit(fn, ...)``, ``.map(fn, ...)``,
+   ``.imap*(fn, ...)``, or ``.apply_async(fn, ...)``;
+2. resolves them to module-level definitions in the same module and
+   walks the names they read (following same-module calls two levels
+   deep);
+3. flags any hit on a module-level **mutable** global — a name
+   assigned a ``dict``/``list``/``set`` display or comprehension, or a
+   call to ``dict``/``list``/``set``/``defaultdict``/``OrderedDict``/
+   ``deque``/``Counter`` — at the line the worker reads it.
+
+Immutable module constants (numbers, strings, tuples, frozen
+dataclasses) are always safe and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..core import FileContext, Finding, Project, Rule
+
+__all__ = ["ForkSafetyRule"]
+
+_POOL_METHODS = {"submit", "map", "imap", "imap_unordered", "apply_async",
+                 "starmap"}
+
+_MUTABLE_FACTORIES = {"dict", "list", "set", "defaultdict", "OrderedDict",
+                      "deque", "Counter"}
+
+
+class ForkSafetyRule(Rule):
+    """Flag mutable module globals reachable from pool worker functions."""
+
+    id = "SBL-FORK"
+    title = "pool worker functions touch no mutable module-level state"
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        """Scan ``ctx`` when it dispatches work to a process pool."""
+        if ctx.tree is None or not _uses_process_pool(ctx.tree):
+            return
+        mutable_globals = _mutable_module_globals(ctx.tree)
+        if not mutable_globals:
+            return
+        worker_names = _submitted_functions(ctx.tree)
+        module_functions: Dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        seen: Set[str] = set()
+        queue: List[tuple] = [
+            (name, 0) for name in sorted(worker_names)
+            if name in module_functions
+        ]
+        while queue:
+            name, depth = queue.pop()
+            if name in seen or depth > 2:
+                continue
+            seen.add(name)
+            fndef = module_functions[name]
+            local_names = _locally_bound_names(fndef)
+            for node in ast.walk(fndef):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in mutable_globals
+                    and node.id not in local_names
+                ):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"pool worker `{name}` reaches mutable module "
+                        f"global `{node.id}` (defined line "
+                        f"{mutable_globals[node.id]}); workers get a "
+                        "per-process copy, so results depend on worker "
+                        "placement — pass the state in as a parameter or "
+                        "make it immutable",
+                    )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name
+                ):
+                    callee = node.func.id
+                    if callee in module_functions and callee not in local_names:
+                        queue.append((callee, depth + 1))
+
+
+def _uses_process_pool(tree: ast.Module) -> bool:
+    """Whether the module imports process-pool machinery."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if any(a.name == "ProcessPoolExecutor" for a in node.names):
+                return True
+            if node.module == "multiprocessing":
+                return True
+        elif isinstance(node, ast.Import):
+            if any(a.name.startswith("multiprocessing") for a in node.names):
+                return True
+    return False
+
+
+def _submitted_functions(tree: ast.Module) -> Set[str]:
+    """Names passed as the callable to pool ``submit``/``map`` calls."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            out.add(node.args[0].id)
+    return out
+
+
+def _mutable_module_globals(tree: ast.Module) -> Dict[str, int]:
+    """Module-level names bound to mutable containers -> def line."""
+    out: Dict[str, int] = {}
+    for stmt in tree.body:
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value, targets = stmt.value, [stmt.target]
+        if value is None or not _is_mutable_container(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = stmt.lineno
+    return out
+
+
+def _is_mutable_container(expr: ast.expr) -> bool:
+    """Whether an expression builds a mutable container."""
+    if isinstance(expr, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = ""
+        if isinstance(expr.func, ast.Name):
+            name = expr.func.id
+        elif isinstance(expr.func, ast.Attribute):
+            name = expr.func.attr
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _locally_bound_names(fndef: ast.FunctionDef) -> Set[str]:
+    """Parameter and locally assigned names inside a function def."""
+    names: Set[str] = {
+        arg.arg
+        for arg in (
+            fndef.args.posonlyargs + fndef.args.args + fndef.args.kwonlyargs
+        )
+    }
+    if fndef.args.vararg:
+        names.add(fndef.args.vararg.arg)
+    if fndef.args.kwarg:
+        names.add(fndef.args.kwarg.arg)
+    for node in ast.walk(fndef):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fndef:
+                names.add(node.name)
+    return names

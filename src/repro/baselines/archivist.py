@@ -21,7 +21,7 @@ cross-entropy at every epoch boundary.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -18,6 +18,15 @@ Commands
     Print the §10 overhead analysis.
 ``export-trace``
     Generate a synthetic workload and write it as an MSRC-format CSV.
+``lint``
+    Run the Sibyl contract analyzer (:mod:`repro.analysis`) over the
+    given paths: static AST checks for the determinism, hook-pair,
+    fingerprint, env-knob, and fork-safety invariants.  Exit status 0
+    = clean, 1 = findings, 2 = fatal error.
+
+Fatal errors (unwritable ``--json`` target, missing lint path, bad
+configuration) exit with status 2 and a one-line ``error: ...`` on
+stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -98,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("overhead", help="print the Sec. 10 overhead analysis")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the Sibyl contract analyzer (static AST invariant checks)",
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     export = sub.add_parser(
         "export-trace", help="write a synthetic workload as MSRC CSV"
@@ -242,8 +259,13 @@ def _cmd_export(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _cmd_lint(args) -> int:
+    from .analysis.cli import run_lint_cli
+
+    return run_lint_cli(args)
+
+
+def _dispatch(args) -> int:
     if args.command == "workloads":
         return _cmd_workloads()
     if args.command == "run":
@@ -254,7 +276,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_overhead()
     if args.command == "export-trace":
         return _cmd_export(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse ``argv`` and run one command.
+
+    Expected failures — an unwritable ``--json``/``--output`` target, a
+    missing lint path, an invalid knob or argument value — exit with
+    status ``2`` and a single ``error: ...`` line on stderr instead of
+    a traceback; genuine bugs still propagate loudly.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,7 +16,7 @@ per-action Q-value probe for spot-explaining individual decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..hss.system import HSSStats
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 __all__ = ["SibylHyperParams", "SIBYL_DEFAULT", "SIBYL_OPT", "doe_grid"]
 

@@ -17,7 +17,7 @@ The paper reports, for the default 6-20-30-2 network:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from ..hss.request import PAGE_SIZE_BYTES
 from .hyperparams import SIBYL_DEFAULT, SibylHyperParams

@@ -11,8 +11,7 @@ the dynamic Sibyl's latency reward is designed to observe (§5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from .request import PAGE_SIZE_BYTES, OpType
 

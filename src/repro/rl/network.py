@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .activations import Activation, Identity, get_activation
+from .activations import Activation, get_activation
 
 __all__ = [
     "Dense",

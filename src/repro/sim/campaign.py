@@ -47,8 +47,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.hyperparams import SIBYL_DEFAULT
 from ..core.agent import SibylAgent
+from ..core.hyperparams import SIBYL_DEFAULT
 from ..traces.mixer import make_mixed_trace
 from .experiment import (
     DEFAULT_WARMUP,

@@ -254,7 +254,12 @@ class PolicyRun:
         request = self._fetch()
         if request is None:
             return LANE_DONE
-        obs = self.policy.place_begin(request)
+        # The commit for this begin intentionally lives in
+        # ``step_finish``: the lane engine owns the fused forward
+        # between the two halves, so no single function closes the
+        # pair.  Reviewed 2026-08: every step_begin is followed by
+        # step_finish (or completes inline below).
+        obs = self.policy.place_begin(request)  # sibyl: ignore[SBL-HOOK]
         if obs is not None:
             self._request = request
             return obs

@@ -44,8 +44,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Union
 
 from .fingerprint import (
-    SCHEMA_VERSION,
     ENGINE_VERSION,
+    SCHEMA_VERSION,
     Unfingerprintable,
     fingerprint_cell,
 )

@@ -9,7 +9,7 @@ All functions are pure: they return new traces and never mutate inputs.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..hss.request import OpType, Request
 

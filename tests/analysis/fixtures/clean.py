@@ -1,0 +1,20 @@
+"""A file every rule should pass untouched."""
+
+import os
+
+
+def deterministic(xs, rng):
+    return sorted(xs) + [rng.random()]
+
+
+def listing(d):
+    return sorted(os.listdir(d))
+
+
+class Balanced:
+    def step(self, request):
+        self.place_begin(request)
+        try:
+            self.work(request)
+        finally:
+            self.place_commit(None)

@@ -1,0 +1,39 @@
+"""SBL-DET fixture: one of each determinism violation class.
+
+Not collected by pytest (no ``test_`` prefix); linted by
+``tests/analysis/test_rules.py`` with ``determinism_scope=None``.
+"""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock():
+    return time.time()  # line 16: clock read
+
+
+def global_rng():
+    return random.random()  # line 20: unseeded global RNG
+
+
+def np_global_rng():
+    return np.random.rand(3)  # line 24: numpy global RNG
+
+
+def fs_order(d):
+    return [name for name in os.listdir(d)]  # line 28: fs-order listing
+
+
+def fs_order_ok(d):
+    return sorted(os.listdir(d))  # allowed: order-insensitive consumer
+
+
+def id_sort(xs):
+    return sorted(xs, key=id)  # line 36: id()-keyed ordering
+
+
+def set_order(s):
+    return [x * 2 for x in set(s)]  # line 40: set-iteration order

@@ -1,0 +1,20 @@
+"""SBL-FORK fixture: a pool worker mutating module-level state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+LIMIT = 8  # immutable: allowed
+
+
+def worker(x):
+    _RESULTS[x] = x * x  # flagged via run(): per-process copy only
+    return _RESULTS[x]
+
+
+def helper(x):
+    return worker(x)  # indirection: still reached from the pool
+
+
+def run(xs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(helper, xs))

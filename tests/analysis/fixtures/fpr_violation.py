@@ -1,0 +1,30 @@
+"""SBL-FPR fixture: sweep cells that the store could never fingerprint."""
+
+from repro.sim.parallel import Cell
+
+GOOD_DEFAULT = 0.25
+
+
+def good_cell(workload, warmup=GOOD_DEFAULT, n=100):
+    return workload, warmup, n
+
+
+def bad_default_cell(workload, devices={"H", "M"}):
+    return workload, devices
+
+
+def make_cells(workloads):
+    scale = len(workloads)
+
+    def closure_cell(workload):  # closes over `scale`
+        return workload, scale
+
+    cells = [Cell(key=w, fn=good_cell, kwargs={"workload": w})
+             for w in workloads]
+    cells.append(Cell(key="bad-default", fn=bad_default_cell,
+                      kwargs={"workload": "x"}))  # flagged: set default
+    cells.append(Cell(key="lambda", fn=lambda w: w,
+                      kwargs={}))  # flagged: lambda has no stable name
+    cells.append(Cell(key="closure", fn=closure_cell,
+                      kwargs={}))  # flagged: nested function / closure
+    return cells

@@ -1,0 +1,96 @@
+"""Framework semantics: suppressions, reporters, file collection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import JSON_SCHEMA_VERSION, run_lint
+from repro.analysis.reporters import render_json, render_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def _report(self):
+        return run_lint([FIXTURES / "suppressed.py"],
+                        determinism_scope=None)
+
+    def test_matching_rule_id_suppresses(self):
+        report = self._report()
+        flagged_lines = {f.line for f in report.findings}
+        src = (FIXTURES / "suppressed.py").read_text().splitlines()
+        t1 = next(i + 1 for i, s in enumerate(src) if s.startswith("T1"))
+        assert t1 not in flagged_lines
+
+    def test_bare_ignore_suppresses_everything(self):
+        report = self._report()
+        src = (FIXTURES / "suppressed.py").read_text().splitlines()
+        t2 = next(i + 1 for i, s in enumerate(src) if s.startswith("T2"))
+        assert t2 not in {f.line for f in report.findings}
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        report = self._report()
+        src = (FIXTURES / "suppressed.py").read_text().splitlines()
+        t3 = next(i + 1 for i, s in enumerate(src) if s.startswith("T3"))
+        assert t3 in {f.line for f in report.findings}
+
+    def test_suppressed_findings_are_counted(self):
+        report = self._report()
+        assert report.suppressed == 2
+        assert len(report.findings) == 1
+        assert not report.ok
+
+
+class TestReporters:
+    def _report(self):
+        return run_lint([FIXTURES / "det_violation.py"],
+                        determinism_scope=None)
+
+    def test_text_has_one_line_per_finding_plus_summary(self):
+        report = self._report()
+        text = render_text(report)
+        lines = text.splitlines()
+        assert len(lines) == len(report.findings) + 2  # blank + summary
+        for f, line in zip(report.findings, lines):
+            assert line.startswith(f"{f.path}:{f.line}:{f.col}: {f.rule} ")
+        assert "finding(s)" in lines[-1]
+
+    def test_json_schema(self):
+        report = self._report()
+        doc = json.loads(render_json(report))
+        assert doc["schema"] == JSON_SCHEMA_VERSION
+        assert doc["ok"] is False
+        assert doc["files"] == 1
+        assert doc["suppressed"] == 0
+        assert doc["counts"] == {"SBL-DET": len(report.findings)}
+        assert len(doc["findings"]) == len(report.findings)
+        for item in doc["findings"]:
+            assert set(item) == {"rule", "path", "line", "col", "message"}
+
+    def test_clean_report_is_ok(self):
+        report = run_lint([FIXTURES / "clean.py"], determinism_scope=None)
+        doc = json.loads(render_json(report))
+        assert doc["ok"] is True and doc["findings"] == []
+        assert "0 finding(s)" in render_text(report)
+
+
+class TestFileCollection:
+    def test_findings_are_sorted_and_deterministic(self):
+        paths = [FIXTURES]
+        a = run_lint(paths, determinism_scope=None)
+        b = run_lint(paths, determinism_scope=None)
+        keys = [(f.path, f.line, f.col, f.rule) for f in a.findings]
+        assert keys == sorted(keys)
+        assert keys == [(f.path, f.line, f.col, f.rule) for f in b.findings]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint([Path("definitely-not-here")])
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = run_lint([bad])
+        assert [f.rule for f in report.findings] == ["SBL-PARSE"]
+        assert not report.ok

@@ -1,0 +1,93 @@
+"""The lint CLI surface and the CLI's fatal-error exit contract.
+
+Exit codes: 0 = clean, 1 = findings, 2 = fatal (one ``error:`` line on
+stderr, never a traceback) — for both ``repro lint`` and
+``python -m repro.analysis``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main as analysis_main
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CLEAN = str(FIXTURES / "clean.py")
+DIRTY = str(FIXTURES / "det_violation.py")
+
+
+class TestAnalysisMain:
+    def test_clean_exits_zero(self, capsys):
+        assert analysis_main([CLEAN, "--det-scope", "all"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert analysis_main([DIRTY, "--det-scope", "all"]) == 1
+        assert "SBL-DET" in capsys.readouterr().out
+
+    def test_missing_path_exits_two_without_traceback(self, capsys):
+        assert analysis_main(["definitely-not-here"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert analysis_main(["--rules", "SBL-NOPE", CLEAN]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_rule_filter(self, capsys):
+        # only SBL-HOOK requested: the determinism violations are moot
+        assert analysis_main(
+            [DIRTY, "--det-scope", "all", "--rules", "SBL-HOOK"]
+        ) == 0
+
+    def test_json_format(self, capsys):
+        assert analysis_main([DIRTY, "--det-scope", "all",
+                              "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False and doc["counts"]["SBL-DET"] > 0
+
+    def test_list_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SBL-DET", "SBL-HOOK", "SBL-FPR", "SBL-ENV",
+                        "SBL-FORK"):
+            assert rule_id in out
+
+
+class TestReproLintVerb:
+    def test_lint_clean_fixture(self, capsys):
+        assert repro_main(["lint", CLEAN, "--det-scope", "all"]) == 0
+
+    def test_lint_findings(self, capsys):
+        assert repro_main(["lint", DIRTY, "--det-scope", "all"]) == 1
+
+    def test_lint_missing_path_exits_two(self, capsys):
+        assert repro_main(["lint", "definitely-not-here"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+
+class TestFatalErrorContract:
+    def test_compare_unwritable_json_exits_two(self, tmp_path, capsys):
+        # the historical bug: an unwritable --json target printed a
+        # traceback and exited 1 via the interpreter's default handler
+        target = tmp_path / "no-such-dir" / "out.json"
+        code = repro_main([
+            "compare", "--workloads", "usr_0", "--requests", "120",
+            "--no-store", "--json", str(target),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: " in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_export_trace_unwritable_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "trace.csv"
+        code = repro_main([
+            "export-trace", "--requests", "50", "--output", str(target),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")

@@ -1,6 +1,5 @@
 """Coverage for less-travelled paths across packages."""
 
-import pytest
 
 from repro.baselines.extremes import FastOnlyPolicy
 from repro.cli import main as cli_main

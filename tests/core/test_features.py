@@ -1,6 +1,5 @@
 """Tests for state featurization and binning (Table 1)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -14,9 +13,7 @@ from repro.core.features import (
     linear_bin,
     log2_bin,
 )
-from repro.hss.devices import make_devices
 from repro.hss.request import OpType, Request
-from repro.hss.system import HybridStorageSystem
 
 
 class TestBinning:

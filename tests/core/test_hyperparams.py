@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.core.hyperparams import (
-    SIBYL_DEFAULT,
-    SIBYL_OPT,
-    SibylHyperParams,
-    doe_grid,
-)
+from repro.core.hyperparams import SIBYL_DEFAULT, SIBYL_OPT, doe_grid
 
 
 class TestDefaults:

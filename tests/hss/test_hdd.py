@@ -76,7 +76,7 @@ class TestHDDConfig:
 
 class TestCharacteristicLatency:
     def test_includes_positioning(self, hdd, spec):
-        base = StorageDeviceChar = spec.read_overhead_s + 4096 / 200e6
+        base = spec.read_overhead_s + 4096 / 200e6
         assert hdd.characteristic_read_latency_s() > base + 1e-3
 
     def test_reset_restores_head(self, hdd):

@@ -217,7 +217,7 @@ class TestStatsAndReset:
         assert hm_system.throughput_iops() > 0
 
     def test_now_override(self, hm_system):
-        result = hm_system.serve(write(1, ts=0.0), action=0, now=100.0)
+        hm_system.serve(write(1, ts=0.0), action=0, now=100.0)
         assert hm_system.stats.last_completion_s >= 100.0
 
 

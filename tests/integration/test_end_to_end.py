@@ -15,7 +15,6 @@ from repro.baselines import (
     TriHeuristicPolicy,
 )
 from repro.core.agent import SibylAgent
-from repro.core.hyperparams import SIBYL_DEFAULT
 from repro.sim.experiment import run_oracle_best
 from repro.sim.runner import run_policy
 from repro.traces.workloads import make_trace

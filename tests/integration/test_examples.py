@@ -6,7 +6,6 @@ count so the examples cannot silently rot.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

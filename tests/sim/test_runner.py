@@ -4,8 +4,8 @@ import dataclasses
 
 import pytest
 
-from repro.baselines.extremes import FastOnlyPolicy, SlowOnlyPolicy
 from repro.baselines.cde import CDEPolicy
+from repro.baselines.extremes import FastOnlyPolicy, SlowOnlyPolicy
 from repro.sim.runner import (
     PolicyRun,
     build_hss,
@@ -79,6 +79,7 @@ class TestRunPolicy:
         tail = run_policy(
             SlowOnlyPolicy(), trace, config="H&M", warmup_fraction=0.5
         )
+        assert full.n_requests == len(trace)
         assert tail.n_requests == len(trace) - len(trace) // 2
 
     def test_warmup_validation(self, trace):

@@ -13,7 +13,7 @@ import pytest
 
 from repro.sim.experiment import _buffer_size_cell
 from repro.sim.parallel import Cell, run_grid, run_many
-from repro.store import MISS, CampaignStore, fingerprint_cell, load_journal
+from repro.store import MISS, CampaignStore, load_journal
 
 
 def _cells(sizes=(40, 80)):
