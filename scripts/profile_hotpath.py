@@ -21,7 +21,16 @@ figure reproduction, so perf claims land as numbers instead of vibes:
                     per lane through per-lane weights) via the stacked
                     fused forward/backward vs the same events run
                     serially; reports the per-lane event cost both ways
-                    and the fusion speedup.
+                    and the fusion speedup;
+* ``phases``      — where a tick goes: per-phase wall-clock (feature
+                    extraction + replay insertion, NN forward on memo
+                    misses, HSS serve/evict, reward feedback) in ms per
+                    1k ticks through the serial object path;
+* ``soa_backend`` — the structure-of-arrays tick engine
+                    (``repro.sim.kernels``): per-backend tick-loop and
+                    end-to-end requests/sec, plus the speedup against
+                    the PR 3 multilane baseline recorded earlier in the
+                    trajectory file.
 
 Results are printed and appended to a JSON trajectory file (default
 ``BENCH_hotpath.json`` at the repo root) so successive PRs can compare
@@ -187,6 +196,109 @@ def bench_fused_training(trace, n_lanes, repeats):
     return fused_s * 1e3 / per_lane, serial_s * 1e3 / per_lane
 
 
+def bench_phase_breakdown(trace, n_ticks=4000):
+    """Per-phase wall-clock of the serial tick, in ms per 1k ticks.
+
+    Drives the real ``place_begin → place_commit → serve → feedback``
+    object path with a stopwatch around each phase.  Training is pushed
+    out of range so ``feedback`` isolates the reward computation; the
+    forward phase only accrues on action-memo misses, exactly as in a
+    run.
+    """
+    import dataclasses
+
+    hp = dataclasses.replace(SIBYL_DEFAULT, train_interval=10**9)
+    agent = SibylAgent(hyperparams=hp, seed=0)
+    hss = build_hss("H&M", trace)
+    agent.attach(hss)
+    timer = time.perf_counter
+    t_feat = t_nn = t_serve = t_reward = 0.0
+    ticks = 0
+    for request in trace[:n_ticks]:
+        t0 = timer()
+        obs = agent.place_begin(request)
+        t_feat += timer() - t0
+        t0 = timer()
+        action = agent.place_commit(
+            None if obs is None else agent.inference_net.best_action(obs)
+        )
+        t_nn += timer() - t0
+        t0 = timer()
+        result = hss.serve(request, action)
+        t_serve += timer() - t0
+        t0 = timer()
+        agent.feedback(request, action, result)
+        t_reward += timer() - t0
+        ticks += 1
+    scale = 1e3 / max(1, ticks) * 1000.0
+    return {
+        "feature_extraction": round(t_feat * scale, 3),
+        "nn_forward": round(t_nn * scale, 3),
+        "hss_serve_evict": round(t_serve * scale, 3),
+        "reward_feedback": round(t_reward * scale, 3),
+    }
+
+
+def bench_soa_backend(trace, repeats):
+    """Per-backend SoA engine throughput: tick-only and end-to-end.
+
+    The tick-only runs push ``train_interval`` out of range, so they
+    measure the loop the backends compile (features, serve, replay,
+    exploration) without the NN training share that dominates
+    end-to-end time.  A backend that cannot build (no C toolchain)
+    reports ``None`` and is skipped — ``auto`` would have fallen back
+    to the NumPy engine silently.
+    """
+    import dataclasses
+
+    from repro.sim.kernels import get_backend
+
+    tick_hp = dataclasses.replace(SIBYL_DEFAULT, train_interval=10**9)
+    out = {}
+    for backend in ("numpy", "cext"):
+        try:
+            engine = get_backend(backend)
+        except RuntimeError:
+            out[backend] = None
+            continue
+        if engine != backend:
+            out[backend] = None
+            continue
+
+        def tick_run():
+            return run_lanes(
+                [LaneSpec(policy=SibylAgent(hyperparams=tick_hp, seed=0),
+                          trace=trace, config="H&M")],
+                backend=backend,
+            )
+
+        def full_run():
+            return run_lanes(
+                [LaneSpec(policy=SibylAgent(seed=0), trace=trace,
+                          config="H&M")],
+                backend=backend,
+            )
+
+        tick_s, _ = _best_of(repeats, tick_run)
+        full_s, _ = _best_of(repeats, full_run)
+        out[backend] = {
+            "tick_rps": round(len(trace) / tick_s, 1),
+            "end_to_end_rps": round(len(trace) / full_s, 1),
+        }
+    return out
+
+
+def _pr3_multilane_baseline(history):
+    """aggregate_rps of the PR 3 multilane round, if recorded."""
+    for entry in history:
+        if entry.get("label") == "pr3-fused-training":
+            multilane = entry.get("multilane") or {}
+            rps = multilane.get("aggregate_rps")
+            if rps:
+                return float(rps)
+    return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=6000,
@@ -220,6 +332,31 @@ def main(argv=None) -> int:
     step_ms, batches_per_s = bench_train_step(trace, args.repeats)
     fused_lanes = max(4, n_lanes)
     fused_ms, serial_ms = bench_fused_training(trace, fused_lanes, args.repeats)
+    phases = bench_phase_breakdown(
+        trace, n_ticks=min(len(trace), 1000 if args.quick else 4000)
+    )
+    soa = bench_soa_backend(trace, args.repeats)
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+
+    active = "cext" if soa.get("cext") else "numpy"
+    active_stats = soa.get(active) or {"tick_rps": 0.0, "end_to_end_rps": 0.0}
+    pr3_rps = _pr3_multilane_baseline(history)
+    soa_entry = {
+        "active": active,
+        "backends": soa,
+        "tick_rps": active_stats["tick_rps"],
+        "end_to_end_rps": active_stats["end_to_end_rps"],
+        "phase_ms_per_1k_ticks": phases,
+        "speedup_vs_pr3_multilane": (
+            round(active_stats["tick_rps"] / pr3_rps, 3) if pr3_rps else None
+        ),
+    }
 
     entry = {
         "label": args.label,
@@ -249,6 +386,7 @@ def main(argv=None) -> int:
             "serial_event_ms_per_lane": round(serial_ms, 3),
             "speedup": round(serial_ms / fused_ms, 3),
         },
+        "soa_backend": soa_entry,
     }
 
     print(f"serve loop      : {serve_rps:10.1f} req/s  (CDE heuristic)")
@@ -260,13 +398,18 @@ def main(argv=None) -> int:
           f"({batches_per_s:.1f} batches/s)")
     print(f"fused train x{fused_lanes:<2d}  : {fused_ms:10.3f} ms/lane "
           f"(serial {serial_ms:.3f} ms/lane, {serial_ms / fused_ms:.2f}x)")
+    print("tick phases     : " + "  ".join(
+        f"{name} {ms:.2f}ms/1k" for name, ms in phases.items()))
+    for backend, stats in soa.items():
+        if stats is None:
+            print(f"soa {backend:5s}       :        n/a (backend unavailable)")
+        else:
+            print(f"soa {backend:5s}       : {stats['tick_rps']:10.1f} req/s "
+                  f"tick-only, {stats['end_to_end_rps']:.1f} req/s end-to-end")
+    if soa_entry["speedup_vs_pr3_multilane"] is not None:
+        print(f"soa vs pr3 lanes: {soa_entry['speedup_vs_pr3_multilane']:10.2f}x "
+              f"(baseline {pr3_rps:.1f} aggregate req/s)")
 
-    history = []
-    if args.output.exists():
-        try:
-            history = json.loads(args.output.read_text())
-        except (json.JSONDecodeError, OSError):
-            history = []
     history.append(entry)
     args.output.write_text(json.dumps(history, indent=2) + "\n")
     print(f"appended to {args.output}")

@@ -42,7 +42,11 @@ __all__ = ["EnvKnobRule", "SANCTIONED_ACCESSORS"]
 
 #: Functions allowed to read knob values directly: the shared parsing
 #: contract (everything else routes through them).
-SANCTIONED_ACCESSORS = ("resolve_count_env", "store_from_env")
+SANCTIONED_ACCESSORS = (
+    "resolve_count_env",
+    "resolve_choice_env",
+    "store_from_env",
+)
 
 _KNOB_RE = re.compile(r"^SIBYL_[A-Z0-9_]+$")
 _CONST_NAME_RE = re.compile(r"^_?[A-Z][A-Z0-9_]*$")

@@ -234,11 +234,15 @@ class ExperienceBuffer:
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        if not self._entries:
-            raise ValueError("cannot sample from an empty buffer")
         if rng is None:
             rng = self._rng
         if self._order_cache is None:
+            # Emptiness is checked here, not up front: an engine that
+            # owns the storage arrays directly (the compiled tick
+            # kernel) installs pre-built order/cdf caches for a buffer
+            # whose ``_entries`` mirror lives on its side.
+            if not self._entries:
+                raise ValueError("cannot sample from an empty buffer")
             order = np.fromiter(
                 self._entries.values(), dtype=np.int64, count=len(self._entries)
             )

@@ -1,0 +1,667 @@
+"""The compiled tick engine: C hot loop, Python at the barriers.
+
+``kernel.c`` owns the whole per-request tick — PCG64 exploration draws,
+feature binning, the device latency models, LRU placement/eviction,
+replay dedup — over flat arrays with dense page ids, and *suspends*
+whenever serial semantics need Python:
+
+* **inference barrier** — an action-memo miss; the caller runs
+  ``inference_net.best_action`` on the mailed observation and re-enters
+  (the kernel commits the memo entry and resumes mid-tick);
+* **training gate** — ``seen % train_interval == 0`` with a full enough
+  buffer; the caller mirrors the replay/memo state onto the live Python
+  objects, drives the agent's own ``train_begin``/``train_commit``
+  (identical serial code), writes the refreshed action memo back, and
+  re-enters.
+
+Everything the serial path would have mutated — RNG state, replay
+contents and caches, action memo, page table, tracker, device state and
+stats — is reconstructed on the live objects at the end, so the result
+(and all post-run state) is bit-identical to serial ``run_policy``.
+The NumPy reference proves the arithmetic; this engine re-executes it
+in C with the same operations in the same order (``-ffp-contract=off``
+keeps the compiler from fusing them).
+
+The shared library is built on demand with the system C compiler into a
+gitignored cache keyed by the source hash; when no toolchain is
+available the backend reports itself unavailable and ``auto`` falls
+back to the NumPy engine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from collections import OrderedDict
+from typing import List, Optional
+
+import numpy as np
+
+from ...hss.hdd import HDDDevice
+from ...hss.ssd import SSDDevice
+from .soa import LaneSoA, TraceSoA
+
+__all__ = ["available", "unavailable_reason", "run_lanes_c", "run_one_c"]
+
+# ---------------------------------------------------------------- ABI
+# Pointer-table indices (mirror kernel.c's P_* enum).
+(
+    P_CTRL_I, P_CTRL_D, P_TS, P_OP, P_DPAGE, P_SIZE, P_UNIQ, P_LOC,
+    P_LRU_PREV, P_LRU_NEXT, P_CNT, P_LAST, P_MAXIMA, P_OBS_MAIL,
+    P_PEND_OBS, P_PEND_KEY, P_ACTION_COUNTS, P_RNG,
+    P_RB_OBS, P_RB_NOBS, P_RB_ACT, P_RB_REW, P_RB_MULT, P_RB_KEYS,
+    P_RB_HASH, P_RB_FPREV, P_RB_FNEXT, P_RB_FREE, P_RB_ORDER,
+    P_MEMO_KEYS, P_MEMO_OBS, P_MEMO_ACT, P_MEMO_HASH,
+    P_DEV_D, P_DEV_I, P_HSS_I, P_HSS_D, P_VICTIMS, P_VSORT,
+) = range(39)
+_NPTR = 39
+
+# ctrl_i slots (kernel.c CI_*).
+(
+    CI_STATUS, CI_I, CI_RESUMED, CI_NTOTAL, CI_WARMUP, CI_SEEN,
+    CI_TRAIN_INT, CI_BATCH, CI_INIT_RAND, CI_CLOCK, CI_CAP0, CI_SLACK,
+    CI_RES0, CI_RES1, CI_HEAD0, CI_TAIL0, CI_HEAD1, CI_TAIL1,
+    CI_PENDING, CI_PEND_ACTION,
+    CI_RB_CAP, CI_RB_NENT, CI_RB_HEAD, CI_RB_TAIL, CI_RB_FREE_N,
+    CI_RB_TOMB, CI_RB_HASHCAP, CI_RB_TOTAL, CI_RB_SLOT_HI,
+    CI_MEMO_N, CI_MEMO_CAP, CI_MEMO_HASHCAP,
+    CI_ACTION, CI_ERR, CI_ORDER_N,
+    CI_SIZE_BINS, CI_INTR_BINS, CI_CNT_BINS, CI_CAP_BINS, CI_NDEV,
+) = range(40)
+_CI_LEN = 40
+
+# ctrl_d slots (kernel.c CD_*).
+(
+    CD_COMPLETION, CD_REWARD_SUM, CD_EPS, CD_UNIT, CD_EVICT_COEF,
+    CD_MAX_REWARD, CD_PEND_REWARD,
+) = range(7)
+_CD_LEN = 7
+
+# Per-device blocks (kernel.c DD_* / DI_*).
+DD_STRIDE = 32
+(
+    DD_NEXT_FREE, DD_BUSY, DD_QWAIT, DD_UTIL, DD_GC_TIME,
+    DD_ROVER, DD_WOVER, DD_RBW, DD_WBW, DD_BI,
+    DD_READ1, DD_GC_THRESH, DD_GC_LAT, DD_GC_DENOM, DD_BUF_LAT,
+    DD_TR_UNIT, DD_BUF_OCC, DD_BUF_LAST,
+    DD_AVG_ROT, DD_MIN_SEEK, DD_SEEK_SPAN,
+) = range(21)
+DI_STRIDE = 24
+(
+    DI_TYPE, DI_READS, DI_WRITES, DI_PR, DI_PW, DI_GC_EVENTS,
+    DI_BUFFERED, DI_WSG, DI_HEAD, DI_TARGET, DI_GC_TRIG, DI_BUF_PAGES,
+    DI_SEQWIN, DI_TRACKSPAN, DI_CAPPAGES, DI_HAS_UTIL, DI_UTIL_CAP,
+) = range(17)
+
+# HSS stats blocks (kernel.c HI_* / HD_*).
+(
+    HI_REQUESTS, HI_READS, HI_WRITES, HI_PROMOTED, HI_DEMOTED,
+    HI_EVENTS, HI_EVICTED, HI_PLACE0, HI_PLACE1,
+) = range(9)
+_HI_LEN = 9
+HD_TOTAL_LAT, HD_EVICT_TIME, HD_LAST_COMPLETION = range(3)
+_HD_LEN = 3
+
+# Status codes.
+_ST_DONE = 0
+_ST_NEED_INFERENCE = 1
+_ST_TRAIN_GATE = 2
+_ST_ERROR = 3
+
+_MEMO_CAP = 1 << 16
+_U64 = (1 << 64) - 1
+
+# ------------------------------------------------------------- build
+_lib = None
+_build_error: Optional[str] = None
+
+
+def _source_path() -> str:
+    return os.path.join(os.path.dirname(__file__), "kernel.c")
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    """Build (if needed) and load the kernel; None when unavailable."""
+    global _lib, _build_error
+    if _lib is not None or _build_error is not None:
+        return _lib
+    src = _source_path()
+    try:
+        with open(src, "rb") as fh:
+            code = fh.read()
+    except OSError as exc:
+        _build_error = f"kernel source unreadable: {exc}"
+        return None
+    digest = hashlib.sha256(code).hexdigest()[:16]
+    build_dir = os.path.join(os.path.dirname(src), "_build")
+    so_path = os.path.join(build_dir, f"kernel-{digest}.so")
+    if not os.path.exists(so_path):
+        try:
+            os.makedirs(build_dir, exist_ok=True)
+            # Build to a temp name then rename, so concurrent builders
+            # never load a half-written library.
+            fd, tmp = tempfile.mkstemp(dir=build_dir, suffix=".so")
+            os.close(fd)
+            cmd = [
+                "gcc", "-O2", "-shared", "-fPIC", "-ffp-contract=off",
+                "-o", tmp, src, "-lm",
+            ]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                os.unlink(tmp)
+                _build_error = f"compiler failed: {proc.stderr.strip()[:500]}"
+                return None
+            os.replace(tmp, so_path)
+        except (OSError, subprocess.SubprocessError) as exc:
+            _build_error = f"build failed: {exc}"
+            return None
+    try:
+        lib = ctypes.CDLL(so_path)
+        lib.sib_run.restype = ctypes.c_longlong
+        lib.sib_run.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
+    except OSError as exc:
+        _build_error = f"load failed: {exc}"
+        return None
+    _lib = lib
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled kernel can be (or has been) built."""
+    return _load() is not None
+
+
+def unavailable_reason() -> str:
+    """Why :func:`available` is False (empty string when it isn't)."""
+    if _load() is not None:
+        return ""
+    return _build_error or "unknown"
+
+
+# ------------------------------------------------------------- helpers
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def _rng_state_to_words(rng: np.random.Generator) -> np.ndarray:
+    st = rng.bit_generator.state
+    s, inc = st["state"]["state"], st["state"]["inc"]
+    return np.array(
+        [
+            (s >> 64) & _U64, s & _U64, (inc >> 64) & _U64, inc & _U64,
+            int(st["has_uint32"]), int(st["uinteger"]),
+        ],
+        dtype=np.uint64,
+    )
+
+
+def _rng_words_to_state(rng: np.random.Generator, words: np.ndarray) -> None:
+    rng.bit_generator.state = {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": (int(words[0]) << 64) | int(words[1]),
+            "inc": (int(words[2]) << 64) | int(words[3]),
+        },
+        "has_uint32": int(words[4]),
+        "uinteger": int(words[5]),
+    }
+
+
+def _kernel_ready(run, trace: TraceSoA) -> bool:
+    """Per-run preconditions beyond ``kernel_eligible``.
+
+    The kernel assumes the cold-start state its flat mirrors encode: an
+    empty page table/tracker/memo/replay and a PCG64 agent generator.
+    Anything else (a resumed run, an exotic bit generator) silently
+    takes the NumPy reference — same results, Python speed.
+    """
+    policy = run.policy
+    hss = run.hss
+    if trace.n == 0:
+        return False
+    if type(policy.rng.bit_generator).__name__ != "PCG64":
+        return False
+    if hss.table._location or hss.tracker._count or hss.tracker._last_access:
+        return False
+    if policy._pending is not None or policy._requests_seen != 0:
+        return False
+    if policy._action_cache or policy._cache_obs:
+        return False
+    buf = policy.buffer
+    if buf._obs is not None or buf._free or buf._total_added != 0:
+        return False
+    if hss.slowest != 1 or policy.hyperparams.train_interval < 1:
+        return False
+    counts = policy.action_counts
+    if (
+        not isinstance(counts, np.ndarray)
+        or counts.dtype != np.int64
+        or not counts.flags["C_CONTIGUOUS"]
+    ):
+        return False
+    return True
+
+
+def _seed_device(run, d: int, dd: np.ndarray, di: np.ndarray) -> None:
+    """Mirror device ``d``'s model constants and live state into the
+    kernel's flat blocks (exactly the values ``_device_access`` hoists)."""
+    hss = run.hss
+    dev = hss.devices[d]
+    spec = dev.spec
+    stats = dev.stats
+    drow = dd[d * DD_STRIDE:]
+    irow = di[d * DI_STRIDE:]
+    drow[DD_NEXT_FREE] = dev._next_free_s
+    drow[DD_BUSY] = stats.busy_time_s
+    drow[DD_QWAIT] = stats.queue_wait_s
+    drow[DD_UTIL] = getattr(dev, "utilization", 0.0)
+    drow[DD_GC_TIME] = stats.gc_time_s
+    drow[DD_ROVER] = spec.read_overhead_s
+    drow[DD_WOVER] = spec.write_overhead_s
+    drow[DD_RBW] = spec.read_bandwidth_bps
+    drow[DD_WBW] = spec.write_bandwidth_bps
+    drow[DD_BI] = dev.background_interference
+    irow[DI_READS] = stats.reads
+    irow[DI_WRITES] = stats.writes
+    irow[DI_PR] = stats.pages_read
+    irow[DI_PW] = stats.pages_written
+    irow[DI_GC_EVENTS] = stats.gc_events
+    ssd = hss._ssd[d]
+    irow[DI_HAS_UTIL] = 0 if ssd is None else 1
+    irow[DI_UTIL_CAP] = 1 if ssd is None else hss._util_cap[d]
+    if isinstance(dev, HDDDevice):
+        config = dev.config
+        irow[DI_TYPE] = 1
+        drow[DD_AVG_ROT] = config.avg_rotational_s
+        drow[DD_MIN_SEEK] = config.min_seek_s
+        drow[DD_SEEK_SPAN] = config.max_seek_s - config.min_seek_s
+        irow[DI_HEAD] = dev._head_page
+        irow[DI_TARGET] = dev.target_page
+        irow[DI_SEQWIN] = config.sequential_window_pages
+        irow[DI_TRACKSPAN] = config.track_span_pages
+        irow[DI_CAPPAGES] = max(1, spec.capacity_pages)
+    else:
+        config = dev.config
+        irow[DI_TYPE] = 0
+        drow[DD_READ1] = dev._read_1pg_s
+        drow[DD_GC_THRESH] = config.gc_threshold
+        drow[DD_GC_LAT] = config.gc_latency_s
+        drow[DD_GC_DENOM] = max(1e-9, 1.0 - config.gc_threshold)
+        drow[DD_BUF_LAT] = config.buffered_write_latency_s
+        drow[DD_TR_UNIT] = 4096.0 / spec.write_bandwidth_bps
+        drow[DD_BUF_OCC] = dev._buffer_occupancy
+        drow[DD_BUF_LAST] = dev._buffer_last_drain_s
+        irow[DI_WSG] = dev._writes_since_gc
+        irow[DI_BUFFERED] = stats.buffered_writes
+        irow[DI_GC_TRIG] = config.gc_trigger_pages
+        irow[DI_BUF_PAGES] = config.buffer_pages
+
+
+def _writeback_device(run, d: int, dd: np.ndarray, di: np.ndarray) -> None:
+    hss = run.hss
+    dev = hss.devices[d]
+    stats = dev.stats
+    drow = dd[d * DD_STRIDE:]
+    irow = di[d * DI_STRIDE:]
+    dev._next_free_s = float(drow[DD_NEXT_FREE])
+    stats.busy_time_s = float(drow[DD_BUSY])
+    stats.queue_wait_s = float(drow[DD_QWAIT])
+    stats.gc_time_s = float(drow[DD_GC_TIME])
+    stats.reads = int(irow[DI_READS])
+    stats.writes = int(irow[DI_WRITES])
+    stats.pages_read = int(irow[DI_PR])
+    stats.pages_written = int(irow[DI_PW])
+    stats.gc_events = int(irow[DI_GC_EVENTS])
+    if isinstance(dev, HDDDevice):
+        dev._head_page = int(irow[DI_HEAD])
+        dev.target_page = int(irow[DI_TARGET])
+    else:
+        dev._buffer_occupancy = float(drow[DD_BUF_OCC])
+        dev._buffer_last_drain_s = float(drow[DD_BUF_LAST])
+        dev._writes_since_gc = int(irow[DI_WSG])
+        stats.buffered_writes = int(irow[DI_BUFFERED])
+    if isinstance(dev, SSDDevice):
+        dev.utilization = float(drow[DD_UTIL])
+
+
+class _KernelRun:
+    """One lane's kernel state: the arrays, the pointer table, the
+    Python-side barrier handlers."""
+
+    def __init__(self, run, trace: TraceSoA) -> None:
+        self.run = run
+        self.policy = policy = run.policy
+        self.hss = hss = run.hss
+        self.trace = trace
+        n = trace.n
+
+        uniq = trace.touched_pages()
+        self.uniq = uniq
+        n_pages = len(uniq)
+        dpage = np.searchsorted(uniq, trace.pages).astype(np.int64)
+
+        buf = policy.buffer
+        cap = buf.capacity
+        # Preallocate the buffer's own storage at full capacity; the
+        # kernel writes rows in place, so training-time gathers read
+        # the live arrays.  (The serial path grows these geometrically;
+        # the final export trims back to the serial length.)
+        buf._obs = np.zeros((cap, 6), dtype=np.float64)
+        buf._next_obs = np.zeros((cap, 6), dtype=np.float64)
+        buf._actions = np.zeros(cap, dtype=np.int64)
+        buf._rewards = np.zeros(cap, dtype=np.float64)
+        buf._mult = np.zeros(cap, dtype=np.float64)
+        rb_hashcap = _next_pow2(max(64, 2 * cap))
+
+        hp = policy.hyperparams
+        spec = policy.extractor.spec
+        reward_fn = policy.reward_fn
+
+        ci = np.zeros(_CI_LEN, dtype=np.int64)
+        cd = np.zeros(_CD_LEN, dtype=np.float64)
+        ci[CI_I] = 0
+        ci[CI_NTOTAL] = n
+        ci[CI_WARMUP] = run._warmup_end
+        ci[CI_SEEN] = policy._requests_seen
+        ci[CI_TRAIN_INT] = hp.train_interval
+        ci[CI_BATCH] = hp.batch_size
+        ci[CI_INIT_RAND] = hp.initial_random_requests
+        ci[CI_CLOCK] = hss.tracker._clock
+        ci[CI_CAP0] = hss.capacity_pages[0]
+        ci[CI_SLACK] = hss.eviction_slack_pages
+        ci[CI_HEAD0] = ci[CI_TAIL0] = ci[CI_HEAD1] = ci[CI_TAIL1] = -1
+        ci[CI_RB_CAP] = cap
+        ci[CI_RB_HEAD] = ci[CI_RB_TAIL] = -1
+        ci[CI_RB_HASHCAP] = rb_hashcap
+        ci[CI_MEMO_CAP] = _MEMO_CAP
+        ci[CI_MEMO_HASHCAP] = _MEMO_CAP * 2
+        ci[CI_SIZE_BINS] = spec.size_bins
+        ci[CI_INTR_BINS] = spec.intr_bins
+        ci[CI_CNT_BINS] = spec.cnt_bins
+        ci[CI_CAP_BINS] = spec.cap_bins
+        ci[CI_NDEV] = hss.n_devices
+        cd[CD_COMPLETION] = run._completion_s
+        cd[CD_EPS] = hp.exploration_rate
+        cd[CD_UNIT] = reward_fn.unit_latency_s
+        cd[CD_EVICT_COEF] = reward_fn.eviction_penalty_coefficient
+        cd[CD_MAX_REWARD] = reward_fn.max_reward
+
+        dd = np.zeros(2 * DD_STRIDE, dtype=np.float64)
+        di = np.zeros(2 * DI_STRIDE, dtype=np.int64)
+        for d in range(2):
+            _seed_device(run, d, dd, di)
+
+        hi = np.zeros(_HI_LEN, dtype=np.int64)
+        stats = hss.stats
+        hi[HI_REQUESTS] = stats.requests
+        hi[HI_READS] = stats.reads
+        hi[HI_WRITES] = stats.writes
+        hi[HI_PROMOTED] = stats.promoted_pages
+        hi[HI_DEMOTED] = stats.demoted_pages
+        hi[HI_EVENTS] = stats.eviction_events
+        hi[HI_EVICTED] = stats.evicted_pages
+        hi[HI_PLACE0] = stats.placements[0]
+        hi[HI_PLACE1] = stats.placements[1]
+        hd = np.array(
+            [stats.total_latency_s, stats.eviction_time_s,
+             stats.last_completion_s],
+            dtype=np.float64,
+        )
+
+        self.arrays = arrays = [None] * _NPTR
+        arrays[P_CTRL_I] = ci
+        arrays[P_CTRL_D] = cd
+        arrays[P_TS] = np.ascontiguousarray(trace.timestamps)
+        arrays[P_OP] = np.ascontiguousarray(trace.ops)
+        arrays[P_DPAGE] = dpage
+        arrays[P_SIZE] = np.ascontiguousarray(trace.sizes)
+        arrays[P_UNIQ] = uniq
+        arrays[P_LOC] = np.full(n_pages, -1, dtype=np.int8)
+        arrays[P_LRU_PREV] = np.full(n_pages, -1, dtype=np.int32)
+        arrays[P_LRU_NEXT] = np.full(n_pages, -1, dtype=np.int32)
+        arrays[P_CNT] = np.zeros(n_pages, dtype=np.int64)
+        arrays[P_LAST] = np.full(n_pages, -1, dtype=np.int64)
+        arrays[P_MAXIMA] = np.ascontiguousarray(
+            policy.extractor._maxima_arr, dtype=np.float64
+        )
+        arrays[P_OBS_MAIL] = np.zeros(6, dtype=np.float64)
+        arrays[P_PEND_OBS] = np.zeros(6, dtype=np.float64)
+        arrays[P_PEND_KEY] = np.zeros(24, dtype=np.uint8)
+        arrays[P_ACTION_COUNTS] = np.asarray(policy.action_counts)
+        arrays[P_RNG] = _rng_state_to_words(policy.rng)
+        arrays[P_RB_OBS] = buf._obs
+        arrays[P_RB_NOBS] = buf._next_obs
+        arrays[P_RB_ACT] = buf._actions
+        arrays[P_RB_REW] = buf._rewards
+        arrays[P_RB_MULT] = buf._mult
+        arrays[P_RB_KEYS] = np.zeros(cap * 51, dtype=np.uint8)
+        arrays[P_RB_HASH] = np.full(rb_hashcap, -1, dtype=np.int32)
+        arrays[P_RB_FPREV] = np.full(cap, -1, dtype=np.int32)
+        arrays[P_RB_FNEXT] = np.full(cap, -1, dtype=np.int32)
+        arrays[P_RB_FREE] = np.zeros(cap, dtype=np.int32)
+        arrays[P_RB_ORDER] = np.zeros(cap, dtype=np.int64)
+        arrays[P_MEMO_KEYS] = np.zeros(_MEMO_CAP * 24, dtype=np.uint8)
+        arrays[P_MEMO_OBS] = np.zeros((_MEMO_CAP, 6), dtype=np.float64)
+        arrays[P_MEMO_ACT] = np.zeros(_MEMO_CAP, dtype=np.int32)
+        arrays[P_MEMO_HASH] = np.full(_MEMO_CAP * 2, -1, dtype=np.int32)
+        arrays[P_DEV_D] = dd
+        arrays[P_DEV_I] = di
+        arrays[P_HSS_I] = hi
+        arrays[P_HSS_D] = hd
+        arrays[P_VICTIMS] = np.zeros(n_pages + 1, dtype=np.int32)
+        arrays[P_VSORT] = np.zeros(n_pages + 1, dtype=np.int32)
+
+        self.ci = ci
+        self.cd = cd
+        self.dd = dd
+        self.di = di
+        self.hi = hi
+        self.hd = hd
+        self.gate_total: Optional[int] = None
+
+        ptrs = (ctypes.c_void_p * _NPTR)()
+        for k, arr in enumerate(arrays):
+            ptrs[k] = arr.ctypes.data_as(ctypes.c_void_p).value
+        self.ptrs = ptrs
+
+    # ------------------------------------------------------- barriers
+    def _slot_key(self, slot: int) -> bytes:
+        keys = self.arrays[P_RB_KEYS]
+        return bytes(keys[slot * 51:(slot + 1) * 51])
+
+    def _rebuild_entries(self) -> None:
+        """Mirror the kernel's FIFO onto ``buffer._entries`` (the dedup
+        map in insertion order), exactly as the serial adds left it."""
+        buf = self.policy.buffer
+        order = self.arrays[P_RB_ORDER][: int(self.ci[CI_ORDER_N])]
+        entries: "OrderedDict[bytes, int]" = OrderedDict()
+        for slot in order.tolist():
+            entries[self._slot_key(slot)] = slot
+        buf._entries = entries
+        buf._order_cache = None
+        buf._cdf_cache = None
+
+    def _export_memo(self) -> None:
+        """Mirror the kernel's action memo onto the agent's dicts, in
+        insertion order (``_refresh_action_cache`` iterates it)."""
+        policy = self.policy
+        n = int(self.ci[CI_MEMO_N])
+        keys = self.arrays[P_MEMO_KEYS]
+        obs = self.arrays[P_MEMO_OBS]
+        act = self.arrays[P_MEMO_ACT]
+        memo = {}
+        cache_obs = {}
+        for k in range(n):
+            key = bytes(keys[k * 24:(k + 1) * 24])
+            memo[key] = int(act[k])
+            cache_obs[key] = obs[k].copy()
+        policy._action_cache = memo
+        policy._cache_obs = cache_obs
+
+    def _import_memo_actions(self) -> None:
+        """Write the post-training action memo back into the kernel."""
+        policy = self.policy
+        n = int(self.ci[CI_MEMO_N])
+        cache = policy._action_cache
+        if len(cache) == n and n > 0:
+            self.arrays[P_MEMO_ACT][:n] = np.fromiter(
+                cache.values(), dtype=np.int32, count=n
+            )
+        elif not cache:
+            # _refresh_action_cache cleared an oversized memo.
+            self.ci[CI_MEMO_N] = 0
+            self.arrays[P_MEMO_HASH].fill(-1)
+
+    def handle_inference(self) -> None:
+        obs = self.arrays[P_OBS_MAIL]
+        self.ci[CI_ACTION] = int(self.policy.inference_net.best_action(obs))
+
+    def handle_train_gate(self) -> None:
+        policy = self.policy
+        _rng_words_to_state(policy.rng, self.arrays[P_RNG])
+        self._rebuild_entries()
+        self._export_memo()
+        self.gate_total = int(self.ci[CI_RB_TOTAL])
+        policy.train_begin()
+        policy.train_commit()
+        self._import_memo_actions()
+        self.arrays[P_RNG][:] = _rng_state_to_words(policy.rng)
+
+    # -------------------------------------------------------- export
+    def _trim_buffer_arrays(self) -> None:
+        """Shrink the preallocated storage to the serial length (the
+        geometric-growth schedule of ``_allocate``/``_grow``)."""
+        buf = self.policy.buffer
+        cap = buf.capacity
+        slot_hi = int(self.ci[CI_RB_SLOT_HI])
+        length = min(cap, 1024)
+        while length < slot_hi:
+            length = min(cap, 2 * length)
+        if length < cap:
+            for name in ("_obs", "_next_obs", "_actions", "_rewards", "_mult"):
+                arr = getattr(buf, name)
+                setattr(buf, name, arr[:length].copy())
+
+    def export(self, lanes: Optional[LaneSoA], lane: int) -> None:
+        run = self.run
+        policy = self.policy
+        hss = self.hss
+        ci, cd = self.ci, self.cd
+
+        run._completion_s = float(cd[CD_COMPLETION])
+        run._index = int(ci[CI_NTOTAL])
+        run.finished = True
+
+        _rng_words_to_state(policy.rng, self.arrays[P_RNG])
+        policy._requests_seen = int(ci[CI_SEEN])
+        if ci[CI_PENDING]:
+            policy._pending = (
+                self.arrays[P_PEND_OBS].copy(),
+                int(ci[CI_PEND_ACTION]),
+                float(cd[CD_PEND_REWARD]),
+                bytes(self.arrays[P_PEND_KEY]),
+            )
+        else:
+            policy._pending = None
+        self._export_memo()
+
+        buf = policy.buffer
+        self._rebuild_entries()
+        buf._free = self.arrays[P_RB_FREE][: int(ci[CI_RB_FREE_N])].tolist()
+        buf._total_added = int(ci[CI_RB_TOTAL])
+        if self.gate_total is not None and buf._total_added == self.gate_total:
+            # No mutation since the last training event: the serial
+            # buffer still holds the caches that event's sampling
+            # built.  Reproduce them through the same code path.
+            if buf._entries:
+                buf.sample_slots(1, rng=np.random.default_rng(0))
+        self._trim_buffer_arrays()
+
+        tracker = hss.tracker
+        uniq = self.uniq
+        cnt = self.arrays[P_CNT]
+        last = self.arrays[P_LAST]
+        touched = np.nonzero(last >= 0)[0]
+        pages = uniq[touched].tolist()
+        tracker._count = dict(zip(pages, cnt[touched].tolist()))
+        tracker._last_access = dict(zip(pages, last[touched].tolist()))
+        tracker._clock = int(ci[CI_CLOCK])
+
+        table = hss.table
+        loc = self.arrays[P_LOC]
+        lnext = self.arrays[P_LRU_NEXT]
+        mapped = np.nonzero(loc >= 0)[0]
+        table._location = dict(
+            zip(uniq[mapped].tolist(), loc[mapped].astype(int).tolist())
+        )
+        for d in range(2):
+            resident = table._resident[d]
+            resident.clear()
+            p = int(ci[CI_HEAD0 + 2 * d])
+            while p >= 0:
+                resident[int(uniq[p])] = None
+                p = int(lnext[p])
+
+        stats = hss.stats
+        hi, hd = self.hi, self.hd
+        stats.requests = int(hi[HI_REQUESTS])
+        stats.reads = int(hi[HI_READS])
+        stats.writes = int(hi[HI_WRITES])
+        stats.promoted_pages = int(hi[HI_PROMOTED])
+        stats.demoted_pages = int(hi[HI_DEMOTED])
+        stats.eviction_events = int(hi[HI_EVENTS])
+        stats.evicted_pages = int(hi[HI_EVICTED])
+        stats.placements = [int(hi[HI_PLACE0]), int(hi[HI_PLACE1])]
+        stats.total_latency_s = float(hd[HD_TOTAL_LAT])
+        stats.eviction_time_s = float(hd[HD_EVICT_TIME])
+        stats.last_completion_s = float(hd[HD_LAST_COMPLETION])
+
+        for d in range(2):
+            _writeback_device(run, d, self.dd, self.di)
+
+        if lanes is not None:
+            lanes.snapshot(lane, run, float(cd[CD_REWARD_SUM]))
+
+
+def run_one_c(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
+    """Drive one eligible ``PolicyRun`` to completion through the
+    compiled kernel, bit-identically to serial ``run_policy``."""
+    lib = _load()
+    trace = TraceSoA.from_run(run)
+    if lib is None or not _kernel_ready(run, trace):
+        from .engine_numpy import run_one_numpy
+
+        run._iter = iter(trace.requests)
+        run_one_numpy(run, lanes=lanes, lane=lane)
+        return
+
+    state = _KernelRun(run, trace)
+    while True:
+        status = lib.sib_run(state.ptrs)
+        if status == _ST_DONE:
+            break
+        if status == _ST_NEED_INFERENCE:
+            state.handle_inference()
+        elif status == _ST_TRAIN_GATE:
+            state.handle_train_gate()
+        else:
+            raise RuntimeError(
+                "compiled tick kernel aborted "
+                f"(err={int(state.ci[CI_ERR])}, i={int(state.ci[CI_I])})"
+            )
+    state.export(lanes, lane)
+
+
+def run_lanes_c(runs: List, lanes: Optional[LaneSoA] = None) -> LaneSoA:
+    """Drive every run to completion through the compiled engine."""
+    if lanes is None:
+        lanes = LaneSoA.for_runs(runs)
+    for lane, run in enumerate(runs):
+        run_one_c(run, lanes=lanes, lane=lane)
+    return lanes

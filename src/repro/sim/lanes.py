@@ -76,6 +76,7 @@ __all__ = [
     "resolve_lanes",
     "resolve_train_align",
     "resolve_count_env",
+    "resolve_choice_env",
     "LANES_ENV",
     "TRAIN_ALIGN_ENV",
 ]
@@ -120,6 +121,25 @@ def resolve_count_env(
     if value < 0:
         raise ValueError(f"{env} must be >= 0, got {value}")
     return value
+
+
+def resolve_choice_env(
+    env: str, default: str, choices: Sequence[str]
+) -> str:
+    """Shared contract for the engine's choice-valued environment knobs.
+
+    The string sibling of :func:`resolve_count_env`: ``""`` (unset or
+    blank) → ``default``; otherwise the lowered token must be one of
+    ``choices`` — garbage raises ``ValueError``, because a typo in e.g.
+    ``SIBYL_BACKEND`` must never silently select a different engine.
+    """
+    raw = os.environ.get(env, "").strip().lower()
+    if raw == "":
+        return default
+    if raw in choices:
+        return raw
+    tokens = ", ".join(repr(c) for c in choices)
+    raise ValueError(f"{env} must be one of {tokens}, got {raw!r}")
 
 
 def resolve_lanes(default: int = 1) -> int:
@@ -351,6 +371,7 @@ def run_lanes(
     specs: Sequence[LaneSpec],
     align_window: Optional[int] = None,
     stats: Optional[Dict[str, int]] = None,
+    backend: Optional[str] = None,
 ) -> List[RunResult]:
     """Advance all lanes in lockstep; results in spec order.
 
@@ -382,6 +403,19 @@ def run_lanes(
         stats.setdefault("max_fused_rows", 0)
     runs = [spec.make_run() for spec in specs]
 
+    # SoA tick-engine diversion: eligible Sibyl lanes run to completion
+    # through repro.sim.kernels (bit-identical by contract) and drop out
+    # of the lockstep loop below; everything else stays.  The engine
+    # counters describe the lockstep loop, so an observed run (``stats``
+    # given) keeps every lane on it.  ``backend`` overrides the
+    # ``SIBYL_BACKEND`` environment knob.
+    if stats is None:
+        from . import kernels
+
+        remaining = kernels.run_kernel_lanes(runs, backend=backend)
+    else:
+        remaining = list(runs)
+
     # Partition: lanes whose policy exposes the externally-driven
     # inference hook (SibylAgent) *and* a head the stacks know how to
     # fuse ride the batched path; everything else — heuristics, oracle,
@@ -389,7 +423,7 @@ def run_lanes(
     # through the plain per-lane path, which is correct for any policy.
     rl_runs: List[PolicyRun] = []
     plain_runs: List[PolicyRun] = []
-    for run in runs:
+    for run in remaining:
         policy = run.policy
         if callable(getattr(policy, "place_begin", None)) and isinstance(
             getattr(policy, "inference_net", None), (C51Network, DQNNetwork)

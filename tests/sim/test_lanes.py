@@ -160,7 +160,13 @@ def _spy_fused_events(monkeypatch):
 class TestFusedTraining:
     """Cross-lane fused training: same-tick (and window-aligned) events
     run through one stacked forward/backward, bit-identical to serial —
-    weights, losses, and optimizer state included."""
+    weights, losses, and optimizer state included.
+
+    Every ``run_lanes`` call here pins ``backend="off"``: these tests
+    prove properties of the *lockstep* fusion engine (spied fused
+    events, held lanes, stack caches), so the SoA tick engine — which
+    would otherwise divert eligible Sibyl lanes wholesale — must stay
+    out of the way regardless of ``SIBYL_BACKEND``."""
 
     @pytest.mark.parametrize("n_lanes", [2, 7])
     def test_fused_events_fire_and_match_serial(self, n_lanes, monkeypatch):
@@ -178,7 +184,8 @@ class TestFusedTraining:
             [
                 LaneSpec(policy=laned_agents[i], trace=traces[i])
                 for i in range(n_lanes)
-            ]
+            ],
+            backend="off",
         )
         assert serial == laned
         _assert_agents_identical(serial_agents, laned_agents)
@@ -197,7 +204,8 @@ class TestFusedTraining:
         serial = [run_policy(agent, trace) for agent in serial_agents]
         laned_agents = [SibylAgent(head="dqn", seed=i) for i in range(3)]
         laned = run_lanes(
-            [LaneSpec(policy=agent, trace=trace) for agent in laned_agents]
+            [LaneSpec(policy=agent, trace=trace) for agent in laned_agents],
+            backend="off",
         )
         assert serial == laned
         _assert_agents_identical(serial_agents, laned_agents)
@@ -240,6 +248,7 @@ class TestFusedTraining:
                 for policy, trace in zip(laned_policies, laned_traces)
             ],
             align_window=window,
+            backend="off",
         )
         assert serial == laned
         _assert_agents_identical(serial_policies[:5], laned_policies[:5])
@@ -268,6 +277,7 @@ class TestFusedTraining:
         laned = run_lanes(
             [LaneSpec(policy=agent, trace=trace) for agent in laned_agents],
             align_window=20,
+            backend="off",
         )
         assert serial == laned
         _assert_agents_identical(serial_agents, laned_agents)
@@ -289,7 +299,8 @@ class TestFusedTraining:
         monkeypatch.setattr(lanes, "fused_train_event", spy)
         trace = make_trace("rsrch_0", n_requests=1200, seed=0)
         run_lanes(
-            [LaneSpec(policy=SibylAgent(seed=i), trace=trace) for i in range(2)]
+            [LaneSpec(policy=SibylAgent(seed=i), trace=trace) for i in range(2)],
+            backend="off",
         )
         assert captured, "no fused event fired; test proves nothing"
         for head, _ in captured.values():
@@ -322,6 +333,7 @@ class TestFusedTraining:
                     LaneSpec(policy=ExplodingSibyl(seed=2), trace=trace),
                 ],
                 align_window=100,
+                backend="off",
             )
         for agent in (survivor, held):
             assert not agent.train_pending

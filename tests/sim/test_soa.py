@@ -1,0 +1,296 @@
+"""Tests for the structure-of-arrays tick engine (repro.sim.kernels).
+
+Two contracts are asserted here, both absolute:
+
+* every backend's result is **bit-identical** to a serial
+  ``run_policy`` of the same (policy, trace, config, seed) — float
+  equality, never approx, including the agent's full post-run state
+  (weights, optimizer moments, replay contents, RNG stream);
+* the compiled backend is interchangeable with the NumPy reference —
+  forcing either must produce the same bits.
+
+The compiled-backend tests skip cleanly when no C toolchain is
+available; ``auto`` then falls back to the NumPy engine silently, which
+is itself asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cde import CDEPolicy
+from repro.baselines.extremes import FastOnlyPolicy, SlowOnlyPolicy
+from repro.baselines.hps import HPSPolicy
+from repro.baselines.oracle import OraclePolicy
+from repro.core.agent import SibylAgent
+from repro.hss.request import OpType, Request
+from repro.sim.kernels import (
+    BACKEND_ENV,
+    BACKENDS,
+    get_backend,
+    kernel_eligible,
+    resolve_backend,
+)
+from repro.sim.kernels import engine_c
+from repro.sim.lanes import LaneSpec, resolve_choice_env, run_lanes
+from repro.sim.runner import run_policy
+from repro.traces.workloads import make_trace
+
+requires_cext = pytest.mark.skipif(
+    not engine_c.available(),
+    reason=f"compiled kernel unavailable: {engine_c.unavailable_reason()}",
+)
+
+
+def _spec_policies(seed=0):
+    """One of every policy family: RL, oracle, heuristics, extremes."""
+    return [
+        SibylAgent(seed=seed),
+        SibylAgent(head="dqn", seed=seed),
+        OraclePolicy(),
+        CDEPolicy(),
+        HPSPolicy(),
+        FastOnlyPolicy(),
+        SlowOnlyPolicy(),
+    ]
+
+
+def _agent_state(agent):
+    """The post-run agent state the bit-identity contract covers."""
+    return {
+        "seen": agent._requests_seen,
+        "losses": list(agent.losses),
+        "train_events": agent.train_events,
+        "counts": np.asarray(agent.action_counts).copy(),
+        "weights": agent.inference_net.network.flat_parameters.copy(),
+        "train_weights": agent.training_net.network.flat_parameters.copy(),
+        "rng": agent.rng.bit_generator.state,
+        "entries": list(agent.buffer._entries.items()),
+        "total_added": agent.buffer.total_added,
+        "memo": dict(agent._action_cache),
+    }
+
+
+def _assert_agents_identical(a, b):
+    sa, sb = _agent_state(a), _agent_state(b)
+    assert sa["seen"] == sb["seen"]
+    assert sa["losses"] == sb["losses"]
+    assert sa["train_events"] == sb["train_events"]
+    assert np.array_equal(sa["counts"], sb["counts"])
+    assert np.array_equal(sa["weights"], sb["weights"])
+    assert np.array_equal(sa["train_weights"], sb["train_weights"])
+    assert sa["rng"] == sb["rng"]
+    assert sa["entries"] == sb["entries"]
+    assert sa["total_added"] == sb["total_added"]
+    assert sa["memo"] == sb["memo"]
+
+
+def _single_page_trace(n=1500, seed=11):
+    """A hand-built size-1 trace: the real MSRC workloads only emit
+    multi-page requests, so the single-page serve branches need a
+    synthetic exercise."""
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    reqs = []
+    for _ in range(n):
+        t += float(rng.random()) * 1e-4
+        op = OpType.WRITE if rng.random() < 0.4 else OpType.READ
+        reqs.append(
+            Request(timestamp=t, op=op, page=int(rng.integers(0, 700)), size=1)
+        )
+    return reqs
+
+
+class TestNumpyBackendBitIdentity:
+    def test_all_policy_families_match_serial(self):
+        """Every policy family through the SoA layer: eligible Sibyl
+        lanes take the engine, the rest fall through to lockstep —
+        all bit-identical to serial."""
+        trace = make_trace("rsrch_0", n_requests=1200, seed=0)
+        serial = [
+            run_policy(policy, trace, config="H&M")
+            for policy in _spec_policies()
+        ]
+        laned = run_lanes(
+            [LaneSpec(policy=p, trace=trace) for p in _spec_policies()],
+            backend="numpy",
+        )
+        for s, l in zip(serial, laned):
+            assert s == l
+
+    @pytest.mark.parametrize("n_lanes", [1, 2, 7])
+    def test_lane_counts(self, n_lanes):
+        traces = [
+            make_trace("rsrch_0", n_requests=900, seed=i)
+            for i in range(n_lanes)
+        ]
+        serial_agents = [SibylAgent(seed=i) for i in range(n_lanes)]
+        soa_agents = [SibylAgent(seed=i) for i in range(n_lanes)]
+        serial = [
+            run_policy(serial_agents[i], traces[i], config="H&M")
+            for i in range(n_lanes)
+        ]
+        laned = run_lanes(
+            [
+                LaneSpec(policy=soa_agents[i], trace=traces[i])
+                for i in range(n_lanes)
+            ],
+            backend="numpy",
+        )
+        assert serial == laned
+        for sa, la in zip(serial_agents, soa_agents):
+            _assert_agents_identical(sa, la)
+
+    def test_single_page_trace(self):
+        trace = _single_page_trace()
+        serial = run_policy(SibylAgent(seed=7), trace, config="H&M")
+        (laned,) = run_lanes(
+            [LaneSpec(policy=SibylAgent(seed=7), trace=trace)],
+            backend="numpy",
+        )
+        assert serial == laned
+
+
+@requires_cext
+class TestCompiledBackendBitIdentity:
+    def test_matches_serial_deep(self):
+        trace = make_trace("rsrch_0", n_requests=1500, seed=2)
+        serial_agent = SibylAgent(seed=2)
+        c_agent = SibylAgent(seed=2)
+        serial = run_policy(serial_agent, trace, config="H&M")
+        (laned,) = run_lanes(
+            [LaneSpec(policy=c_agent, trace=trace)], backend="cext"
+        )
+        assert serial == laned
+        _assert_agents_identical(serial_agent, c_agent)
+
+    def test_matches_numpy_backend(self):
+        """Forced NumPy vs forced compiled: interchangeable bits."""
+        trace = make_trace("usr_0", n_requests=1200, seed=3)
+        np_agent = SibylAgent(seed=3)
+        c_agent = SibylAgent(seed=3)
+        (np_res,) = run_lanes(
+            [LaneSpec(policy=np_agent, trace=trace)], backend="numpy"
+        )
+        (c_res,) = run_lanes(
+            [LaneSpec(policy=c_agent, trace=trace)], backend="cext"
+        )
+        assert np_res == c_res
+        _assert_agents_identical(np_agent, c_agent)
+
+    def test_dqn_head(self):
+        trace = make_trace("prxy_0", n_requests=1000, seed=4)
+        serial = run_policy(SibylAgent(head="dqn", seed=4), trace, config="H&M")
+        (laned,) = run_lanes(
+            [LaneSpec(policy=SibylAgent(head="dqn", seed=4), trace=trace)],
+            backend="cext",
+        )
+        assert serial == laned
+
+    def test_single_page_trace(self):
+        """size==1 serve branches (never hit by the MSRC workloads)."""
+        trace = _single_page_trace()
+        serial = run_policy(SibylAgent(seed=7), trace, config="H&M")
+        (laned,) = run_lanes(
+            [LaneSpec(policy=SibylAgent(seed=7), trace=trace)],
+            backend="cext",
+        )
+        assert serial == laned
+
+    @pytest.mark.parametrize("config", ["H&M", "H&L"])
+    def test_tiny_capacity_eviction_pressure(self, config):
+        """capacity_fractions=(0.01,): nearly every placement evicts,
+        and an eviction can push the *current request's own* device-0
+        pages out mid-serve.  Regression for the kernel's read-path
+        move loop, which must fix its to_move set before the eviction
+        (re-checking page locations afterwards dragged freshly evicted
+        request pages back to the fast device — one extra move per such
+        collision, silently skewing a 1%-capacity sweep cell)."""
+        trace = make_trace("rsrch_0", n_requests=2000, seed=0)
+        kw = dict(
+            config=config, capacity_fractions=(0.01,), warmup_fraction=0.1
+        )
+        serial_agent = SibylAgent(seed=0)
+        c_agent = SibylAgent(seed=0)
+        serial = run_policy(serial_agent, trace, **kw)
+        (laned,) = run_lanes(
+            [LaneSpec(policy=c_agent, trace=trace, **kw)], backend="cext"
+        )
+        assert serial == laned
+        _assert_agents_identical(serial_agent, c_agent)
+
+    def test_replay_array_layout_matches_serial(self):
+        """The kernel preallocates replay storage at capacity; the
+        export must trim back to the serial growth schedule."""
+        trace = make_trace("rsrch_0", n_requests=1200, seed=5)
+        serial_agent = SibylAgent(seed=5)
+        c_agent = SibylAgent(seed=5)
+        run_policy(serial_agent, trace, config="H&M")
+        run_lanes([LaneSpec(policy=c_agent, trace=trace)], backend="cext")
+        sb, cb = serial_agent.buffer, c_agent.buffer
+        assert len(sb._mult) == len(cb._mult)
+        assert np.array_equal(sb._mult, cb._mult)
+        assert sb._free == cb._free
+
+
+class TestBackendSelection:
+    def test_resolve_choice_env_default(self, monkeypatch):
+        monkeypatch.delenv("SIBYL_TEST_CHOICE", raising=False)
+        assert resolve_choice_env("SIBYL_TEST_CHOICE", "a", ("a", "b")) == "a"
+        monkeypatch.setenv("SIBYL_TEST_CHOICE", "   ")
+        assert resolve_choice_env("SIBYL_TEST_CHOICE", "a", ("a", "b")) == "a"
+
+    def test_resolve_choice_env_lowered(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_TEST_CHOICE", " B ")
+        assert resolve_choice_env("SIBYL_TEST_CHOICE", "a", ("a", "b")) == "b"
+
+    def test_resolve_choice_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("SIBYL_TEST_CHOICE", "bogus")
+        with pytest.raises(ValueError, match="SIBYL_TEST_CHOICE"):
+            resolve_choice_env("SIBYL_TEST_CHOICE", "a", ("a", "b"))
+
+    def test_resolve_backend_reads_knob(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend() == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "nonsense")
+        with pytest.raises(ValueError, match=BACKEND_ENV):
+            resolve_backend()
+
+    def test_get_backend_off_disables(self):
+        assert get_backend("off") is None
+
+    def test_get_backend_auto_resolves(self):
+        engine = get_backend("auto")
+        assert engine in ("numpy", "cext")
+        if engine_c.available():
+            assert engine == "cext"
+
+    def test_backends_tuple_is_knob_domain(self):
+        assert BACKENDS == ("auto", "numpy", "cext", "off")
+
+    def test_off_backend_still_bit_identical(self):
+        """off routes through the lockstep engine — same contract."""
+        trace = make_trace("rsrch_0", n_requests=600, seed=6)
+        serial = run_policy(SibylAgent(seed=6), trace, config="H&M")
+        (laned,) = run_lanes(
+            [LaneSpec(policy=SibylAgent(seed=6), trace=trace)], backend="off"
+        )
+        assert serial == laned
+
+
+class TestEligibilityGate:
+    def test_sibyl_default_is_eligible(self):
+        trace = make_trace("rsrch_0", n_requests=50, seed=0)
+        run = LaneSpec(policy=SibylAgent(seed=0), trace=trace).make_run()
+        assert kernel_eligible(run)
+
+    def test_heuristics_are_not(self):
+        trace = make_trace("rsrch_0", n_requests=50, seed=0)
+        run = LaneSpec(policy=CDEPolicy(), trace=trace).make_run()
+        assert not kernel_eligible(run)
+
+    def test_tri_hss_is_not(self):
+        trace = make_trace("rsrch_0", n_requests=50, seed=0)
+        run = LaneSpec(
+            policy=SibylAgent(seed=0), trace=trace, config="H&M&L"
+        ).make_run()
+        assert not kernel_eligible(run)
