@@ -48,6 +48,8 @@ AUDITED_MODULES = (
     "repro.analysis.rules.fingerprint",
     "repro.analysis.rules.envknobs",
     "repro.analysis.rules.forksafety",
+    "repro.analysis.rules.kernelabi",
+    "repro.analysis.cfront",
 )
 
 #: Modules whose public *methods* are audited too (the store's

@@ -38,6 +38,9 @@ from .rules import (
     FingerprintRule,
     ForkSafetyRule,
     HookPairRule,
+    KernelABIRule,
+    KernelConstRule,
+    KernelDTypeRule,
     default_rules,
 )
 
@@ -59,4 +62,7 @@ __all__ = [
     "FingerprintRule",
     "ForkSafetyRule",
     "HookPairRule",
+    "KernelABIRule",
+    "KernelConstRule",
+    "KernelDTypeRule",
 ]

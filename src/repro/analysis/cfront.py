@@ -1,0 +1,701 @@
+"""Mini C front-end for the cross-language kernel rules.
+
+The compiled tick engine mirrors one ABI across a language boundary:
+``engine_c.py`` packs NumPy arrays into a ``void **`` pointer table and
+``kernel.c`` casts each slot back at fixed enum indices.  To check that
+mirror *statically*, the analyzer needs a handful of facts about the C
+side — and nothing else.  This module extracts exactly those facts with
+a tokenizer and a few pattern scanners; it is **not** a compiler, not a
+preprocessor, and it never executes anything:
+
+* ``enum`` blocks — member names in declaration order with computed
+  values (implicit counting and explicit ``= expr`` initialisers);
+* object-like ``#define NAME value`` macros with integer values;
+* struct field declarations (name and normalized element type);
+* every numeric literal with its line number (suffixes stripped);
+* function prototypes at file scope, flagged ``static`` or exported;
+* pointer-table slot casts — the ``(type *)p[SLOT]`` pattern the
+  kernel uses to unpack its argument table.
+
+Comments, string/char literals, and unparsable constructs are skipped,
+never fatal: the extractors are conservative, and the rules built on
+them treat "not extracted" as "not checkable", not as a finding.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CEnum",
+    "CEnumMember",
+    "CField",
+    "CLiteral",
+    "CMacro",
+    "CPrototype",
+    "CSource",
+    "CType",
+    "parse_c",
+]
+
+#: C type qualifiers dropped when normalizing a type.
+_QUALIFIERS = {"const", "volatile", "restrict", "register", "inline",
+               "static", "extern", "_Atomic"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<num>
+        0[xX][0-9a-fA-F]+[uUlL]*            # hex int
+      | \d+\.\d*(?:[eE][+-]?\d+)?[fFlL]?    # 1.0, 4096.0, 1.5e3
+      | \.\d+(?:[eE][+-]?\d+)?[fFlL]?       # .5
+      | \d+[eE][+-]?\d+[fFlL]?              # 1e-9
+      | \d+[uUlL]*                          # decimal int
+    )
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<punct>\S)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class CType:
+    """A normalized C type: qualifier-free base name + pointer depth.
+
+    ``("int64_t", 0)`` is a value, ``("int64_t", 1)`` an ``int64_t *``,
+    ``("void", 2)`` a ``void **``.  ``const``/``volatile`` never appear
+    in ``base``.
+    """
+
+    base: str
+    stars: int = 0
+
+    def __str__(self) -> str:
+        """Render as C source spelling, e.g. ``"void **"``."""
+        return self.base + (" " + "*" * self.stars if self.stars else "")
+
+
+@dataclass(frozen=True)
+class CEnumMember:
+    """One enum member: name, computed value (None if the initialiser
+    expression could not be evaluated), and source line."""
+
+    name: str
+    value: Optional[int]
+    line: int
+
+
+@dataclass(frozen=True)
+class CEnum:
+    """One ``enum`` block: optional tag and members in order."""
+
+    tag: Optional[str]
+    members: Tuple[CEnumMember, ...]
+
+
+@dataclass(frozen=True)
+class CMacro:
+    """One integer-valued object-like ``#define``."""
+
+    name: str
+    value: int
+    line: int
+
+
+@dataclass(frozen=True)
+class CLiteral:
+    """One numeric literal occurrence (suffix-stripped value + line)."""
+
+    value: object  # int or float
+    line: int
+
+
+@dataclass(frozen=True)
+class CField:
+    """One struct field: normalized type + name."""
+
+    type: CType
+    name: str
+
+
+@dataclass(frozen=True)
+class CPrototype:
+    """One file-scope function: signature + whether it is ``static``."""
+
+    name: str
+    return_type: CType
+    params: Tuple[CType, ...]
+    static: bool
+    line: int
+
+
+@dataclass
+class CSource:
+    """Everything :func:`parse_c` extracts from one C translation unit."""
+
+    enums: List[CEnum] = field(default_factory=list)
+    macros: Dict[str, CMacro] = field(default_factory=dict)
+    structs: Dict[str, Tuple[CField, ...]] = field(default_factory=dict)
+    literals: List[CLiteral] = field(default_factory=list)
+    prototypes: List[CPrototype] = field(default_factory=list)
+    #: ``(T *)table[SLOT]`` casts: slot name -> (element type, line).
+    slot_casts: Dict[str, Tuple[CType, int]] = field(default_factory=dict)
+
+    def exported(self) -> Dict[str, CPrototype]:
+        """The non-``static`` (linker-visible) functions by name."""
+        return {p.name: p for p in self.prototypes if not p.static}
+
+    def enum_members(self) -> Dict[str, Tuple[Optional[int], int]]:
+        """Every enum member: name -> (value, index of its enum)."""
+        out: Dict[str, Tuple[Optional[int], int]] = {}
+        for idx, enum in enumerate(self.enums):
+            for member in enum.members:
+                out.setdefault(member.name, (member.value, idx))
+        return out
+
+
+class _Tok:
+    """One token: ``kind`` in {"num", "id", "punct"}, text, line."""
+
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Tok({self.kind}, {self.text!r}, {self.line})"
+
+
+def _strip_comments_and_strings(source: str) -> str:
+    """Blank out comments and string/char literals, keeping newlines
+    (and therefore line numbers) intact."""
+    out: List[str] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        nxt = source[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i < n and not (source[i] == "*" and i + 1 < n
+                                 and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and source[i] != quote:
+                if source[i] == "\\":
+                    i += 1
+                if i < n and source[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_number(text: str) -> object:
+    """Value of one numeric token (int or float), suffixes stripped."""
+    if text[:2].lower() == "0x":
+        # hex digits include f/F: only strip integer suffixes
+        return int(text.rstrip("uUlL"), 16)
+    stripped = text.rstrip("uUlLfF")
+    if "." in stripped or "e" in stripped or "E" in stripped:
+        return float(stripped)
+    if len(stripped) > 1 and stripped[0] == "0":
+        return int(stripped, 8)
+    return int(stripped)
+
+
+def _tokenize(text: str) -> List[_Tok]:
+    """Token stream of comment/string-stripped C text."""
+    toks: List[_Tok] = []
+    line = 1
+    pos = 0
+    for match in _TOKEN_RE.finditer(text):
+        line += text.count("\n", pos, match.start())
+        pos = match.start()
+        kind = match.lastgroup or "punct"
+        toks.append(_Tok(kind, match.group(), line))
+    return toks
+
+
+# --------------------------------------------------------------------------
+# A tiny constant-expression evaluator (enum initialisers, #define values).
+# --------------------------------------------------------------------------
+
+class _EvalError(Exception):
+    """Raised when a constant expression is beyond this front-end."""
+
+
+_BINOPS = [  # precedence levels, loosest first
+    ("|",), ("^",), ("&",), ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+]
+
+
+def _eval_tokens(toks: List[_Tok], names: Dict[str, int]) -> int:
+    """Evaluate a constant integer expression over ``toks``."""
+    value, pos = _eval_level(toks, 0, 0, names)
+    if pos != len(toks):
+        raise _EvalError("trailing tokens")
+    if not isinstance(value, int):
+        raise _EvalError("not an integer")
+    return value
+
+
+def _eval_level(toks, pos, level, names):
+    if level >= len(_BINOPS):
+        return _eval_unary(toks, pos, names)
+    ops = _BINOPS[level]
+    value, pos = _eval_level(toks, pos, level + 1, names)
+    while pos < len(toks):
+        # multi-char shift operators arrive as two punct tokens
+        op = toks[pos].text
+        if op in ("<", ">") and pos + 1 < len(toks) \
+                and toks[pos + 1].text == op:
+            op = op * 2
+            width = 2
+        else:
+            width = 1
+        if op not in ops:
+            break
+        rhs, pos = _eval_level(toks, pos + width, level + 1, names)
+        if op == "|":
+            value |= rhs
+        elif op == "^":
+            value ^= rhs
+        elif op == "&":
+            value &= rhs
+        elif op == "<<":
+            value <<= rhs
+        elif op == ">>":
+            value >>= rhs
+        elif op == "+":
+            value += rhs
+        elif op == "-":
+            value -= rhs
+        elif op == "*":
+            value *= rhs
+        elif op == "/":
+            if rhs == 0:
+                raise _EvalError("division by zero")
+            value //= rhs
+        elif op == "%":
+            if rhs == 0:
+                raise _EvalError("modulo by zero")
+            value %= rhs
+    return value, pos
+
+
+def _eval_unary(toks, pos, names):
+    if pos >= len(toks):
+        raise _EvalError("unexpected end")
+    tok = toks[pos]
+    if tok.kind == "punct" and tok.text in "+-~":
+        value, pos = _eval_unary(toks, pos + 1, names)
+        if tok.text == "-":
+            return -value, pos
+        if tok.text == "~":
+            return ~value, pos
+        return value, pos
+    if tok.kind == "punct" and tok.text == "(":
+        value, pos = _eval_level(toks, pos + 1, 0, names)
+        if pos >= len(toks) or toks[pos].text != ")":
+            raise _EvalError("unbalanced parens")
+        return value, pos + 1
+    if tok.kind == "num":
+        value = _parse_number(tok.text)
+        if not isinstance(value, int):
+            raise _EvalError("float in integer expression")
+        return value, pos + 1
+    if tok.kind == "id":
+        if tok.text not in names:
+            raise _EvalError(f"unknown name {tok.text}")
+        return names[tok.text], pos + 1
+    raise _EvalError(f"unexpected token {tok.text!r}")
+
+
+# --------------------------------------------------------------------------
+# Extractors.
+# --------------------------------------------------------------------------
+
+def _split_preprocessor(text: str) -> Tuple[str, List[Tuple[int, str]]]:
+    """Separate preprocessor lines from the compilable body.
+
+    Returns the body with preprocessor lines blanked (line numbers
+    preserved) plus ``(line, directive)`` pairs, continuations joined.
+    """
+    body_lines: List[str] = []
+    directives: List[Tuple[int, str]] = []
+    lines = text.split("\n")
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.lstrip().startswith("#"):
+            start = i + 1
+            joined = line
+            blanks = 1
+            while joined.rstrip().endswith("\\") and i + 1 < len(lines):
+                joined = joined.rstrip()[:-1] + " " + lines[i + 1]
+                i += 1
+                blanks += 1
+            directives.append((start, joined.lstrip()[1:].strip()))
+            body_lines.extend([""] * blanks)
+        else:
+            body_lines.append(line)
+        i += 1
+    return "\n".join(body_lines), directives
+
+
+def _extract_macros(directives: List[Tuple[int, str]]) -> Dict[str, CMacro]:
+    """Integer-valued object-like ``#define``s from directive lines."""
+    macros: Dict[str, CMacro] = {}
+    for line, directive in directives:
+        match = re.match(r"define\s+([A-Za-z_]\w*)(\(?)\s*(.*)", directive)
+        if match is None or match.group(2) == "(":
+            continue  # not a #define, or function-like
+        name, rest = match.group(1), match.group(3).strip()
+        if not rest:
+            continue
+        try:
+            value = _eval_tokens(_tokenize(rest),
+                                 {m: mac.value for m, mac in macros.items()})
+        except _EvalError:
+            continue
+        macros[name] = CMacro(name=name, value=value, line=line)
+    return macros
+
+
+def _normalize_type(toks: List[_Tok]) -> Optional[CType]:
+    """Normalize declaration tokens into a :class:`CType`.
+
+    Drops qualifiers, counts ``*``; returns ``None`` for constructs
+    this front-end does not model (function pointers, arrays, ...).
+    """
+    stars = 0
+    words: List[str] = []
+    for tok in toks:
+        if tok.kind == "punct":
+            if tok.text == "*":
+                stars += 1
+            else:
+                return None
+        elif tok.kind == "id":
+            if tok.text in _QUALIFIERS:
+                continue
+            words.append(tok.text)
+        else:
+            return None
+    if not words:
+        return None
+    return CType(base=" ".join(words), stars=stars)
+
+
+def _parse_enum_blocks(toks: List[_Tok],
+                       macros: Dict[str, CMacro]) -> List[CEnum]:
+    """Every ``enum [tag] { ... }`` block, members valued in order."""
+    enums: List[CEnum] = []
+    names: Dict[str, int] = {m: mac.value for m, mac in macros.items()}
+    i = 0
+    while i < len(toks):
+        if not (toks[i].kind == "id" and toks[i].text == "enum"):
+            i += 1
+            continue
+        j = i + 1
+        tag = None
+        if j < len(toks) and toks[j].kind == "id":
+            tag = toks[j].text
+            j += 1
+        if j >= len(toks) or toks[j].text != "{":
+            i = j
+            continue
+        j += 1
+        members: List[CEnumMember] = []
+        next_value: Optional[int] = 0
+        while j < len(toks) and toks[j].text != "}":
+            if toks[j].kind != "id":
+                j += 1
+                continue
+            name = toks[j].text
+            line = toks[j].line
+            j += 1
+            value = next_value
+            if j < len(toks) and toks[j].text == "=":
+                j += 1
+                expr: List[_Tok] = []
+                depth = 0
+                while j < len(toks):
+                    text = toks[j].text
+                    if text == "(":
+                        depth += 1
+                    elif text == ")":
+                        depth -= 1
+                    elif depth == 0 and text in (",", "}"):
+                        break
+                    expr.append(toks[j])
+                    j += 1
+                try:
+                    value = _eval_tokens(expr, names)
+                except _EvalError:
+                    value = None
+            members.append(CEnumMember(name=name, value=value, line=line))
+            if value is not None:
+                names[name] = value
+                next_value = value + 1
+            else:
+                next_value = None
+            if j < len(toks) and toks[j].text == ",":
+                j += 1
+        enums.append(CEnum(tag=tag, members=tuple(members)))
+        i = j + 1
+    return enums
+
+
+def _parse_structs(toks: List[_Tok]) -> Dict[str, Tuple[CField, ...]]:
+    """``struct``/``typedef struct`` field lists by tag or typedef name."""
+    structs: Dict[str, Tuple[CField, ...]] = {}
+    i = 0
+    while i < len(toks):
+        if not (toks[i].kind == "id" and toks[i].text == "struct"):
+            i += 1
+            continue
+        j = i + 1
+        tag = None
+        if j < len(toks) and toks[j].kind == "id":
+            tag = toks[j].text
+            j += 1
+        if j >= len(toks) or toks[j].text != "{":
+            i = j
+            continue
+        j += 1
+        fields: List[CField] = []
+        while j < len(toks) and toks[j].text != "}":
+            decl: List[_Tok] = []
+            depth = 0
+            while j < len(toks):
+                text = toks[j].text
+                if text == "{":
+                    depth += 1
+                elif text == "}":
+                    if depth == 0:
+                        break
+                    depth -= 1
+                elif text == ";" and depth == 0:
+                    j += 1
+                    break
+                decl.append(toks[j])
+                j += 1
+            fields.extend(_fields_of_declaration(decl))
+        # typedef name (if any) follows the closing brace
+        name = tag
+        if j + 1 < len(toks) and toks[j + 1].kind == "id":
+            name = toks[j + 1].text
+        if name is not None and fields:
+            structs.setdefault(name, tuple(fields))
+        i = j + 1
+    return structs
+
+
+def _fields_of_declaration(decl: List[_Tok]) -> List[CField]:
+    """Fields of one ``type a, *b, c;`` struct member declaration."""
+    if not decl or any(t.text in "(){}" for t in decl):
+        return []  # function pointers / nested blocks: skip
+    # split on commas: first segment carries the base type
+    segments: List[List[_Tok]] = [[]]
+    for tok in decl:
+        if tok.text == ",":
+            segments.append([])
+        else:
+            segments[-1].append(tok)
+    first = segments[0]
+    # the declarator name is the last identifier of the first segment
+    name_idx = None
+    for k in range(len(first) - 1, -1, -1):
+        if first[k].kind == "id" and first[k].text not in _QUALIFIERS:
+            name_idx = k
+            break
+    if name_idx is None or name_idx == 0:
+        return []
+    base_toks = first[:name_idx]
+    # strip the declarator's own stars into its field type
+    stars = 0
+    while base_toks and base_toks[-1].text == "*":
+        stars += 1
+        base_toks = base_toks[:-1]
+    base = _normalize_type(base_toks)
+    if base is None:
+        return []
+    out = [CField(type=CType(base.base, base.stars + stars),
+                  name=first[name_idx].text)]
+    for seg in segments[1:]:
+        seg_stars = 0
+        k = 0
+        while k < len(seg) and seg[k].text == "*":
+            seg_stars += 1
+            k += 1
+        if k < len(seg) and seg[k].kind == "id":
+            out.append(CField(type=CType(base.base, seg_stars),
+                              name=seg[k].text))
+    return out
+
+
+def _parse_prototypes(toks: List[_Tok]) -> List[CPrototype]:
+    """File-scope function definitions/declarations."""
+    protos: List[CPrototype] = []
+    depth = 0
+    i = 0
+    while i < len(toks):
+        text = toks[i].text
+        if text == "{":
+            depth += 1
+        elif text == "}":
+            depth = max(0, depth - 1)
+        elif (depth == 0 and toks[i].kind == "id"
+              and i + 1 < len(toks) and toks[i + 1].text == "("):
+            proto, nxt = _try_prototype(toks, i)
+            if proto is not None:
+                protos.append(proto)
+                i = nxt
+                continue
+        i += 1
+    return protos
+
+
+def _try_prototype(toks: List[_Tok], i: int):
+    """Parse a candidate ``type name ( params ) {;`` at index ``i``."""
+    # gather the declaration tokens preceding the name
+    start = i
+    while start > 0 and toks[start - 1].text not in (";", "}", "{", ")"):
+        start -= 1
+    decl = toks[start:i]
+    if not decl:
+        return None, i
+    is_static = any(t.text == "static" for t in decl)
+    ret = _normalize_type([t for t in decl
+                           if t.text not in ("static", "inline", "extern")])
+    if ret is None:
+        return None, i
+    # scan the parameter list
+    j = i + 2
+    depth = 1
+    params_toks: List[_Tok] = []
+    while j < len(toks) and depth > 0:
+        text = toks[j].text
+        if text == "(":
+            depth += 1
+        elif text == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        params_toks.append(toks[j])
+        j += 1
+    if j >= len(toks) - 1 or toks[j + 1].text not in ("{", ";"):
+        return None, i
+    params = _parse_params(params_toks)
+    if params is None:
+        return None, i
+    return CPrototype(
+        name=toks[i].text, return_type=ret, params=tuple(params),
+        static=is_static, line=toks[i].line,
+    ), j + 1
+
+
+def _parse_params(toks: List[_Tok]) -> Optional[List[CType]]:
+    """Parameter types of one parenthesised parameter list."""
+    if not toks:
+        return []
+    segments: List[List[_Tok]] = [[]]
+    depth = 0
+    for tok in toks:
+        if tok.text in "([":
+            depth += 1
+        elif tok.text in ")]":
+            depth -= 1
+        if tok.text == "," and depth == 0:
+            segments.append([])
+        else:
+            segments[-1].append(tok)
+    if len(segments) == 1 and [t.text for t in segments[0]] == ["void"]:
+        return []
+    params: List[CType] = []
+    for seg in segments:
+        stars = sum(1 for t in seg if t.text == "*")
+        words = [t.text for t in seg
+                 if t.kind == "id" and t.text not in _QUALIFIERS]
+        if not words:
+            return None
+        if len(words) >= 2:
+            words = words[:-1]  # last identifier is the parameter name
+        params.append(CType(base=" ".join(words), stars=stars))
+    return params
+
+
+def _parse_slot_casts(toks: List[_Tok]) -> Dict[str, Tuple[CType, int]]:
+    """``(T *)table[SLOT]`` casts: SLOT -> (element type of T*, line)."""
+    casts: Dict[str, Tuple[CType, int]] = {}
+    for i, tok in enumerate(toks):
+        if tok.text != "(":
+            continue
+        j = i + 1
+        inner: List[_Tok] = []
+        while j < len(toks) and toks[j].text != ")":
+            if toks[j].text == "(":
+                break
+            inner.append(toks[j])
+            j += 1
+        if j >= len(toks) or toks[j].text != ")" or not inner:
+            continue
+        if inner[-1].text != "*":
+            continue  # not a pointer cast
+        cast_type = _normalize_type(inner)
+        if cast_type is None or cast_type.stars < 1:
+            continue
+        # expect: ident [ IDENT ] after the cast
+        if (j + 4 < len(toks) + 1
+                and j + 4 <= len(toks) - 1 + 1
+                and j + 1 < len(toks) and toks[j + 1].kind == "id"
+                and j + 2 < len(toks) and toks[j + 2].text == "["
+                and j + 3 < len(toks) and toks[j + 3].kind == "id"
+                and j + 4 < len(toks) and toks[j + 4].text == "]"):
+            slot = toks[j + 3].text
+            elem = CType(cast_type.base, cast_type.stars - 1)
+            casts.setdefault(slot, (elem, tok.line))
+    return casts
+
+
+def parse_c(source: str) -> CSource:
+    """Extract the kernel-rule facts from one C source string.
+
+    Never raises on malformed input — extraction is best-effort and a
+    construct the scanners cannot follow is simply absent from the
+    result.
+    """
+    stripped = _strip_comments_and_strings(source)
+    body, directives = _split_preprocessor(stripped)
+    macros = _extract_macros(directives)
+    body_toks = _tokenize(body)
+    all_toks = _tokenize(stripped)
+    literals = [
+        CLiteral(value=_parse_number(t.text), line=t.line)
+        for t in all_toks
+        if t.kind == "num"
+    ]
+    return CSource(
+        enums=_parse_enum_blocks(body_toks, macros),
+        macros=macros,
+        structs=_parse_structs(body_toks),
+        literals=literals,
+        prototypes=_parse_prototypes(body_toks),
+        slot_casts=_parse_slot_casts(body_toks),
+    )

@@ -12,6 +12,7 @@ Exit status contract (what CI keys on):
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -52,6 +53,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
              "bit-identity core; 'all' = every file)",
     )
     parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help="lint only files reported by `git diff --name-only BASE` "
+             "(default base: HEAD) — fast pre-push runs",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -67,6 +73,29 @@ def build_lint_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(parser)
     return parser
+
+
+def _changed_files(base: str) -> List[Path]:
+    """Absolute paths ``git diff --name-only base`` reports.
+
+    Raises ``ValueError`` (→ exit 2) outside a git checkout or for an
+    unknown base, so ``--changed`` never silently lints everything.
+    """
+    def _git(*argv: str) -> str:
+        proc = subprocess.run(
+            ["git", *argv], capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            raise ValueError(
+                f"--changed: git {argv[0]} failed: "
+                f"{detail[0] if detail else 'unknown error'}"
+            )
+        return proc.stdout
+
+    toplevel = Path(_git("rev-parse", "--show-toplevel").strip())
+    names = _git("diff", "--name-only", base, "--").splitlines()
+    return [toplevel / name for name in names if name.strip()]
 
 
 def run_lint_cli(args: argparse.Namespace) -> int:
@@ -90,6 +119,8 @@ def run_lint_cli(args: argparse.Namespace) -> int:
         kwargs["determinism_scope"] = tuple(
             prefix for prefix in args.det_scope.split(",") if prefix
         )
+    if args.changed is not None:
+        kwargs["restrict"] = _changed_files(args.changed)
     report = run_lint(
         [Path(p) for p in args.paths],
         rules=rules,

@@ -1,0 +1,873 @@
+"""SBL-ABI / SBL-DTYPE / SBL-CONST: the Python↔C kernel mirror contract.
+
+The compiled tick engine (:mod:`repro.sim.kernels`) earns its speedup
+by hand-mirroring the serial path across a language boundary:
+``engine_c.py`` duplicates ``kernel.c``'s pointer-table enum, ctrl-slot
+enums, per-device strides, status codes, and bit-identity magic
+numbers.  Nothing ties the two sides together at runtime — the kernel
+receives raw ``void *`` pointers — so an off-by-one enum edit or a
+retyped array is silent memory corruption, caught (at best) one
+equivalence-test run later.  These rules close that gap at lint time.
+
+**Mirror discovery.**  A Python file is a *kernel mirror* when it
+contains a string literal ending in ``.c`` that names an existing
+sibling file (``engine_c.py`` holds ``"kernel.c"`` for exactly this
+reason: it is the build source path).  The named C file is parsed with
+the stdlib-only mini front-end (:mod:`repro.analysis.cfront`); all
+three rules then compare the Python side against it.
+
+**SBL-ABI** — the structural contract:
+
+* every module-level ``(...) = range(N)`` tuple unpack must match the
+  C enum containing its first name — same names, same order, same
+  values; one trailing C sentinel (``P_NPTR``, ``CI_LEN``, ...) is
+  allowed and must be mirrored by a Python integer constant;
+* every Python integer constant whose underscore-stripped name is a C
+  enum member or macro (``DD_STRIDE``, ``_ST_DONE``, ``_CI_LEN``)
+  must equal it;
+* each ``*_STRIDE``-prefixed enum block must fit inside its declared
+  stride;
+* ``ctypes`` ``restype``/``argtypes`` assignments must match the C
+  prototype of the exported function they bind.
+
+**SBL-DTYPE** — the element-type contract: where Python packs an array
+into pointer-table slot ``P_X`` (``arrays[P_X] = ...``) and the kernel
+casts that slot (``(int64_t *)p[P_X]``), the NumPy dtype must agree
+with the C element type (``int64_t``↔``int64``, ``uint8_t``↔``uint8``,
+...).  Dtypes are resolved through local dataflow, ``dtype=``
+keywords, ``.astype``, module-function returns, and cross-file
+dataclass construction; an unresolvable dtype is skipped, never
+flagged.
+
+**SBL-CONST** — the bit-identity literal contract: the mirror declares
+a ``_MIRROR_CONSTANTS`` table naming each shared magic number (PCG64
+multiplier, rounding masks, FNV-1a constants, ...).  Every ``"c"``-side
+entry must appear verbatim among the C source's numeric literals;
+every ``"py"``-side entry must match a constant in the Python module;
+and any *large* (≥ 2^32) literal on either side that is missing from
+the table is reported — a magic number that big is never a coincidence
+and never safe to drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .. import cfront
+from ..core import FileContext, Finding, Project, Rule
+
+__all__ = ["KernelABIRule", "KernelConstRule", "KernelDTypeRule"]
+
+#: A literal at or above this magnitude is "large": bit-identity magic
+#: (PCG multipliers, FNV primes, IEEE masks), never an index or size.
+LARGE_LITERAL_THRESHOLD = 1 << 32
+
+#: Suffix that marks the declared mirror table in a kernel mirror.
+MIRROR_TABLE_NAME = "_MIRROR_CONSTANTS"
+
+#: ctypes type name -> (acceptable C base spellings, implied pointer
+#: depth).  ``c_void_p`` is itself one level of indirection.
+_CTYPES_BASES: Dict[str, Tuple[Tuple[str, ...], int]] = {
+    "c_bool": (("_Bool", "bool"), 0),
+    "c_char_p": (("char",), 1),
+    "c_double": (("double",), 0),
+    "c_float": (("float",), 0),
+    "c_int": (("int", "int32_t"), 0),
+    "c_int16": (("int16_t", "short"), 0),
+    "c_int32": (("int", "int32_t"), 0),
+    "c_int64": (("long long", "int64_t", "long"), 0),
+    "c_int8": (("int8_t", "signed char"), 0),
+    "c_long": (("long", "int64_t"), 0),
+    "c_longlong": (("long long", "int64_t"), 0),
+    "c_short": (("short", "int16_t"), 0),
+    "c_size_t": (("size_t",), 0),
+    "c_uint": (("unsigned int", "uint32_t"), 0),
+    "c_uint16": (("uint16_t", "unsigned short"), 0),
+    "c_uint32": (("uint32_t", "unsigned int"), 0),
+    "c_uint64": (("uint64_t", "unsigned long long"), 0),
+    "c_uint8": (("uint8_t", "unsigned char"), 0),
+    "c_ulong": (("unsigned long", "uint64_t"), 0),
+    "c_ulonglong": (("unsigned long long", "uint64_t"), 0),
+    "c_void_p": (("void",), 1),
+}
+
+#: NumPy dtype name -> C element-type spellings it may be handed to.
+_DTYPE_C: Dict[str, Tuple[str, ...]] = {
+    "bool": ("uint8_t", "unsigned char", "_Bool", "bool"),
+    "float32": ("float",),
+    "float64": ("double",),
+    "int16": ("int16_t", "short"),
+    "int32": ("int32_t", "int"),
+    "int64": ("int64_t", "long long", "long"),
+    "int8": ("int8_t", "signed char"),
+    "uint16": ("uint16_t", "unsigned short"),
+    "uint32": ("uint32_t", "unsigned int"),
+    "uint64": ("uint64_t", "unsigned long long"),
+    "uint8": ("uint8_t", "unsigned char"),
+}
+
+#: NumPy constructors whose ``dtype=`` keyword fixes the array dtype.
+_ARRAY_CTORS = {
+    "arange", "array", "ascontiguousarray", "asarray", "empty",
+    "frombuffer", "fromiter", "full", "ones", "zeros",
+}
+
+#: Constructors that *preserve* their first argument's dtype when no
+#: ``dtype=`` keyword overrides it.
+_DTYPE_PRESERVING = {"ascontiguousarray", "asarray", "array"}
+
+
+# --------------------------------------------------------------------------
+# Mirror extraction (shared by the three rules, cached per file).
+# --------------------------------------------------------------------------
+
+class _Mirror:
+    """Everything the kernel rules extract once from one mirror file."""
+
+    def __init__(self, ctx: FileContext, c_path: Path,
+                 c: "cfront.CSource") -> None:
+        self.ctx = ctx
+        self.c_path = c_path
+        self.c = c
+        #: module-level ``(...) = range(...)`` unpacks: (names, start, node)
+        self.tuples: List[Tuple[List[str], int, ast.Assign]] = []
+        #: module-level integer constants: name -> (value, node)
+        self.int_consts: Dict[str, Tuple[int, ast.Assign]] = {}
+        #: declared mirror table: (entries, dict node) or None; entries
+        #: are (label, value, side, value node)
+        self.table: Optional[Tuple[List[Tuple[str, object, str, ast.expr]],
+                                   ast.expr]] = None
+        #: ``lib.f.restype/argtypes = ...``: (fname, kind, expr, node)
+        self.ctypes_sigs: List[Tuple[str, str, ast.expr, ast.Assign]] = []
+        self._scan()
+
+    def _scan(self) -> None:
+        tree = self.ctx.tree
+        assert tree is not None
+        for node in tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Tuple) and all(
+                isinstance(e, ast.Name) for e in target.elts
+            ):
+                span = _range_span(node.value)
+                if span is not None:
+                    names = [e.id for e in target.elts]
+                    self.tuples.append((names, span, node))
+            elif isinstance(target, ast.Name):
+                if (target.id.endswith(MIRROR_TABLE_NAME.lstrip("_"))
+                        and isinstance(node.value, ast.Dict)):
+                    self.table = (_table_entries(node.value), node.value)
+                    continue
+                value = _int_value(node.value)
+                if value is not None:
+                    self.int_consts[target.id] = (value, node)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in ("restype", "argtypes")
+                and isinstance(target.value, ast.Attribute)
+            ):
+                self.ctypes_sigs.append(
+                    (target.value.attr, target.attr, node.value, node)
+                )
+
+
+def _range_span(expr: ast.expr) -> Optional[int]:
+    """Start of a literal ``range(...)`` call, else ``None``."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "range"
+        and not expr.keywords
+        and 1 <= len(expr.args) <= 2
+    ):
+        values = [_int_value(a) for a in expr.args]
+        if all(v is not None for v in values):
+            return 0 if len(values) == 1 else values[0]
+    return None
+
+
+def _int_value(expr: ast.expr) -> Optional[int]:
+    """Evaluate a constant integer expression (literals and +,-,*,//,
+    <<,>>,|,&,^ over them); ``None`` when it is anything else."""
+    if isinstance(expr, ast.Constant):
+        return expr.value if type(expr.value) is int else None
+    if isinstance(expr, ast.UnaryOp):
+        value = _int_value(expr.operand)
+        if value is None:
+            return None
+        if isinstance(expr.op, ast.USub):
+            return -value
+        if isinstance(expr.op, ast.UAdd):
+            return value
+        if isinstance(expr.op, ast.Invert):
+            return ~value
+        return None
+    if isinstance(expr, ast.BinOp):
+        lhs, rhs = _int_value(expr.left), _int_value(expr.right)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            if isinstance(expr.op, ast.Add):
+                return lhs + rhs
+            if isinstance(expr.op, ast.Sub):
+                return lhs - rhs
+            if isinstance(expr.op, ast.Mult):
+                return lhs * rhs
+            if isinstance(expr.op, ast.FloorDiv):
+                return lhs // rhs
+            if isinstance(expr.op, ast.LShift):
+                return lhs << rhs
+            if isinstance(expr.op, ast.RShift):
+                return lhs >> rhs
+            if isinstance(expr.op, ast.BitOr):
+                return lhs | rhs
+            if isinstance(expr.op, ast.BitAnd):
+                return lhs & rhs
+            if isinstance(expr.op, ast.BitXor):
+                return lhs ^ rhs
+        except (ValueError, ZeroDivisionError):
+            return None
+    return None
+
+
+def _num_value(expr: ast.expr) -> Optional[object]:
+    """Constant numeric value (int or float) of ``expr``."""
+    if isinstance(expr, ast.Constant) and type(expr.value) is float:
+        return expr.value
+    return _int_value(expr)
+
+
+def _table_entries(node: ast.Dict):
+    """Entries of a ``_MIRROR_CONSTANTS`` dict literal.
+
+    Each value is a number (side defaults to ``"c"``) or a
+    ``(number, "c"|"py")`` tuple.  Malformed entries are skipped — the
+    const rule separately reports literals the table fails to cover.
+    """
+    entries = []
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        side = "c"
+        expr = value
+        if isinstance(value, ast.Tuple) and len(value.elts) == 2:
+            expr = value.elts[0]
+            side_node = value.elts[1]
+            if isinstance(side_node, ast.Constant) and isinstance(
+                side_node.value, str
+            ):
+                side = side_node.value
+        number = _num_value(expr)
+        if number is None:
+            continue
+        entries.append((key.value, number, side, expr))
+    return entries
+
+
+def _mirror_of(ctx: FileContext, project: Project) -> Optional[_Mirror]:
+    """The mirror bundle for ``ctx``, or ``None`` when it is not a
+    kernel mirror.  Cached on the project so the three rules share one
+    extraction per file."""
+    cache = getattr(project, "_kernel_mirror_cache", None)
+    if cache is None:
+        cache = {}
+        project._kernel_mirror_cache = cache
+    key = id(ctx)
+    if key not in cache:
+        cache[key] = _build_mirror(ctx, project)
+    return cache[key]
+
+
+def _build_mirror(ctx: FileContext, project: Project) -> Optional[_Mirror]:
+    if ctx.tree is None:
+        return None
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value.endswith(".c")
+            and "\n" not in node.value
+        ):
+            candidate = ctx.path.parent / node.value
+            if candidate.is_file():
+                c = project.c_source(candidate)
+                if c is None:
+                    return None
+                return _Mirror(ctx, candidate, c)
+    return None
+
+
+# --------------------------------------------------------------------------
+# SBL-ABI
+# --------------------------------------------------------------------------
+
+class KernelABIRule(Rule):
+    """Enum mirrors, sentinels, strides, and ctypes signatures agree."""
+
+    id = "SBL-ABI"
+    title = "Python kernel mirrors match the C enums, strides, and prototypes"
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        """Compare every mirrored ABI structure in ``ctx`` against the
+        C source it names."""
+        mirror = _mirror_of(ctx, project)
+        if mirror is None:
+            return
+        cname = mirror.c_path.name
+        members = mirror.c.enum_members()
+        yield from self._check_tuples(ctx, mirror, cname, members)
+        yield from self._check_constants(ctx, mirror, cname, members)
+        yield from self._check_strides(ctx, mirror, cname)
+        yield from self._check_ctypes(ctx, mirror, cname)
+
+    # ----------------------------------------------------- enum tuples
+    def _check_tuples(self, ctx, mirror, cname, members):
+        for names, start, node in mirror.tuples:
+            hit = members.get(names[0])
+            if hit is None:
+                yield ctx.finding(
+                    self.id, node,
+                    f"mirror tuple starting `{names[0]}` matches no enum "
+                    f"member in {cname}; the mirrored enum was renamed or "
+                    "removed — re-mirror it name-for-name",
+                )
+                continue
+            enum = mirror.c.enums[hit[1]]
+            problem = _tuple_problem(names, start, enum, cname)
+            if problem is not None:
+                yield ctx.finding(
+                    self.id, node, f"kernel ABI drift vs {cname}: {problem}"
+                )
+                continue
+            extra = enum.members[len(names):]
+            if len(extra) > 1:
+                yield ctx.finding(
+                    self.id, node,
+                    f"the {cname} enum continues {len(extra)} members past "
+                    f"this mirror tuple (next: `{extra[0].name}`); mirror "
+                    "every member (one trailing sentinel is allowed)",
+                )
+            elif len(extra) == 1:
+                yield from self._check_sentinel(
+                    ctx, mirror, cname, node, extra[0], start + len(names)
+                )
+
+    def _check_sentinel(self, ctx, mirror, cname, node, sentinel, expected):
+        svalue = sentinel.value if sentinel.value is not None else expected
+        candidates = {sentinel.name}
+        if "_" in sentinel.name:
+            candidates.add(sentinel.name.split("_", 1)[1])
+        for pyname, (value, cnode) in mirror.int_consts.items():
+            stripped = pyname.lstrip("_")
+            if stripped not in candidates:
+                continue
+            if stripped == sentinel.name:
+                return  # exact-name check owns the value comparison
+            if value != svalue:
+                yield ctx.finding(
+                    self.id, cnode,
+                    f"`{pyname}` = {value} but the {cname} sentinel "
+                    f"`{sentinel.name}` is {svalue}; the mirrored length "
+                    "must track the enum",
+                )
+            return
+        yield ctx.finding(
+            self.id, node,
+            f"{cname} closes this enum with sentinel `{sentinel.name}` = "
+            f"{svalue} but no Python constant mirrors it; declare one "
+            f"(e.g. `_{sentinel.name.split('_', 1)[-1]} = {svalue}`)",
+        )
+
+    # ----------------------------------------------- exact-name consts
+    def _check_constants(self, ctx, mirror, cname, members):
+        for pyname, (value, node) in mirror.int_consts.items():
+            stripped = pyname.lstrip("_")
+            cvalue = None
+            if stripped in members:
+                cvalue = members[stripped][0]
+            elif stripped in mirror.c.macros:
+                cvalue = mirror.c.macros[stripped].value
+            if cvalue is not None and cvalue != value:
+                yield ctx.finding(
+                    self.id, node,
+                    f"`{pyname}` = {value} but {cname} defines "
+                    f"`{stripped}` = {cvalue}; mirrored constants must "
+                    "match exactly",
+                )
+
+    # ------------------------------------------------------- stride fit
+    def _check_strides(self, ctx, mirror, cname):
+        for mname, macro in mirror.c.macros.items():
+            if not mname.endswith("_STRIDE"):
+                continue
+            prefix = mname[: -len("STRIDE")]
+            values = [
+                member.value
+                for enum in mirror.c.enums
+                for member in enum.members
+                if member.name.startswith(prefix) and member.value is not None
+            ]
+            if values and max(values) >= macro.value:
+                anchor = mirror.int_consts.get(mname)
+                node = anchor[1] if anchor is not None else ctx.tree
+                yield ctx.finding(
+                    self.id, node,
+                    f"{cname} enum `{prefix}*` needs {max(values) + 1} "
+                    f"slots but `{mname}` is {macro.value}; grow the "
+                    "stride on both sides before adding fields",
+                )
+
+    # -------------------------------------------------------- ctypes
+    def _check_ctypes(self, ctx, mirror, cname):
+        exported = mirror.c.exported()
+        for fname, kind, expr, node in mirror.ctypes_sigs:
+            proto = exported.get(fname)
+            if proto is None:
+                yield ctx.finding(
+                    self.id, node,
+                    f"ctypes binds `{fname}` but {cname} exports no such "
+                    f"function (exported: {', '.join(sorted(exported)) or 'none'})",
+                )
+                continue
+            if kind == "restype":
+                ctype = _ctypes_of(expr)
+                if ctype is not None and not _ctypes_compat(
+                    ctype, proto.return_type
+                ):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"restype `{_ctypes_repr(ctype)}` does not match "
+                        f"{cname} `{fname}` returning "
+                        f"`{proto.return_type}`",
+                    )
+            else:
+                if not isinstance(expr, (ast.List, ast.Tuple)):
+                    continue
+                if len(expr.elts) != len(proto.params):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"argtypes lists {len(expr.elts)} argument(s) but "
+                        f"{cname} `{fname}` takes {len(proto.params)}",
+                    )
+                    continue
+                for index, (elt, param) in enumerate(
+                    zip(expr.elts, proto.params)
+                ):
+                    ctype = _ctypes_of(elt)
+                    if ctype is not None and not _ctypes_compat(ctype, param):
+                        yield ctx.finding(
+                            self.id, node,
+                            f"argtypes[{index}] `{_ctypes_repr(ctype)}` "
+                            f"does not match {cname} `{fname}` parameter "
+                            f"`{param}`",
+                        )
+                        break
+
+
+def _tuple_problem(names, start, enum, cname) -> Optional[str]:
+    """First structural mismatch between a mirror tuple and its enum."""
+    for index, pyname in enumerate(names):
+        expected = start + index
+        if index >= len(enum.members):
+            return (
+                f"the mirror tuple declares {len(names)} members but the "
+                f"{cname} enum ends after {len(enum.members)}"
+            )
+        member = enum.members[index]
+        if member.name != pyname:
+            return (
+                f"position {index} is `{pyname}` in Python but "
+                f"`{member.name}` in {cname}; names must match in order"
+            )
+        if member.value is not None and member.value != expected:
+            return (
+                f"`{pyname}` is {expected} in Python but {member.value} "
+                f"in {cname}"
+            )
+    return None
+
+
+def _ctypes_of(expr: ast.expr) -> Optional[Tuple[str, int]]:
+    """``(ctypes type name, extra pointer depth)`` of an expression."""
+    stars = 0
+    while (
+        isinstance(expr, ast.Call)
+        and _last_name(expr.func) == "POINTER"
+        and len(expr.args) == 1
+    ):
+        stars += 1
+        expr = expr.args[0]
+    name = _last_name(expr)
+    if name is not None and name in _CTYPES_BASES:
+        return (name, stars)
+    return None
+
+
+def _ctypes_compat(ctype: Tuple[str, int], c_type: "cfront.CType") -> bool:
+    name, stars = ctype
+    bases, implied = _CTYPES_BASES[name]
+    return c_type.base in bases and c_type.stars == stars + implied
+
+
+def _ctypes_repr(ctype: Tuple[str, int]) -> str:
+    name, stars = ctype
+    for _ in range(stars):
+        name = f"POINTER({name})"
+    return name
+
+
+def _last_name(expr: ast.expr) -> Optional[str]:
+    """Trailing identifier of a Name or dotted Attribute chain."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+# --------------------------------------------------------------------------
+# SBL-DTYPE
+# --------------------------------------------------------------------------
+
+class KernelDTypeRule(Rule):
+    """Arrays are packed with the dtype the C pointer cast expects."""
+
+    id = "SBL-DTYPE"
+    title = "NumPy dtypes agree with the C pointer element types per slot"
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        """Match each ``table[P_X] = array`` pack against the C cast."""
+        mirror = _mirror_of(ctx, project)
+        if mirror is None:
+            return
+        casts = mirror.c.slot_casts
+        cname = mirror.c_path.name
+        assert ctx.tree is not None
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            env: Dict[str, ast.expr] = {}
+            annotations = _param_annotations(func)
+            for stmt in _iter_stmts(func.body):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    dotted = _dotted(target)
+                    if dotted is not None:
+                        env[dotted] = stmt.value
+                target = stmt.targets[-1]
+                if not (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Name)
+                    and target.slice.id in casts
+                ):
+                    continue
+                slot = target.slice.id
+                dtype = _dtype_of(
+                    stmt.value, env, annotations, ctx, project, depth=8
+                )
+                if dtype is None:
+                    continue
+                if dtype not in _DTYPE_C:
+                    continue
+                elem, line = casts[slot]
+                if elem.stars == 0 and elem.base in _DTYPE_C[dtype]:
+                    continue
+                yield ctx.finding(
+                    self.id, stmt,
+                    f"slot `{slot}` is packed as dtype `{dtype}` but "
+                    f"{cname}:{line} casts it to `{elem} *`; retype "
+                    "one side (see the dtype table in SBL-DTYPE)",
+                )
+
+
+def _param_annotations(func) -> Dict[str, str]:
+    """Parameter name -> annotated class name, for attribute dtypes."""
+    out: Dict[str, str] = {}
+    for arg in list(func.args.args) + list(func.args.kwonlyargs):
+        if arg.annotation is not None:
+            name = _last_name(arg.annotation)
+            if name is not None:
+                out[arg.arg] = name
+    return out
+
+
+def _iter_stmts(body):
+    """Statements of ``body`` in source order, descending into compound
+    statements but not into nested function/class definitions (those
+    get their own scan)."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for block in ("body", "orelse", "finalbody"):
+            yield from _iter_stmts(getattr(stmt, block, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _iter_stmts(handler.body)
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    """``a.b.c`` / ``a`` as a dotted string, else ``None``."""
+    parts: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _dtype_name(expr: ast.expr) -> Optional[str]:
+    """Dtype name of a ``dtype=`` argument (``np.int64`` or ``"int64"``)."""
+    name = _last_name(expr)
+    if name is not None and name in _DTYPE_C:
+        return name
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value if expr.value in _DTYPE_C else None
+    return None
+
+
+def _dtype_of(expr, env, annotations, ctx, project, depth) -> Optional[str]:
+    """Best-effort dtype of ``expr``; ``None`` means "unknown, skip"."""
+    if depth <= 0:
+        return None
+    if isinstance(expr, ast.Call):
+        return _dtype_of_call(expr, env, annotations, ctx, project, depth)
+    if isinstance(expr, ast.Name):
+        bound = env.get(expr.id)
+        if bound is not None and bound is not expr:
+            return _dtype_of(bound, env, annotations, ctx, project, depth - 1)
+        return None
+    if isinstance(expr, ast.Attribute):
+        dotted = _dotted(expr)
+        if dotted is not None and dotted in env:
+            return _dtype_of(
+                env[dotted], env, annotations, ctx, project, depth - 1
+            )
+        if isinstance(expr.value, ast.Name):
+            classname = annotations.get(expr.value.id)
+            if classname is not None:
+                fields = _class_field_dtypes(classname, ctx, project, depth)
+                return fields.get(expr.attr)
+        return None
+    if isinstance(expr, ast.Subscript):
+        # a slice keeps its base's dtype
+        return _dtype_of(expr.value, env, annotations, ctx, project,
+                         depth - 1)
+    return None
+
+
+def _dtype_of_call(expr, env, annotations, ctx, project, depth):
+    func = expr.func
+    name = _last_name(func)
+    if name == "astype" and isinstance(func, ast.Attribute):
+        if expr.args:
+            return _dtype_name(expr.args[0])
+        for kw in expr.keywords:
+            if kw.arg == "dtype":
+                return _dtype_name(kw.value)
+        return None
+    if name in _ARRAY_CTORS:
+        for kw in expr.keywords:
+            if kw.arg == "dtype":
+                return _dtype_name(kw.value)
+        if name in _DTYPE_PRESERVING and expr.args:
+            return _dtype_of(
+                expr.args[0], env, annotations, ctx, project, depth - 1
+            )
+        return None
+    if isinstance(func, ast.Name):
+        resolved = project.resolve_function(ctx, func.id)
+        if resolved is not None:
+            fctx, fnode = resolved
+            return _return_dtype(fnode, fctx, project, depth - 1)
+    return None
+
+
+def _return_dtype(fnode, fctx, project, depth) -> Optional[str]:
+    """Dtype a module-level function's return statements produce."""
+    if depth <= 0:
+        return None
+    env: Dict[str, ast.expr] = {}
+    annotations = _param_annotations(fnode)
+    for stmt in _iter_stmts(fnode.body):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                dotted = _dotted(target)
+                if dotted is not None:
+                    env[dotted] = stmt.value
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            dtype = _dtype_of(
+                stmt.value, env, annotations, fctx, project, depth
+            )
+            if dtype is not None:
+                return dtype
+    return None
+
+
+def _class_field_dtypes(classname, ctx, project, depth) -> Dict[str, str]:
+    """Field -> dtype map of a (data)class, from its own constructor
+    call sites (``cls(field=np.zeros(..., dtype=...))``) and
+    ``self.field = ...`` assignments.  Cached per class on the project."""
+    cache = getattr(project, "_kernel_field_cache", None)
+    if cache is None:
+        cache = {}
+        project._kernel_field_cache = cache
+    key = (ctx.module, classname)
+    if key in cache:
+        return cache[key]
+    cache[key] = {}  # cycle guard
+    resolved = project.resolve_class(ctx, classname)
+    if resolved is None:
+        return cache[key]
+    cctx, cnode = resolved
+    fields: Dict[str, str] = {}
+    for func in cnode.body:
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        env: Dict[str, ast.expr] = {}
+        annotations = _param_annotations(func)
+        for stmt in _iter_stmts(func.body):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    dotted = _dotted(target)
+                    if dotted is not None:
+                        env[dotted] = stmt.value
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        dtype = _dtype_of(stmt.value, env, annotations,
+                                          cctx, project, depth - 1)
+                        if dtype is not None:
+                            fields.setdefault(target.attr, dtype)
+            calls = [stmt.value] if isinstance(
+                stmt, (ast.Return, ast.Expr)
+            ) and stmt.value is not None else []
+            for call in calls:
+                if not (
+                    isinstance(call, ast.Call)
+                    and _last_name(call.func) in ("cls", classname)
+                ):
+                    continue
+                for kw in call.keywords:
+                    if kw.arg is None:
+                        continue
+                    dtype = _dtype_of(kw.value, env, annotations, cctx,
+                                      project, depth - 1)
+                    if dtype is not None:
+                        fields.setdefault(kw.arg, dtype)
+    cache[key] = fields
+    return fields
+
+
+# --------------------------------------------------------------------------
+# SBL-CONST
+# --------------------------------------------------------------------------
+
+class KernelConstRule(Rule):
+    """Declared bit-identity literals appear identically on both sides."""
+
+    id = "SBL-CONST"
+    title = "bit-identity magic literals match the declared mirror table"
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        """Audit the ``_MIRROR_CONSTANTS`` table against both sources."""
+        mirror = _mirror_of(ctx, project)
+        if mirror is None:
+            return
+        cname = mirror.c_path.name
+        c_values: Dict[object, int] = {}
+        for literal in mirror.c.literals:
+            c_values.setdefault(literal.value, literal.line)
+        large_c = sorted(
+            (value, line) for value, line in c_values.items()
+            if abs(value) >= LARGE_LITERAL_THRESHOLD
+        )
+        if mirror.table is None:
+            if large_c:
+                value, line = large_c[0]
+                yield ctx.finding(
+                    self.id, ctx.tree,
+                    f"{cname} holds bit-identity magic literals (e.g. "
+                    f"`{value}` at {cname}:{line}) but this mirror "
+                    f"declares no `{MIRROR_TABLE_NAME}` table; declare "
+                    "one naming every shared literal",
+                )
+            return
+        entries, table_node = mirror.table
+        table_values = {value for _, value, _, _ in entries}
+        py_values, py_literals = self._python_values(ctx, mirror, table_node)
+        for label, value, side, value_node in entries:
+            if side == "c":
+                if value not in c_values:
+                    yield ctx.finding(
+                        self.id, value_node,
+                        f"mirror constant `{label}` = {value!r} does not "
+                        f"appear in {cname}; the declared bit-identity "
+                        "literal has drifted",
+                    )
+            elif side == "py":
+                if value not in py_values:
+                    yield ctx.finding(
+                        self.id, value_node,
+                        f"mirror constant `{label}` = {value!r} matches no "
+                        "constant in this module; the declared "
+                        "bit-identity value has drifted",
+                    )
+            else:
+                yield ctx.finding(
+                    self.id, value_node,
+                    f"mirror constant `{label}` declares unknown side "
+                    f"{side!r}; use \"c\" or \"py\"",
+                )
+        for value, line in large_c:
+            if value not in table_values:
+                yield ctx.finding(
+                    self.id, table_node,
+                    f"large magic literal `{value}` at {cname}:{line} has "
+                    f"no `{MIRROR_TABLE_NAME}` entry; bit-identity "
+                    "literals must be declared so drift is detectable",
+                )
+        for value, node in py_literals:
+            if value in table_values or value in c_values:
+                continue
+            yield ctx.finding(
+                self.id, node,
+                f"large magic literal `{value}` is neither declared in "
+                f"`{MIRROR_TABLE_NAME}` nor present in {cname}; declare "
+                "it or derive it from a declared constant",
+            )
+
+    def _python_values(self, ctx, mirror, table_node):
+        """(all numeric constants in the module, large literals outside
+        the table span with their nodes)."""
+        values = {value for value, _ in mirror.int_consts.values()}
+        first = table_node.lineno
+        last = getattr(table_node, "end_lineno", table_node.lineno)
+        literals = []
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and type(node.value) in (int, float)
+            ):
+                continue
+            values.add(node.value)
+            if (
+                abs(node.value) >= LARGE_LITERAL_THRESHOLD
+                and not first <= node.lineno <= last
+            ):
+                literals.append((node.value, node))
+        return values, literals

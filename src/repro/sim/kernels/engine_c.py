@@ -114,6 +114,24 @@ _ST_ERROR = 3
 _MEMO_CAP = 1 << 16
 _U64 = (1 << 64) - 1
 
+# Bit-identity literals shared with kernel.c, declared for the
+# SBL-CONST analyzer: every "c"-side value must appear verbatim in the
+# C source, every "py"-side value must match a constant in this
+# module.  Editing either side without the other fails `repro lint`.
+_MIRROR_CONSTANTS = {
+    "pcg64_mult_hi": 2549297995355413924,
+    "pcg64_mult_lo": 4865540595714422341,
+    "pcg64_random_scale": 9007199254740992.0,
+    "fnv1a_offset_basis": 1469598103934665603,
+    "fnv1a_prime": 1099511628211,
+    "f64_abs_mask": 0x7FFFFFFFFFFFFFFF,
+    "f64_mantissa_mask": 0xFFFFFFFFFFFFF,
+    "f16_sign_bit": 0x8000,
+    "f16_nan_bits": 0x7E00,
+    "f16_inf_bits": 0x7C00,
+    "action_memo_capacity": (1 << 16, "py"),
+}
+
 # ------------------------------------------------------------- build
 _lib = None
 _build_error: Optional[str] = None
@@ -121,6 +139,31 @@ _build_error: Optional[str] = None
 
 def _source_path() -> str:
     return os.path.join(os.path.dirname(__file__), "kernel.c")
+
+
+def _prune_stale_builds(build_dir: str, keep: str) -> None:
+    """Remove content-hashed kernel binaries other than ``keep``.
+
+    Every kernel.c edit produces a new ``kernel-<hash>.so``; without
+    this, ``_build/`` accumulates one orphan per edit forever.  In-flight
+    temp builds (``tmp*`` from :func:`tempfile.mkstemp`) never match the
+    ``kernel-*.so`` pattern, so concurrent builders are safe.  Failures
+    are ignored: pruning is a courtesy, not a correctness step.
+    """
+    try:
+        names = sorted(os.listdir(build_dir))
+    except OSError:
+        return
+    for name in names:
+        if (
+            name.startswith("kernel-")
+            and name.endswith(".so")
+            and name != keep
+        ):
+            try:
+                os.unlink(os.path.join(build_dir, name))
+            except OSError:
+                pass
 
 
 def _load() -> Optional[ctypes.CDLL]:
@@ -155,6 +198,7 @@ def _load() -> Optional[ctypes.CDLL]:
                 _build_error = f"compiler failed: {proc.stderr.strip()[:500]}"
                 return None
             os.replace(tmp, so_path)
+            _prune_stale_builds(build_dir, os.path.basename(so_path))
         except (OSError, subprocess.SubprocessError) as exc:
             _build_error = f"build failed: {exc}"
             return None

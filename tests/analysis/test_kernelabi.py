@@ -1,0 +1,274 @@
+"""Drift-injection tests for the kernel mirror rules (SBL-ABI /
+SBL-DTYPE / SBL-CONST) and the mini C front-end behind them.
+
+The fixtures copy the real ``kernel.c`` / ``engine_c.py`` / ``soa.py``
+into a temp directory and inject one seeded drift at a time (swap two
+enum members, bump a stride, retype an array, change a mask, ...).
+Each mutation must fire **exactly one** finding of the matching rule —
+proving the analyzer would have caught that edit at lint time — while
+the pristine copies lint clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.cfront import parse_c
+
+KERNELS = Path(__file__).resolve().parents[2] / "src" / "repro" / "sim" / "kernels"
+
+#: The mirror trio every fixture stages (engine_c.py names kernel.c,
+#: and pulls dtypes out of soa.py's TraceSoA).
+MIRROR_FILES = ("kernel.c", "engine_c.py", "soa.py")
+
+
+def stage(tmp_path, c_subs=(), engine_subs=(), soa_subs=(), engine_append=""):
+    """Copy the kernel mirror trio into ``tmp_path`` with seeded drift.
+
+    Each ``*_subs`` is ``[(old, new), ...]`` applied to that file; every
+    ``old`` must occur (a vanished anchor means the fixture rotted).
+    """
+    subs = {
+        "kernel.c": c_subs,
+        "engine_c.py": engine_subs,
+        "soa.py": soa_subs,
+    }
+    for name in MIRROR_FILES:
+        text = (KERNELS / name).read_text()
+        for old, new in subs[name]:
+            assert old in text, f"fixture anchor vanished from {name}: {old!r}"
+            text = text.replace(old, new)
+        if name == "engine_c.py" and engine_append:
+            text += engine_append
+        (tmp_path / name).write_text(text)
+    return tmp_path
+
+
+def lint(tmp_path):
+    return run_lint([tmp_path], docs_path=None)
+
+
+def assert_single_finding(report, rule):
+    """Exactly one finding, of ``rule`` — the acceptance criterion."""
+    rules = [finding.rule for finding in report.findings]
+    assert rules == [rule], (
+        f"expected exactly one {rule} finding, got: "
+        + "; ".join(
+            f"{f.rule} {f.path}:{f.line} {f.message}" for f in report.findings
+        )
+    )
+
+
+class TestCleanMirror:
+    def test_pristine_copies_lint_clean(self, tmp_path):
+        report = lint(stage(tmp_path))
+        assert report.findings == []
+        assert report.n_files == 2  # the two .py files
+
+
+class TestKernelABIDrift:
+    def test_c_enum_member_swap(self, tmp_path):
+        report = lint(stage(tmp_path, c_subs=[
+            ("P_TS, P_OP, P_DPAGE", "P_OP, P_TS, P_DPAGE"),
+        ]))
+        assert_single_finding(report, "SBL-ABI")
+
+    def test_python_tuple_member_swap(self, tmp_path):
+        report = lint(stage(tmp_path, engine_subs=[
+            ("P_TS, P_OP, P_DPAGE", "P_OP, P_TS, P_DPAGE"),
+        ]))
+        assert_single_finding(report, "SBL-ABI")
+
+    def test_c_stride_bump_without_python(self, tmp_path):
+        report = lint(stage(tmp_path, c_subs=[
+            ("#define DD_STRIDE 32", "#define DD_STRIDE 40"),
+        ]))
+        assert_single_finding(report, "SBL-ABI")
+
+    def test_enum_overflowing_its_stride(self, tmp_path):
+        # Shrinking DI_STRIDE on *both* sides keeps the mirror equal but
+        # leaves DI_UTIL_CAP (= 16) outside a 16-slot stride.
+        report = lint(stage(
+            tmp_path,
+            c_subs=[("#define DI_STRIDE 24", "#define DI_STRIDE 16")],
+            engine_subs=[("DI_STRIDE = 24", "DI_STRIDE = 16")],
+        ))
+        assert_single_finding(report, "SBL-ABI")
+
+    def test_c_status_code_renumbered(self, tmp_path):
+        report = lint(stage(tmp_path, c_subs=[
+            ("ST_NEED_INFERENCE = 1", "ST_NEED_INFERENCE = 5"),
+        ]))
+        assert_single_finding(report, "SBL-ABI")
+
+    def test_restype_drift(self, tmp_path):
+        report = lint(stage(tmp_path, engine_subs=[
+            ("lib.sib_run.restype = ctypes.c_longlong",
+             "lib.sib_run.restype = ctypes.c_double"),
+        ]))
+        assert_single_finding(report, "SBL-ABI")
+
+    def test_argtypes_pointer_depth_drift(self, tmp_path):
+        report = lint(stage(tmp_path, engine_subs=[
+            ("lib.sib_run.argtypes = [ctypes.POINTER(ctypes.c_void_p)]",
+             "lib.sib_run.argtypes = [ctypes.c_void_p]"),
+        ]))
+        assert_single_finding(report, "SBL-ABI")
+
+    def test_sentinel_length_drift(self, tmp_path):
+        report = lint(stage(tmp_path, engine_subs=[
+            ("_NPTR = 39", "_NPTR = 40"),
+        ]))
+        assert_single_finding(report, "SBL-ABI")
+
+
+class TestKernelDTypeDrift:
+    def test_python_array_retyped(self, tmp_path):
+        report = lint(stage(tmp_path, engine_subs=[
+            ("arrays[P_LOC] = np.full(n_pages, -1, dtype=np.int8)",
+             "arrays[P_LOC] = np.full(n_pages, -1, dtype=np.uint8)"),
+        ]))
+        assert_single_finding(report, "SBL-DTYPE")
+
+    def test_c_cast_retyped(self, tmp_path):
+        report = lint(stage(tmp_path, c_subs=[
+            ("(int8_t *)p[P_LOC]", "(uint8_t *)p[P_LOC]"),
+        ]))
+        assert_single_finding(report, "SBL-DTYPE")
+
+    def test_soa_field_retyped_across_files(self, tmp_path):
+        # engine_c packs trace.timestamps into P_TS; the dtype lives in
+        # soa.py's TraceSoA.from_requests, one file away.
+        report = lint(stage(tmp_path, soa_subs=[
+            ("(r.timestamp for r in requests), dtype=np.float64",
+             "(r.timestamp for r in requests), dtype=np.float32"),
+        ]))
+        assert_single_finding(report, "SBL-DTYPE")
+
+
+class TestKernelConstDrift:
+    def test_c_mask_changed(self, tmp_path):
+        report = lint(stage(tmp_path, c_subs=[
+            ("sign | 0x7E00", "sign | 0x7E01"),
+        ]))
+        assert_single_finding(report, "SBL-CONST")
+
+    def test_table_entry_deleted_leaves_c_literal_unmatched(self, tmp_path):
+        report = lint(stage(tmp_path, engine_subs=[
+            ('    "fnv1a_prime": 1099511628211,\n', ""),
+        ]))
+        assert_single_finding(report, "SBL-CONST")
+
+    def test_new_undeclared_python_magic_literal(self, tmp_path):
+        report = lint(stage(
+            tmp_path, engine_append="\n_SNEAKY = 81985529216486895\n"
+        ))
+        assert_single_finding(report, "SBL-CONST")
+
+    def test_missing_table_is_reported(self, tmp_path):
+        tmp_path.joinpath("k.c").write_text(
+            "static const unsigned long long PRIME = 1099511628211ULL;\n"
+        )
+        tmp_path.joinpath("m.py").write_text('_KERNEL = "k.c"\n')
+        report = run_lint([tmp_path], docs_path=None)
+        assert_single_finding(report, "SBL-CONST")
+
+
+class TestSuppression:
+    def test_kernel_findings_are_suppressible(self, tmp_path):
+        staged = stage(tmp_path, engine_subs=[
+            ("_NPTR = 39", "_NPTR = 39  # sibyl: ignore[SBL-ABI]"),
+        ])
+        # Re-inject the drift on the now-suppressed line.
+        engine = staged / "engine_c.py"
+        engine.write_text(
+            engine.read_text().replace("_NPTR = 39  #", "_NPTR = 40  #")
+        )
+        report = lint(staged)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+
+SNIPPET = """
+/* block comment with a fake enum { BOGUS } inside */
+#define CAP 64
+#define MASK (CAP - 1)
+#define WITH_ARGS(x) ((x) + 1)
+
+enum { A_X, A_Y, A_LEN };
+enum tag { B_LO = 4, B_HI = B_LO + CAP, B_END };
+
+typedef struct {
+    double *values;
+    int64_t count, seen;
+    const char *label;  /* "string with enum {" */
+} box_t;
+
+static double helper(const box_t *b, int n) { return 0.0; }
+
+long long api_run(void **p, double scale)
+{
+    double *v = (double *)p[A_X];
+    int64_t *c = (int64_t *)p[A_Y];
+    unsigned long long basis = 14695981039346656037ULL;
+    return (long long)(basis & 0xFFFFFFFFULL) + CAP;
+}
+"""
+
+
+class TestCFront:
+    def test_enums(self):
+        c = parse_c(SNIPPET)
+        members = c.enum_members()
+        assert members["A_X"] == (0, 0)
+        assert members["A_Y"] == (1, 0)
+        assert members["A_LEN"] == (2, 0)
+        assert members["B_LO"] == (4, 1)
+        assert members["B_HI"] == (68, 1)  # B_LO + CAP through the macro
+        assert members["B_END"] == (69, 1)
+        assert "BOGUS" not in members  # comments are stripped
+
+    def test_macros_skip_function_like(self):
+        c = parse_c(SNIPPET)
+        assert c.macros["CAP"].value == 64
+        assert c.macros["MASK"].value == 63
+        assert "WITH_ARGS" not in c.macros
+
+    def test_struct_fields(self):
+        c = parse_c(SNIPPET)
+        fields = {f.name: str(f.type) for f in c.structs["box_t"]}
+        assert fields == {
+            "values": "double *",
+            "count": "int64_t",
+            "seen": "int64_t",
+            "label": "char *",
+        }
+
+    def test_prototypes_and_export(self):
+        c = parse_c(SNIPPET)
+        exported = c.exported()
+        assert set(exported) == {"api_run"}
+        proto = exported["api_run"]
+        assert str(proto.return_type) == "long long"
+        assert [str(p) for p in proto.params] == ["void **", "double"]
+        assert c.prototypes[0].name == "helper"
+        assert c.prototypes[0].static
+
+    def test_slot_casts(self):
+        c = parse_c(SNIPPET)
+        assert str(c.slot_casts["A_X"][0]) == "double"
+        assert str(c.slot_casts["A_Y"][0]) == "int64_t"
+
+    def test_literals_include_suffixed_hex_and_decimal(self):
+        c = parse_c(SNIPPET)
+        values = {lit.value for lit in c.literals}
+        assert 14695981039346656037 in values
+        assert 0xFFFFFFFF in values
+
+    def test_never_raises_on_garbage(self):
+        # Best-effort extraction: truncated input yields partial views,
+        # never an exception (the rules see a real CSource regardless).
+        c = parse_c("enum { UNCLOSED\n#define BROKEN (1 <<\n$$$ @@@")
+        assert "BROKEN" not in c.macros  # unevaluable macro is dropped
+        assert parse_c("").enums == []

@@ -6,6 +6,8 @@ stderr, never a traceback) — for both ``repro lint`` and
 """
 
 import json
+import shutil
+import subprocess
 from pathlib import Path
 
 from repro.analysis.cli import main as analysis_main
@@ -51,8 +53,65 @@ class TestAnalysisMain:
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("SBL-DET", "SBL-HOOK", "SBL-FPR", "SBL-ENV",
-                        "SBL-FORK"):
+                        "SBL-FORK", "SBL-ABI", "SBL-DTYPE", "SBL-CONST"):
             assert rule_id in out
+
+
+class TestChangedFlag:
+    """``--changed [BASE]`` restricts the run to git-modified files."""
+
+    def _repo(self, tmp_path):
+        subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+        fixtures = Path(__file__).parent / "fixtures"
+        shutil.copy(fixtures / "clean.py", tmp_path / "clean.py")
+        shutil.copy(fixtures / "det_violation.py", tmp_path / "dirty.py")
+        env = {
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+        }
+        subprocess.run(["git", "-C", str(tmp_path), "add", "-A"],
+                       check=True)
+        subprocess.run(
+            ["git", "-C", str(tmp_path), "-c", "user.name=t",
+             "-c", "user.email=t@t", "commit", "-q", "-m", "seed"],
+            check=True, env={**env},
+        )
+        return tmp_path
+
+    def test_changed_skips_committed_files(self, tmp_path, monkeypatch,
+                                           capsys):
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        # Nothing modified since HEAD: even the dirty fixture is skipped.
+        assert analysis_main([".", "--det-scope", "all", "--changed"]) == 0
+        assert "0 file(s) analyzed" in capsys.readouterr().out
+
+    def test_changed_lints_modified_files(self, tmp_path, monkeypatch,
+                                          capsys):
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        dirty = repo / "dirty.py"
+        dirty.write_text(dirty.read_text() + "\n# touched\n")
+        assert analysis_main([".", "--det-scope", "all", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "SBL-DET" in out
+        assert "1 file(s) analyzed" in out
+
+    def test_changed_outside_git_exits_two(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "f.py").write_text("x = 1\n")
+        assert analysis_main([".", "--changed"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_changed_unknown_base_exits_two(self, tmp_path, monkeypatch,
+                                            capsys):
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert analysis_main([".", "--changed", "no-such-ref"]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
 
 
 class TestReproLintVerb:

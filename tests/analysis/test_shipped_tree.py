@@ -38,3 +38,15 @@ class TestShippedTree:
         # update this number only alongside a justification comment.
         report = run_lint([REPO / "src"])
         assert report.suppressed == 2
+
+    def test_kernels_dir_is_clean_with_zero_suppressions(self):
+        # The Python/C mirror is where the kernel rules (SBL-ABI /
+        # SBL-DTYPE / SBL-CONST) actually bite, and it must pass them
+        # outright: a suppression here would waive the ABI contract
+        # itself, so the pin is zero — not "few".
+        report = run_lint([REPO / "src" / "repro" / "sim" / "kernels"])
+        assert report.findings == [], "\n".join(
+            f"{f.path}:{f.line}: {f.rule} {f.message}"
+            for f in report.findings
+        )
+        assert report.suppressed == 0

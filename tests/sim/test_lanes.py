@@ -19,6 +19,7 @@ from repro.rl.c51 import C51Config, C51LaneStack, C51Network
 from repro.rl.dqn import DQNConfig, DQNLaneStack, DQNNetwork
 from repro.sim.lanes import (
     LaneSpec,
+    resolve_choice_env,
     resolve_lanes,
     resolve_train_align,
     run_lanes,
@@ -586,3 +587,37 @@ class TestResolveLanes:
         monkeypatch.setenv("SIBYL_LANES", "many")
         with pytest.raises(ValueError):
             resolve_lanes()
+
+
+class TestResolveChoiceEnv:
+    ENV = "SIBYL_TEST_CHOICE"
+    CHOICES = ("python", "cext")
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(self.ENV, raising=False)
+        assert resolve_choice_env(self.ENV, "python", self.CHOICES) == "python"
+
+    def test_empty_string_returns_default(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "")
+        assert resolve_choice_env(self.ENV, "python", self.CHOICES) == "python"
+
+    def test_whitespace_only_returns_default(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "   ")
+        assert resolve_choice_env(self.ENV, "cext", self.CHOICES) == "cext"
+
+    def test_case_and_whitespace_normalized(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "  CeXt ")
+        assert resolve_choice_env(self.ENV, "python", self.CHOICES) == "cext"
+
+    def test_exact_choice_passes_through(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "python")
+        assert resolve_choice_env(self.ENV, "cext", self.CHOICES) == "python"
+
+    def test_invalid_names_knob_and_choices(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "fortran")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_choice_env(self.ENV, "python", self.CHOICES)
+        message = str(excinfo.value)
+        assert self.ENV in message
+        assert "'python'" in message and "'cext'" in message
+        assert "'fortran'" in message
