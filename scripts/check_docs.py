@@ -50,15 +50,24 @@ AUDITED_MODULES = (
     "repro.analysis.rules.forksafety",
     "repro.analysis.rules.kernelabi",
     "repro.analysis.cfront",
+    "repro.serve.protocol",
+    "repro.serve.knobs",
+    "repro.serve.lane",
+    "repro.serve.engine",
+    "repro.serve.daemon",
+    "repro.serve.loadgen",
 )
 
 #: Modules whose public *methods* are audited too (the store's
 #: durability contract is a method-level API; the analyzer's rule and
-#: framework classes are a subclassing surface).
+#: framework classes are a subclassing surface; the daemon and engine
+#: are the serve layer's operational contract).
 METHOD_AUDITED_MODULES = (
     "repro.store.store",
     "repro.store.journal",
     "repro.analysis.core",
+    "repro.serve.engine",
+    "repro.serve.daemon",
 )
 
 _FENCE_RE = re.compile(

@@ -30,7 +30,12 @@ figure reproduction, so perf claims land as numbers instead of vibes:
                     (``repro.sim.kernels``): per-backend tick-loop and
                     end-to-end requests/sec, plus the speedup against
                     the PR 3 multilane baseline recorded earlier in the
-                    trajectory file.
+                    trajectory file;
+* ``serve``       — the online placement daemon (``repro.serve``): an
+                    in-process daemon under the deterministic open-loop
+                    multi-tenant load generator, reporting p50/p99
+                    placement latency and aggregate requests/sec over
+                    the socket (protocol + engine + fused inference).
 
 Results are printed and appended to a JSON trajectory file (default
 ``BENCH_hotpath.json`` at the repo root) so successive PRs can compare
@@ -288,6 +293,28 @@ def bench_soa_backend(trace, repeats):
     return out
 
 
+def bench_serve_daemon(quick: bool) -> dict:
+    """p50/p99 placement latency and req/s through the live daemon.
+
+    Spawns an in-process :class:`repro.serve.daemon.PlacementDaemon`
+    and drives it with ``repro.serve.loadgen`` — the full socket path:
+    NDJSON framing, handler threads, the engine's fused forward, and
+    async training.  Latency is client-observed (send to response).
+    """
+    from repro.serve.loadgen import run_loadgen
+
+    tenants, requests = (2, 60) if quick else (4, 200)
+    stats = run_loadgen(tenants=tenants, requests=requests, seed=0)
+    return {
+        "tenants": stats["tenants"],
+        "requests_per_tenant": stats["requests_per_tenant"],
+        "errors": stats["errors"],
+        "p50_ms": stats["p50_ms"],
+        "p99_ms": stats["p99_ms"],
+        "req_s": stats["req_s"],
+    }
+
+
 def _pr3_multilane_baseline(history):
     """aggregate_rps of the PR 3 multilane round, if recorded."""
     for entry in history:
@@ -336,6 +363,7 @@ def main(argv=None) -> int:
         trace, n_ticks=min(len(trace), 1000 if args.quick else 4000)
     )
     soa = bench_soa_backend(trace, args.repeats)
+    serve_daemon = bench_serve_daemon(args.quick)
 
     history = []
     if args.output.exists():
@@ -387,6 +415,7 @@ def main(argv=None) -> int:
             "speedup": round(serial_ms / fused_ms, 3),
         },
         "soa_backend": soa_entry,
+        "serve": serve_daemon,
     }
 
     print(f"serve loop      : {serve_rps:10.1f} req/s  (CDE heuristic)")
@@ -409,6 +438,10 @@ def main(argv=None) -> int:
     if soa_entry["speedup_vs_pr3_multilane"] is not None:
         print(f"soa vs pr3 lanes: {soa_entry['speedup_vs_pr3_multilane']:10.2f}x "
               f"(baseline {pr3_rps:.1f} aggregate req/s)")
+    print(f"serve daemon    : {serve_daemon['req_s']:10.1f} req/s  "
+          f"(p50 {serve_daemon['p50_ms']:.2f}ms, "
+          f"p99 {serve_daemon['p99_ms']:.2f}ms, "
+          f"{serve_daemon['tenants']} tenants)")
 
     history.append(entry)
     args.output.write_text(json.dumps(history, indent=2) + "\n")

@@ -42,7 +42,7 @@ __all__ = ["HookPairRule", "DEFAULT_PAIRS"]
 
 #: The audited hook pairs: begin name -> names that discharge it.
 DEFAULT_PAIRS: Dict[str, Tuple[str, ...]] = {
-    "place_begin": ("place_commit",),
+    "place_begin": ("place_commit", "place_abort"),
     "train_begin": ("train_commit", "train_abort"),
 }
 

@@ -18,6 +18,11 @@ Commands
     Print the §10 overhead analysis.
 ``export-trace``
     Generate a synthetic workload and write it as an MSRC-format CSV.
+``serve``
+    Run the online placement daemon (:mod:`repro.serve`): a long-lived
+    TCP service speaking newline-delimited JSON, batching concurrent
+    tenants' inference through one fused forward and training off the
+    request path.  Blocks until a client sends ``shutdown`` (or ^C).
 ``lint``
     Run the Sibyl contract analyzer (:mod:`repro.analysis`) over the
     given paths: static AST checks for the determinism, hook-pair,
@@ -115,6 +120,28 @@ def build_parser() -> argparse.ArgumentParser:
     from .analysis.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    serve = sub.add_parser(
+        "serve", help="run the online placement daemon (NDJSON over TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port; 0 binds an ephemeral port "
+             "(default: SIBYL_SERVE_PORT)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="async trainer threads (default: SIBYL_SERVE_WORKERS)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=None,
+        help="max placements fused per round (default: SIBYL_SERVE_BATCH)",
+    )
+    serve.add_argument(
+        "--train", default=None, choices=["async", "sync", "off"],
+        help="training mode (default: SIBYL_SERVE_TRAIN)",
+    )
 
     export = sub.add_parser(
         "export-trace", help="write a synthetic workload as MSRC CSV"
@@ -259,6 +286,23 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve.daemon import PlacementDaemon
+
+    daemon = PlacementDaemon(
+        host=args.host, port=args.port, workers=args.workers,
+        batch=args.batch, train_mode=args.train,
+    )
+    with daemon:
+        host, port = daemon.address
+        print(f"serving on {host}:{port}", flush=True)
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis.cli import run_lint_cli
 
@@ -276,6 +320,8 @@ def _dispatch(args) -> int:
         return _cmd_overhead()
     if args.command == "export-trace":
         return _cmd_export(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

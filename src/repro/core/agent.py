@@ -212,6 +212,23 @@ class SibylAgent(PlacementPolicy):
         self._inflight = (obs, obs_key, None)
         return obs
 
+    @property
+    def place_pending(self) -> bool:
+        """True between :meth:`place_begin` and :meth:`place_commit`."""
+        return self._inflight is not None
+
+    def place_abort(self) -> None:
+        """Drop an in-flight decision without committing it.
+
+        The inference mirror of :meth:`train_abort`: an external driver
+        (the placement daemon's engine) unwinding after a mid-round
+        error clears the pending decision so the agent is immediately
+        reusable.  The aborted request is simply never placed — its
+        transition was already recorded by ``place_begin`` as the
+        *next-state* of the previous decision, which stays valid.
+        """
+        self._inflight = None
+
     def place_commit(self, greedy_action: Optional[int] = None) -> int:
         """Second half of :meth:`place`: commit the pending decision.
 

@@ -1,0 +1,212 @@
+"""Sibyl-as-a-service: the TCP placement daemon.
+
+A :class:`PlacementDaemon` binds a ``ThreadingTCPServer`` whose
+per-connection handler threads speak the newline-delimited-JSON
+protocol (:mod:`repro.serve.protocol`), validate each frame, and post
+jobs to the single :class:`~repro.serve.engine.PlacementEngine` thread
+that owns all tenant state.  One connection serves one client loop:
+frames answered in order, so a client's ``seq`` numbers prove zero
+dropped or duplicated responses.
+
+Fault containment is structural: a malformed frame is answered with a
+structured error on the offending connection only; a client that
+disconnects mid-request costs one WARNING log; a slow-reading client
+blocks only its own handler thread; and the accept loop never sees any
+of it (``handle_error`` logs instead of propagating).
+"""
+
+from __future__ import annotations
+
+import logging
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from .engine import PlacementEngine
+from .knobs import resolve_serve_backlog, resolve_serve_port
+from .protocol import (
+    ERR_TIMEOUT,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_query,
+)
+
+__all__ = ["PlacementDaemon"]
+
+logger = logging.getLogger("repro.serve")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: read frame, submit, write response."""
+
+    def handle(self) -> None:
+        """Serve frames until EOF, a fatal frame, or shutdown."""
+        peer = "%s:%s" % self.client_address[:2]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_FRAME_BYTES + 2)
+            except OSError as exc:
+                logger.warning("%s: read failed: %s", peer, exc)
+                return
+            if not line:
+                return  # clean EOF between frames
+            if not line.endswith(b"\n"):
+                # EOF mid-frame (truncated request) or a frame beyond
+                # the size bound; either way the stream is unframed
+                # from here, so answer once and drop the connection.
+                logger.warning("%s: truncated or oversized frame", peer)
+                self._send(peer, error_frame(
+                    "bad-json", "truncated or oversized frame"
+                ))
+                return
+            stripped = line.strip()
+            if not stripped:
+                continue  # blank keep-alive line
+            frame_id = None
+            try:
+                obj = decode_frame(stripped)
+                frame_id = obj.get("id")
+                query = parse_query(obj)
+            except ProtocolError as exc:
+                logger.warning("%s: rejected frame: %s", peer, exc.message)
+                if not self._send(
+                    peer, error_frame(exc.code, exc.message, id=frame_id)
+                ):
+                    return
+                continue
+            job = self.server.engine.submit(query)
+            if not job.wait(self.server.request_timeout_s):
+                logger.warning("%s: %s timed out", peer, query.op)
+                if not self._send(peer, error_frame(
+                    ERR_TIMEOUT,
+                    f"no response within {self.server.request_timeout_s}s",
+                    id=frame_id,
+                )):
+                    return
+                continue
+            if not self._send(peer, job.response):
+                return
+            if query.op == "shutdown":
+                return
+
+    def _send(self, peer: str, payload: dict) -> bool:
+        """Write one response frame; False when the client is gone."""
+        try:
+            self.wfile.write(encode_frame(payload))
+            self.wfile.flush()
+            return True
+        except OSError as exc:
+            logger.warning("%s: client gone mid-response: %s", peer, exc)
+            return False
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    """Accept loop that survives anything a connection throws at it."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, backlog: int, engine: PlacementEngine,
+                 request_timeout_s: float) -> None:
+        self.request_queue_size = backlog
+        self.engine = engine
+        self.request_timeout_s = request_timeout_s
+        super().__init__(address, _Handler)
+
+    def handle_error(self, request, client_address) -> None:
+        """A handler crash is that connection's problem, never ours."""
+        logger.warning(
+            "connection %s died", client_address, exc_info=True
+        )
+
+
+class PlacementDaemon:
+    """The long-lived placement service: engine + socket front-end.
+
+    Parameters default to the ``SIBYL_SERVE_*`` environment knobs
+    (:mod:`repro.serve.knobs`); ``port=0`` binds an ephemeral port,
+    reported by :attr:`address`.  Usable as a context manager::
+
+        with PlacementDaemon() as daemon:
+            host, port = daemon.address
+            ...
+
+    ``serve_forever`` blocks until a client issues the ``shutdown`` op
+    (which drains every lane first) or :meth:`close` is called.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        backlog: Optional[int] = None,
+        workers: Optional[int] = None,
+        batch: Optional[int] = None,
+        train_mode: Optional[str] = None,
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        if port is None:
+            port = resolve_serve_port()
+        if backlog is None:
+            backlog = resolve_serve_backlog()
+        self.engine = PlacementEngine(
+            batch=batch, workers=workers, train_mode=train_mode
+        )
+        self._server = _Server(
+            (host, port), backlog, self.engine, request_timeout_s
+        )
+        self._accept_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="serve-accept",
+            daemon=True,
+        )
+        self._stopped = threading.Event()
+        self._started = False
+        self.engine.on_shutdown = self._initiate_shutdown
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — the real port when 0 was asked."""
+        return self._server.server_address[:2]
+
+    def start(self) -> "PlacementDaemon":
+        """Start the engine and the accept loop; returns self."""
+        if not self._started:
+            self._started = True
+            self.engine.start()
+            self._accept_thread.start()
+            logger.info("placement daemon listening on %s:%s", *self.address)
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until the daemon shuts down."""
+        self.start()
+        self._stopped.wait()
+
+    def close(self) -> None:
+        """Stop accepting, stop the engine, release the socket."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._server.shutdown()
+        self._server.server_close()
+        self.engine.stop()
+        logger.info("placement daemon stopped")
+
+    def _initiate_shutdown(self) -> None:
+        # Runs on the engine thread after a drained `shutdown` op.
+        # serve_forever() must not be stopped from a thread it might be
+        # waiting on, so a reaper thread tears the server down.
+        threading.Thread(
+            target=self.close, name="serve-reaper", daemon=True
+        ).start()
+
+    def __enter__(self) -> "PlacementDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,570 @@
+"""The placement engine: fused serving rounds over live tenant lanes.
+
+One *engine thread* owns every lane (agents, HSS state, queues) and
+advances them in rounds, exactly like the lockstep tick of
+:func:`repro.sim.lanes.run_lanes`:
+
+1. :meth:`PlacementEngine.place_begin` runs each queued query's
+   pre-inference half (:meth:`~repro.core.agent.SibylAgent.place_begin`:
+   feature extraction, replay insertion, ε-greedy draw, action-memo
+   lookup) and collects the observations that actually need inference;
+2. :meth:`PlacementEngine.place_commit` batches those observations per
+   architecture group into **one fused forward** through the stacked
+   per-tenant weights, scatters the greedy actions back, serves each
+   request closed-loop, and resolves the waiting responses.
+
+Connection handler threads never touch a lane: they post jobs to the
+engine's inbox and wait.  Training runs *off the request path*: a
+tenant whose feedback left a training event pending
+(``external_training``) is **held** — not served — while trainer
+threads commit the event (fused across tenants whose events coincide,
+via :func:`repro.sim.lanes.fused_train_event`); the hold is what keeps
+each tenant's operation order, and therefore its placements, losses,
+and weights, bit-identical to a serial offline
+:class:`~repro.core.agent.SibylAgent` replay of the same queries.
+
+Checkpoint hot-reload swaps in a *fresh* agent (old one untouched until
+the load succeeds), and ``weights_version`` re-syncs the lane stacks —
+in-flight and queued requests are never dropped, they simply commit
+against whichever weights are installed when their round runs.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..rl.c51 import C51LaneStack, C51Network
+from ..rl.dqn import DQNLaneStack
+from ..rl.optim import fusion_signature
+from ..sim.lanes import fused_train_event, group_signature
+from .knobs import resolve_serve_batch, resolve_serve_train, resolve_serve_workers
+from .lane import TenantLane, open_lane
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_CHECKPOINT_FAILED,
+    ERR_INTERNAL,
+    ERR_RELOAD_FAILED,
+    ERR_SHUTTING_DOWN,
+    ERR_TENANT_EXISTS,
+    ERR_UNKNOWN_TENANT,
+    Query,
+    error_frame,
+    ok_frame,
+)
+
+__all__ = ["Job", "PlacementEngine"]
+
+logger = logging.getLogger("repro.serve")
+
+
+@dataclass
+class Job:
+    """One submitted query plus the event its submitter waits on."""
+
+    query: Query
+    done: threading.Event = field(default_factory=threading.Event)
+    response: Optional[Dict[str, Any]] = None
+
+    def resolve(self, response: Dict[str, Any]) -> None:
+        """Install the response and wake the waiting submitter."""
+        self.response = response
+        self.done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved; False on timeout."""
+        return self.done.wait(timeout)
+
+
+class _ServeGroup:
+    """Tenant lanes sharing one architecture → one fused stack.
+
+    The serving twin of :class:`repro.sim.lanes._LaneGroup`: a zeros
+    observation buffer whose stale rows are fed through the fused
+    forward and discarded, plus per-lane ``weights_version`` counters
+    so a training commit or checkpoint reload re-syncs exactly the
+    rewritten slice before the next forward.
+    """
+
+    def __init__(self, lanes: List[TenantLane]) -> None:
+        self.lanes = lanes
+        nets = [lane.agent.inference_net for lane in lanes]
+        if isinstance(nets[0], C51Network):
+            self.stack = C51LaneStack(nets)
+        else:
+            self.stack = DQNLaneStack(nets)
+        self.obs = np.zeros((len(lanes), self.stack.in_features))
+        self.weights_seen = [lane.agent.weights_version for lane in lanes]
+        self.pending: List[Tuple[Job, int]] = []
+
+    def resync(self) -> None:
+        """Refresh stack slices of lanes whose weights changed."""
+        for row, lane in enumerate(self.lanes):
+            version = lane.agent.weights_version
+            if version != self.weights_seen[row]:
+                self.weights_seen[row] = version
+                self.stack.refresh(row)
+
+
+class PlacementEngine:
+    """Single-threaded lane owner behind a thread-safe inbox.
+
+    ``submit`` (any thread) enqueues a validated query and returns the
+    :class:`Job` to wait on; everything else happens on the engine
+    thread, with training events committed on ``workers`` trainer
+    threads while the affected lanes are held.  Constructor arguments
+    default to the ``SIBYL_SERVE_*`` environment knobs.
+    """
+
+    def __init__(
+        self,
+        batch: Optional[int] = None,
+        workers: Optional[int] = None,
+        train_mode: Optional[str] = None,
+    ) -> None:
+        self.batch = resolve_serve_batch() if batch is None else max(1, batch)
+        self.train_mode = resolve_serve_train() if train_mode is None else train_mode
+        n_workers = resolve_serve_workers() if workers is None else max(1, workers)
+        self.lanes: Dict[str, TenantLane] = {}
+        self.counters: Dict[str, int] = {
+            "served": 0,
+            "errors": 0,
+            "rounds": 0,
+            "fused_forwards": 0,
+            "fused_rows": 0,
+            "max_fused_rows": 0,
+            "train_events": 0,
+            "fused_train_events": 0,
+            "reloads": 0,
+        }
+        self.shutting_down = False
+        #: Called (on the engine thread) once a ``shutdown`` op drains;
+        #: the daemon uses it to stop the socket server.
+        self.on_shutdown = None
+        self.inbox: "queue.Queue" = queue.Queue()
+        self._train_queue: "queue.Queue" = queue.Queue()
+        self._drains: List[Job] = []
+        self._groups: List[_ServeGroup] = []
+        self._lane_group: Dict[str, Tuple[_ServeGroup, int]] = {}
+        self._groups_stale = True
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-engine", daemon=True
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._trainer, name=f"serve-trainer-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the engine and trainer threads."""
+        self._thread.start()
+        for worker in self._workers:
+            worker.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop all threads; pending jobs resolve ``shutting-down``."""
+        self.shutting_down = True
+        self._stop.set()
+        self.inbox.put(("wake", None))
+        for _ in self._workers:
+            self._train_queue.put(None)
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.join(timeout)
+
+    def submit(self, query: Query) -> Job:
+        """Enqueue a validated query; returns the job to wait on."""
+        job = Job(query)
+        self.inbox.put(("job", job))
+        return job
+
+    # ------------------------------------------------------------ main loop
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    kind, payload = self.inbox.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                self._dispatch(kind, payload)
+                while True:
+                    try:
+                        kind, payload = self.inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    self._dispatch(kind, payload)
+                self._serve_ready()
+                self._release_barriers()
+        finally:
+            self._flush_pending()
+
+    def _dispatch(self, kind: str, payload) -> None:
+        if kind == "trained":
+            self._on_trained(payload)
+        elif kind == "job":
+            job = payload
+            if job.query.op == "place":
+                self._enqueue_place(job)
+            else:
+                self._control(job)
+        # "wake" carries no payload; it only interrupts the inbox wait.
+
+    def _enqueue_place(self, job: Job) -> None:
+        if self.shutting_down:
+            self._fail(job, ERR_SHUTTING_DOWN, "daemon is shutting down")
+            return
+        lane = self.lanes.get(job.query.tenant)
+        if lane is None:
+            self._fail(
+                job, ERR_UNKNOWN_TENANT, f"no such tenant: {job.query.tenant!r}"
+            )
+            return
+        lane.queue.append(job)
+
+    def _fail(self, job: Job, code: str, message: str) -> None:
+        self.counters["errors"] += 1
+        job.resolve(error_frame(code, message, id=job.query.id))
+
+    # -------------------------------------------------------------- serving
+    def _serve_ready(self) -> None:
+        """Serve rounds until no unheld lane has a queued query."""
+        while True:
+            jobs: List[Job] = []
+            for lane in self.lanes.values():
+                if lane.queue and not lane.held:
+                    jobs.append(lane.queue.popleft())
+                    if len(jobs) >= self.batch:
+                        break
+            if not jobs:
+                return
+            self._serve_round(jobs)
+
+    def _serve_round(self, jobs: List[Job]) -> None:
+        """One fused round: at most one query per lane.
+
+        ``place_begin`` → ``place_commit`` run in unconditional
+        sequence (the SBL-HOOK rule proves the pair balances); an
+        exception anywhere unwinds through ``place_abort`` so no agent
+        is left with an in-flight decision and every submitter gets a
+        structured error instead of a hung socket.
+        """
+        self.counters["rounds"] += 1
+        try:
+            pending = self.place_begin(jobs)
+            self.place_commit(jobs, pending)
+        except Exception as exc:
+            logger.warning("serving round failed: %s", exc, exc_info=True)
+            self.place_abort(jobs)
+
+    def place_begin(self, jobs: List[Job]) -> List[Tuple[Job, TenantLane, np.ndarray]]:
+        """Pre-inference half of every job in the round.
+
+        Returns the ``(job, lane, observation)`` triples that need the
+        fused forward; the rest already hold a decided action
+        (exploration draw or greedy-memo hit) inside their agent.
+        """
+        pending = []
+        for job in jobs:
+            lane = self.lanes[job.query.tenant]
+            obs = lane.agent.place_begin(job.query.fields["request"])
+            if obs is not None:
+                pending.append((job, lane, obs))
+        return pending
+
+    def place_commit(
+        self,
+        jobs: List[Job],
+        pending: List[Tuple[Job, TenantLane, np.ndarray]],
+    ) -> None:
+        """Fused forwards, then commit/serve/respond for every job."""
+        actions: Dict[int, int] = {}
+        if pending:
+            self._ensure_groups()
+            touched: List[_ServeGroup] = []
+            for job, lane, obs in pending:
+                group, row = self._lane_group[lane.name]
+                group.obs[row] = obs
+                if not group.pending:
+                    touched.append(group)
+                group.pending.append((job, row))
+            for group in touched:
+                group.resync()
+                greedy = group.stack.best_actions(group.obs)
+                rows = len(group.pending)
+                self.counters["fused_forwards"] += 1
+                self.counters["fused_rows"] += rows
+                if rows > self.counters["max_fused_rows"]:
+                    self.counters["max_fused_rows"] = rows
+                for pending_job, row in group.pending:
+                    actions[id(pending_job)] = int(greedy[row])
+                group.pending.clear()
+        to_train: List[TenantLane] = []
+        for job in jobs:
+            lane = self.lanes[job.query.tenant]
+            action = lane.agent.place_commit(actions.get(id(job)))
+            seq, result = lane.complete(job.query.fields["request"], action)
+            self.counters["served"] += 1
+            job.resolve(ok_frame({
+                "op": "place",
+                "tenant": lane.name,
+                "seq": seq,
+                "action": action,
+                "device": result.device,
+                "latency_s": result.latency_s,
+                "eviction_time_s": result.eviction_time_s,
+            }, id=job.query.id))
+            if lane.agent.train_pending:
+                lane.held = True
+                to_train.append(lane)
+        if to_train:
+            self._dispatch_training(to_train)
+
+    def place_abort(self, jobs: List[Job]) -> None:
+        """Unwind a failed round: clear in-flight state, fail the jobs."""
+        for job in jobs:
+            lane = self.lanes.get(job.query.tenant)
+            if lane is not None and lane.agent.place_pending:
+                lane.agent.place_abort()
+            if not job.done.is_set():
+                self._fail(job, ERR_INTERNAL, "placement round failed")
+
+    # ------------------------------------------------------------- training
+    def _dispatch_training(self, lanes: List[TenantLane]) -> None:
+        """Hand pending training events to the trainer threads.
+
+        Lanes whose events coincide *and* share a fusable signature are
+        committed as one stacked event (:func:`fused_train_event`);
+        each lane stays held until its commit lands.
+        """
+        buckets: Dict[tuple, List[str]] = {}
+        for lane in lanes:
+            agent = lane.agent
+            signature = fusion_signature(agent.training_net.optimizer)
+            if signature is None:
+                key = ("solo", lane.name)
+            else:
+                hp = agent.hyperparams
+                key = (
+                    group_signature(agent),
+                    hp.batch_size,
+                    hp.batches_per_training,
+                    signature,
+                )
+            buckets.setdefault(key, []).append(lane.name)
+        for names in buckets.values():
+            self._train_queue.put(tuple(names))
+
+    def _trainer(self) -> None:
+        while True:
+            names = self._train_queue.get()
+            if names is None:
+                return
+            agents = [self.lanes[name].agent for name in names]
+            try:
+                if len(agents) == 1:
+                    agents[0].train_commit()
+                else:
+                    fused_train_event(agents)
+            except Exception as exc:
+                logger.warning(
+                    "training event failed for %s: %s", names, exc,
+                    exc_info=True,
+                )
+                for agent in agents:
+                    if agent.train_pending:
+                        agent.train_abort()
+            self.inbox.put(("trained", names))
+
+    def _on_trained(self, names) -> None:
+        self.counters["train_events"] += len(names)
+        if len(names) > 1:
+            self.counters["fused_train_events"] += 1
+        for name in names:
+            lane = self.lanes.get(name)
+            if lane is None:
+                continue
+            lane.held = False
+            deferred, lane.deferred = lane.deferred, []
+            for job in deferred:
+                self._control(job)
+
+    # ------------------------------------------------------------- controls
+    def _control(self, job: Job) -> None:
+        op = job.query.op
+        if op == "ping":
+            job.resolve(ok_frame({"op": "ping"}, id=job.query.id))
+        elif op == "open":
+            self._open(job)
+        elif op in ("save", "reload"):
+            self._checkpoint_op(job)
+        elif op == "stats":
+            self._stats(job)
+        else:  # drain / shutdown: quiescence barriers
+            if op == "shutdown":
+                self.shutting_down = True
+            self._drains.append(job)
+
+    def _open(self, job: Job) -> None:
+        name = job.query.tenant
+        if self.shutting_down:
+            self._fail(job, ERR_SHUTTING_DOWN, "daemon is shutting down")
+            return
+        if name in self.lanes:
+            self._fail(job, ERR_TENANT_EXISTS, f"tenant exists: {name!r}")
+            return
+        fields = job.query.fields
+        try:
+            lane = open_lane(
+                name,
+                seed=fields["seed"],
+                config=fields["config"],
+                head=fields["head"],
+                capacity_pages=fields["capacity_pages"],
+                hyperparams=fields["hyperparams"],
+                train_mode=self.train_mode,
+            )
+        except (ValueError, TypeError) as exc:
+            self._fail(job, ERR_BAD_REQUEST, str(exc))
+            return
+        self.lanes[name] = lane
+        self._groups_stale = True
+        job.resolve(ok_frame({
+            "op": "open",
+            "tenant": name,
+            "n_devices": lane.hss.n_devices,
+            "n_features": lane.agent.extractor.n_features,
+            "train_mode": lane.train_mode,
+            "weights_version": lane.agent.weights_version,
+        }, id=job.query.id))
+
+    def _checkpoint_op(self, job: Job) -> None:
+        lane = self.lanes.get(job.query.tenant)
+        if lane is None:
+            self._fail(
+                job, ERR_UNKNOWN_TENANT, f"no such tenant: {job.query.tenant!r}"
+            )
+            return
+        if lane.held:
+            # A trainer thread owns the agent right now; run the op the
+            # moment the lane is released (still on the engine thread).
+            lane.deferred.append(job)
+            return
+        path = job.query.fields["checkpoint"]
+        if job.query.op == "save":
+            try:
+                lane.agent.save_checkpoint(path)
+            except (OSError, RuntimeError) as exc:
+                logger.warning("checkpoint save failed: %s", exc)
+                self._fail(job, ERR_CHECKPOINT_FAILED, str(exc))
+                return
+            job.resolve(ok_frame({
+                "op": "save",
+                "tenant": lane.name,
+                "checkpoint": path,
+                "weights_version": lane.agent.weights_version,
+            }, id=job.query.id))
+        else:
+            self._reload(job, lane, path)
+
+    def _reload(self, job: Job, lane: TenantLane, path: str) -> None:
+        """Hot-swap a freshly loaded agent; old one survives failures."""
+        fresh = lane.fresh_agent()
+        fresh.attach(lane.hss)
+        try:
+            fresh.load_checkpoint(path)
+        except Exception as exc:
+            logger.warning(
+                "checkpoint reload failed for %r: %s", lane.name, exc
+            )
+            self._fail(job, ERR_RELOAD_FAILED, str(exc))
+            return
+        fresh.external_training = lane.train_mode == "async"
+        lane.agent = fresh
+        self._groups_stale = True
+        self.counters["reloads"] += 1
+        job.resolve(ok_frame({
+            "op": "reload",
+            "tenant": lane.name,
+            "checkpoint": path,
+            "weights_version": fresh.weights_version,
+        }, id=job.query.id))
+
+    def _stats(self, job: Job) -> None:
+        job.resolve(ok_frame({
+            "op": "stats",
+            "train_mode": self.train_mode,
+            "counters": dict(self.counters),
+            "tenants": {
+                name: lane.stats() for name, lane in self.lanes.items()
+            },
+        }, id=job.query.id))
+
+    # ------------------------------------------------------------- barriers
+    def _release_barriers(self) -> None:
+        """Resolve drain/shutdown once every lane is idle and unheld."""
+        if not self._drains:
+            return
+        if any(lane.queue or lane.held for lane in self.lanes.values()):
+            return
+        drains, self._drains = self._drains, []
+        shutdown = False
+        for job in drains:
+            if job.query.op == "shutdown":
+                shutdown = True
+            job.resolve(ok_frame({"op": job.query.op}, id=job.query.id))
+        if shutdown:
+            self._stop.set()
+            for _ in self._workers:
+                self._train_queue.put(None)
+            callback = self.on_shutdown
+            if callback is not None:
+                callback()
+
+    def _flush_pending(self) -> None:
+        """Fail whatever is still queued when the engine stops."""
+        leftovers: List[Job] = []
+        for lane in self.lanes.values():
+            leftovers.extend(lane.queue)
+            lane.queue.clear()
+            leftovers.extend(lane.deferred)
+            lane.deferred.clear()
+        leftovers.extend(self._drains)
+        self._drains = []
+        while True:
+            try:
+                kind, payload = self.inbox.get_nowait()
+            except queue.Empty:
+                break
+            if kind == "job":
+                leftovers.append(payload)
+        for job in leftovers:
+            if not job.done.is_set():
+                self._fail(job, ERR_SHUTTING_DOWN, "daemon stopped")
+
+    # --------------------------------------------------------------- groups
+    def _ensure_groups(self) -> None:
+        """Rebuild the fused-inference groups after membership changes."""
+        if not self._groups_stale:
+            return
+        by_signature: Dict[tuple, List[TenantLane]] = {}
+        for lane in self.lanes.values():
+            by_signature.setdefault(
+                group_signature(lane.agent), []
+            ).append(lane)
+        self._groups = [_ServeGroup(members) for members in by_signature.values()]
+        self._lane_group = {}
+        for group in self._groups:
+            for row, lane in enumerate(group.lanes):
+                self._lane_group[lane.name] = (group, row)
+        self._groups_stale = False

@@ -73,6 +73,7 @@ __all__ = [
     "LaneSpec",
     "run_lanes",
     "fused_train_event",
+    "group_signature",
     "resolve_lanes",
     "resolve_train_align",
     "resolve_count_env",
@@ -359,7 +360,14 @@ class _LaneGroup:
         fused_train_event(agents, self._train_stacks, tuple(rows))
 
 
-def _group_signature(policy) -> tuple:
+def group_signature(policy) -> tuple:
+    """Fusion-compatibility key of an RL policy's inference network.
+
+    Policies with equal signatures can share one stacked fused forward
+    (:class:`~repro.rl.c51.C51LaneStack` / ``DQNLaneStack``).  Shared by
+    the lane engine's architecture grouping and the placement daemon's
+    tenant grouping (:mod:`repro.serve.engine`).
+    """
     net = policy.inference_net
     arch = NetworkLaneStack.signature(net.network)
     if isinstance(net, C51Network):
@@ -434,7 +442,7 @@ def run_lanes(
 
     by_signature: Dict[tuple, List[PolicyRun]] = {}
     for run in rl_runs:
-        by_signature.setdefault(_group_signature(run.policy), []).append(run)
+        by_signature.setdefault(group_signature(run.policy), []).append(run)
     groups = [_LaneGroup(members) for members in by_signature.values()]
     group_row: Dict[int, Tuple[_LaneGroup, int]] = {}
     for group in groups:

@@ -1,0 +1,85 @@
+"""The ``SIBYL_SERVE_*`` knobs honour the shared env-parser contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import knobs
+
+
+COUNT_KNOBS = [
+    (knobs.SERVE_PORT_ENV, knobs.resolve_serve_port, 0),
+    (knobs.SERVE_BACKLOG_ENV, knobs.resolve_serve_backlog, 128),
+    (knobs.SERVE_WORKERS_ENV, knobs.resolve_serve_workers, 1),
+    (knobs.SERVE_BATCH_ENV, knobs.resolve_serve_batch, 64),
+]
+
+
+@pytest.mark.parametrize("env,resolve,default", COUNT_KNOBS)
+def test_count_knob_defaults(env, resolve, default, monkeypatch):
+    monkeypatch.delenv(env, raising=False)
+    assert resolve() == default
+    monkeypatch.setenv(env, "")
+    assert resolve() == default
+    monkeypatch.setenv(env, "auto")
+    assert resolve() == default
+
+
+@pytest.mark.parametrize("env,resolve,default", COUNT_KNOBS)
+def test_count_knob_explicit_value(env, resolve, default, monkeypatch):
+    monkeypatch.setenv(env, "7")
+    assert resolve() == 7
+
+
+@pytest.mark.parametrize("env,resolve,default", COUNT_KNOBS)
+def test_count_knob_garbage_raises(env, resolve, default, monkeypatch):
+    monkeypatch.setenv(env, "many")
+    with pytest.raises(ValueError):
+        resolve()
+    monkeypatch.setenv(env, "-3")
+    with pytest.raises(ValueError):
+        resolve()
+
+
+@pytest.mark.parametrize(
+    "env,resolve",
+    [
+        (knobs.SERVE_BACKLOG_ENV, knobs.resolve_serve_backlog),
+        (knobs.SERVE_WORKERS_ENV, knobs.resolve_serve_workers),
+        (knobs.SERVE_BATCH_ENV, knobs.resolve_serve_batch),
+    ],
+)
+def test_zero_clamps_to_one_where_zero_is_meaningless(env, resolve, monkeypatch):
+    """Backlog/workers/batch have no zero mode (unlike port 0)."""
+    monkeypatch.setenv(env, "0")
+    assert resolve() == 1
+
+
+def test_port_zero_means_ephemeral(monkeypatch):
+    monkeypatch.setenv(knobs.SERVE_PORT_ENV, "0")
+    assert knobs.resolve_serve_port() == 0
+
+
+def test_train_mode_choices(monkeypatch):
+    monkeypatch.delenv(knobs.SERVE_TRAIN_ENV, raising=False)
+    assert knobs.resolve_serve_train() == "async"
+    for mode in knobs.TRAIN_MODES:
+        monkeypatch.setenv(knobs.SERVE_TRAIN_ENV, mode.upper())
+        assert knobs.resolve_serve_train() == mode
+    monkeypatch.setenv(knobs.SERVE_TRAIN_ENV, "turbo")
+    with pytest.raises(ValueError):
+        knobs.resolve_serve_train()
+
+
+def test_engine_constructor_overrides_environment(monkeypatch):
+    """Per-call arguments beat the environment, per the contract."""
+    from repro.serve.engine import PlacementEngine
+
+    monkeypatch.setenv(knobs.SERVE_BATCH_ENV, "5")
+    monkeypatch.setenv(knobs.SERVE_TRAIN_ENV, "off")
+    engine = PlacementEngine(batch=9, workers=1, train_mode="sync")
+    assert engine.batch == 9
+    assert engine.train_mode == "sync"
+    from_env = PlacementEngine(workers=1)
+    assert from_env.batch == 5
+    assert from_env.train_mode == "off"

@@ -1,0 +1,144 @@
+"""Full daemon lifecycle over a real socket.
+
+Start → serve N tenants concurrently → checkpoint hot-reload
+mid-stream → drain → clean shutdown, asserting zero dropped or
+duplicated responses and that post-reload placements are bit-identical
+to a fresh offline agent loaded from the same checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.loadgen import synthetic_stream
+
+from serve_harness import DEADLINE_S, FAST_HP, Client, serial_replay
+
+N_REQUESTS = 120
+RELOAD_AT = 60
+
+
+class _TenantRun(threading.Thread):
+    """One tenant's synchronous lifecycle: open, stream, save+reload
+    mid-stream, collecting every response."""
+
+    def __init__(self, address, index: int, tmp_path) -> None:
+        super().__init__(daemon=True)
+        self.address = address
+        self.index = index
+        self.ckpt = str(tmp_path / f"tenant-{index}.npz")
+        self.frames = synthetic_stream(seed=100 + index, n=N_REQUESTS)
+        self.responses = []
+        self.control = []
+        self.error = None
+
+    def run(self) -> None:
+        try:
+            with Client(self.address) as client:
+                opened = client.rpc({
+                    "op": "open",
+                    "tenant": f"tenant-{self.index}",
+                    "seed": self.index,
+                    "hyperparams": FAST_HP,
+                })
+                assert opened["ok"], opened
+                for i, frame in enumerate(self.frames):
+                    if i == RELOAD_AT:
+                        saved = client.rpc({
+                            "op": "save",
+                            "tenant": f"tenant-{self.index}",
+                            "checkpoint": self.ckpt,
+                        })
+                        reloaded = client.rpc({
+                            "op": "reload",
+                            "tenant": f"tenant-{self.index}",
+                            "checkpoint": self.ckpt,
+                        })
+                        self.control += [saved, reloaded]
+                    self.responses.append(client.rpc(
+                        {**frame, "tenant": f"tenant-{self.index}"}
+                    ))
+        except Exception as exc:  # surfaced by the main thread
+            self.error = exc
+
+
+def test_full_lifecycle_with_hot_reload(daemon, tmp_path):
+    """Three concurrent tenants, reload mid-stream, drain, shutdown."""
+    address = daemon.address
+    runs = [_TenantRun(address, i, tmp_path) for i in range(3)]
+    for run in runs:
+        run.start()
+    for run in runs:
+        run.join(DEADLINE_S * 6)
+        assert not run.is_alive(), "tenant stream wedged"
+        assert run.error is None, run.error
+
+    for run in runs:
+        # Zero dropped, zero duplicated: the seq numbers of one
+        # tenant's responses are exactly 0..N-1 in order.
+        assert all(r["ok"] for r in run.responses)
+        assert [r["seq"] for r in run.responses] == list(range(N_REQUESTS))
+        assert all(c["ok"] for c in run.control)
+
+        # Bit-identity through save + hot-reload: the daemon-served
+        # stream equals a serial offline agent that checkpoints and is
+        # freshly reloaded at the same stream position (float equality,
+        # no tolerance — the fused path computes the same operations).
+        expected = serial_replay(
+            run.frames,
+            seed=run.index,
+            hyperparams=FAST_HP,
+            checkpoint_at=RELOAD_AT,
+            checkpoint_path=tmp_path / f"expected-{run.index}.npz",
+        )
+        got = [
+            {k: r[k] for k in
+             ("action", "device", "latency_s", "eviction_time_s")}
+            for r in run.responses
+        ]
+        assert got == expected
+
+    with Client(address) as client:
+        # weights_version moved on reload, and the engine trained at
+        # least once per tenant (FAST_HP makes events frequent).
+        stats = client.rpc({"op": "stats"})
+        assert stats["ok"]
+        assert stats["counters"]["served"] == 3 * N_REQUESTS
+        assert stats["counters"]["reloads"] == 3
+        assert stats["counters"]["train_events"] > 0
+        for row in stats["tenants"].values():
+            assert row["seq"] == N_REQUESTS
+            assert not row["held"]
+
+        # Drain: quiescence barrier resolves promptly when idle.
+        assert client.rpc({"op": "drain"})["ok"]
+
+        # Clean shutdown: acknowledged, then the daemon goes away.
+        assert client.rpc({"op": "shutdown"})["ok"]
+    assert daemon._stopped.wait(DEADLINE_S), "daemon did not stop"
+
+
+def test_reload_failure_leaves_serving_agent_untouched(daemon, tmp_path):
+    """A bad reload degrades gracefully: same placements as no reload."""
+    frames = synthetic_stream(seed=7, n=40)
+    with Client(daemon.address) as client:
+        assert client.rpc({
+            "op": "open", "tenant": "t", "seed": 3, "hyperparams": FAST_HP,
+        })["ok"]
+        responses = []
+        for i, frame in enumerate(frames):
+            if i == 20:
+                bad = tmp_path / "garbage.npz"
+                bad.write_bytes(b"not a checkpoint")
+                reply = client.rpc({
+                    "op": "reload", "tenant": "t", "checkpoint": str(bad),
+                })
+                assert not reply["ok"]
+                assert reply["error"] == "reload-failed"
+            responses.append(client.rpc({**frame, "tenant": "t"}))
+    expected = serial_replay(frames, seed=3, hyperparams=FAST_HP)
+    got = [
+        {k: r[k] for k in ("action", "device", "latency_s", "eviction_time_s")}
+        for r in responses
+    ]
+    assert got == expected
