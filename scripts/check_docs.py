@@ -56,6 +56,10 @@ AUDITED_MODULES = (
     "repro.serve.engine",
     "repro.serve.daemon",
     "repro.serve.loadgen",
+    "repro.obs.knobs",
+    "repro.obs.sink",
+    "repro.obs.metrics",
+    "repro.obs.tracer",
 )
 
 #: Modules whose public *methods* are audited too (the store's
@@ -68,6 +72,8 @@ METHOD_AUDITED_MODULES = (
     "repro.analysis.core",
     "repro.serve.engine",
     "repro.serve.daemon",
+    "repro.obs.metrics",
+    "repro.obs.tracer",
 )
 
 _FENCE_RE = re.compile(

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace-event JSON file (stdlib only).
+
+The span tracer (:mod:`repro.obs.tracer`) flushes
+``{"traceEvents": [...]}`` documents meant to load in Perfetto or
+``chrome://tracing``.  CI's trace-smoke job runs a traced campaign and
+a traced load-generator pass, then points this script at the outputs:
+a trace that Perfetto would reject — wrong envelope, missing fields,
+mistyped timestamps — fails the build instead of being discovered the
+first time somebody actually opens one.
+
+Checks, per event:
+
+* required fields ``name`` (str), ``ph`` (str), ``ts`` (number),
+  ``pid``/``tid`` (int);
+* complete events (``ph: "X"``) carry a non-negative numeric ``dur``;
+* ``args``, when present, is an object.
+
+And per document: the envelope is an object with a ``traceEvents``
+list, and ``--min-events N`` (default 1) events are present — a traced
+run that produced an empty trace means the instrumentation fell off.
+
+Usage::
+
+    python scripts/check_trace.py TRACE.json [--min-events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, List, Optional
+
+__all__ = ["validate_trace", "main"]
+
+#: Event phases the repo's tracer emits (Perfetto accepts more; an
+#: unknown phase here means the tracer changed without this validator).
+KNOWN_PHASES = ("X", "i")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_trace(doc: Any, min_events: int = 1) -> List[str]:
+    """All format violations in a parsed trace document (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list `traceEvents`"]
+    if len(events) < min_events:
+        problems.append(
+            f"only {len(events)} event(s), expected at least {min_events}"
+        )
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing or empty `name`")
+        phase = event.get("ph")
+        if not isinstance(phase, str):
+            problems.append(f"{where}: missing `ph`")
+        elif phase not in KNOWN_PHASES:
+            problems.append(
+                f"{where}: unknown phase {phase!r} "
+                f"(tracer emits {'/'.join(KNOWN_PHASES)})"
+            )
+        if not _is_number(event.get("ts")) or event.get("ts", -1) < 0:
+            problems.append(f"{where}: `ts` must be a non-negative number")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: `{field}` must be an int")
+        if phase == "X":
+            if not _is_number(event.get("dur")) or event.get("dur", -1) < 0:
+                problems.append(
+                    f"{where}: complete event needs non-negative `dur`"
+                )
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: `args` must be an object")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate each input file; non-zero exit on any violation."""
+    parser = argparse.ArgumentParser(
+        description="Validate Chrome-trace-event JSON written by the "
+        "repro.obs span tracer."
+    )
+    parser.add_argument("inputs", nargs="+", type=Path,
+                        help="trace JSON files to validate")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum events per trace (default: 1)")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.inputs:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_trace(doc, min_events=args.min_events)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            n = len(doc["traceEvents"])
+            dropped = doc.get("otherData", {}).get("dropped", 0)
+            print(f"ok: {path} ({n} events, {dropped} dropped)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Render a span trace as an SVG timeline (stdlib only).
+
+Companion to :mod:`scripts.plot_bands`: the span tracer
+(:mod:`repro.obs.tracer`) writes Chrome-trace-event JSON for Perfetto,
+and this script renders the same file as a dependency-free SVG — one
+swimlane per thread, complete events as bars colored by category,
+instants as ticks — for docs, CI artifacts, and terminals without a
+browser.  Same JSON in, same bytes out.
+
+Usage::
+
+    python scripts/plot_trace.py TRACE.json -o trace.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["render_trace_svg", "main"]
+
+# Same validated categorical palette as plot_bands.py (fixed slot
+# order); categories claim slots in first-appearance order so a
+# category wears one hue throughout a trace.
+PALETTE = (
+    "#2a78d6",  # 1 blue
+    "#eb6834",  # 2 orange
+    "#1baf7a",  # 3 aqua
+    "#eda100",  # 4 yellow
+    "#e87ba4",  # 5 magenta
+    "#008300",  # 6 green
+    "#4a3aa7",  # 7 violet
+    "#e34948",  # 8 red
+)
+
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID_LINE = "#e7e6e3"
+
+WIDTH = 1000
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 150, 24, 64, 40
+ROW_H, ROW_GAP = 26, 8
+#: Bars narrower than this many pixels are widened to stay visible.
+MIN_BAR_PX = 1.5
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _fmt_us(us: float) -> str:
+    """A readable duration/time label for microsecond quantities."""
+    if us >= 1e6:
+        return f"{us / 1e6:.3g}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3g}ms"
+    return f"{us:.3g}us"
+
+
+def _lanes(events: List[Dict[str, Any]]) -> List[Tuple[int, int]]:
+    """Swimlane identities ``(pid, tid)`` in first-appearance order."""
+    seen: List[Tuple[int, int]] = []
+    for event in events:
+        key = (int(event.get("pid", 0)), int(event.get("tid", 0)))
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def render_trace_svg(doc: Dict[str, Any], title: str = "trace") -> str:
+    """Assemble the timeline SVG (deterministic text)."""
+    events = [e for e in doc.get("traceEvents", []) if isinstance(e, dict)]
+    if not events:
+        raise ValueError("trace has no events")
+    t0 = min(float(e.get("ts", 0.0)) for e in events)
+    t1 = max(
+        float(e.get("ts", 0.0)) + float(e.get("dur", 0.0)) for e in events
+    )
+    span_us = (t1 - t0) or 1.0
+    lanes = _lanes(events)
+    lane_row = {key: i for i, key in enumerate(lanes)}
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    height = MARGIN_T + len(lanes) * (ROW_H + ROW_GAP) + MARGIN_B
+
+    def x_px(ts_us: float) -> float:
+        return MARGIN_L + plot_w * (ts_us - t0) / span_us
+
+    # Categories claim palette slots in first-appearance order.
+    slots: Dict[str, int] = {}
+    for event in events:
+        cat = str(event.get("cat", "") or "uncategorized")
+        if cat not in slots:
+            slots[cat] = len(slots) % len(PALETTE)
+
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" viewBox="0 0 {WIDTH} {height}" '
+        f'font-family="system-ui, sans-serif">'
+    )
+    out.append(f'<rect width="{WIDTH}" height="{height}" fill="{SURFACE}"/>')
+    out.append(
+        f'<text x="{MARGIN_L}" y="26" font-size="16" font-weight="600" '
+        f'fill="{TEXT_PRIMARY}">{_escape(title)}</text>'
+    )
+    out.append(
+        f'<text x="{MARGIN_L}" y="44" font-size="12" '
+        f'fill="{TEXT_SECONDARY}">{len(events)} events over '
+        f"{_fmt_us(span_us)} — one row per thread</text>"
+    )
+
+    # Time grid: quarters of the span, labelled relative to t0.
+    for quarter in range(5):
+        ts = t0 + span_us * quarter / 4
+        px = x_px(ts)
+        out.append(
+            f'<line x1="{px:.2f}" y1="{MARGIN_T - 6}" x2="{px:.2f}" '
+            f'y2="{height - MARGIN_B + 6}" stroke="{GRID_LINE}" '
+            'stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{px:.2f}" y="{height - MARGIN_B + 22}" '
+            f'font-size="11" text-anchor="middle" '
+            f'fill="{TEXT_SECONDARY}">+{_fmt_us(ts - t0)}</text>'
+        )
+
+    # Lane labels.
+    for (pid, tid), row in lane_row.items():
+        y = MARGIN_T + row * (ROW_H + ROW_GAP)
+        out.append(
+            f'<text x="{MARGIN_L - 10}" y="{y + ROW_H / 2 + 4:.2f}" '
+            f'font-size="11" text-anchor="end" '
+            f'fill="{TEXT_SECONDARY}">{pid}/{tid}</text>'
+        )
+
+    # Bars under ticks; identity is never color-alone (title tooltips).
+    for event in events:
+        row = lane_row[(int(event.get("pid", 0)), int(event.get("tid", 0)))]
+        y = MARGIN_T + row * (ROW_H + ROW_GAP)
+        cat = str(event.get("cat", "") or "uncategorized")
+        color = PALETTE[slots[cat]]
+        name = str(event.get("name", "?"))
+        ts = float(event.get("ts", 0.0))
+        if event.get("ph") == "X":
+            dur = float(event.get("dur", 0.0))
+            w = max(MIN_BAR_PX, plot_w * dur / span_us)
+            tooltip = f"{name} ({_fmt_us(dur)})"
+            out.append(
+                f'<rect x="{x_px(ts):.2f}" y="{y:.2f}" width="{w:.2f}" '
+                f'height="{ROW_H}" fill="{color}" fill-opacity="0.8" '
+                f'rx="2"><title>{_escape(tooltip)}</title></rect>'
+            )
+            if w >= 60:
+                out.append(
+                    f'<text x="{x_px(ts) + 4:.2f}" '
+                    f'y="{y + ROW_H / 2 + 4:.2f}" font-size="10" '
+                    f'fill="{SURFACE}">{_escape(name)}</text>'
+                )
+        else:  # instants render as ticks
+            px = x_px(ts)
+            out.append(
+                f'<line x1="{px:.2f}" y1="{y:.2f}" x2="{px:.2f}" '
+                f'y2="{y + ROW_H:.2f}" stroke="{color}" stroke-width="2">'
+                f"<title>{_escape(name)}</title></line>"
+            )
+
+    # Category legend: swatch + text.
+    lx = MARGIN_L
+    ly = height - 14
+    for cat in slots:
+        color = PALETTE[slots[cat]]
+        out.append(
+            f'<rect x="{lx}" y="{ly - 9}" width="12" height="12" '
+            f'fill="{color}" fill-opacity="0.8" rx="2"/>'
+        )
+        out.append(
+            f'<text x="{lx + 16}" y="{ly + 1}" font-size="11" '
+            f'fill="{TEXT_PRIMARY}">{_escape(cat)}</text>'
+        )
+        lx += 24 + 7 * len(cat)
+
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI driver: one trace JSON in, one SVG out."""
+    parser = argparse.ArgumentParser(
+        description="Render a repro.obs span trace as an SVG timeline "
+        "(no plotting deps)."
+    )
+    parser.add_argument("input", type=Path, help="trace JSON file")
+    parser.add_argument("-o", "--out", type=Path, default=None,
+                        help="output SVG path (default: <input>.svg)")
+    parser.add_argument("--title", default=None,
+                        help="figure title (default: input filename)")
+    args = parser.parse_args(argv)
+    try:
+        doc = json.loads(args.input.read_text())
+        svg = render_trace_svg(doc, title=args.title or args.input.name)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"{args.input}: {exc}", file=sys.stderr)
+        return 1
+    out_path = args.out or args.input.with_suffix(".svg")
+    out_path.write_text(svg)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

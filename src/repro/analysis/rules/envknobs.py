@@ -2,7 +2,8 @@
 
 Every behavioural environment variable in this repo shares one parsing
 contract — :func:`repro.sim.lanes.resolve_count_env` for count-valued
-knobs, :func:`repro.store.store.store_from_env` for the store — so
+knobs, :func:`repro.store.store.store_from_env` for the store,
+:func:`repro.obs.tracer.tracer_from_env` for the trace sink — so
 garbage and negative values *raise* instead of silently changing the
 execution mode (the ``SIBYL_PARALLEL=-4``-quietly-meant-serial bug).
 And every knob has a row in ``docs/configuration.md``, because an
@@ -46,6 +47,7 @@ SANCTIONED_ACCESSORS = (
     "resolve_count_env",
     "resolve_choice_env",
     "store_from_env",
+    "tracer_from_env",
 )
 
 _KNOB_RE = re.compile(r"^SIBYL_[A-Z0-9_]+$")

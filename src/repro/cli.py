@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-store", action="store_true",
         help="force an undurable run even when SIBYL_STORE is set",
     )
+    compare.add_argument(
+        "--trace", metavar="PATH",
+        help="write campaign/store spans as Chrome-trace-event JSON "
+             "(Perfetto-loadable; default: SIBYL_TRACE_PATH, if set)",
+    )
 
     sub.add_parser("overhead", help="print the Sec. 10 overhead analysis")
 
@@ -141,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--train", default=None, choices=["async", "sync", "off"],
         help="training mode (default: SIBYL_SERVE_TRAIN)",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH",
+        help="write request/round/trainer spans as Chrome-trace-event "
+             "JSON (Perfetto-loadable; default: SIBYL_TRACE_PATH)",
     )
 
     export = sub.add_parser(
@@ -309,6 +319,16 @@ def _cmd_lint(args) -> int:
     return run_lint_cli(args)
 
 
+def _setup_tracing(args) -> None:
+    """Install a span tracer from ``--trace`` or ``SIBYL_TRACE_PATH``."""
+    from .obs.tracer import install_tracer, tracer_from_env
+
+    if getattr(args, "trace", None):
+        install_tracer(args.trace)
+    else:
+        tracer_from_env()
+
+
 def _dispatch(args) -> int:
     if args.command == "workloads":
         return _cmd_workloads()
@@ -336,11 +356,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     a traceback; genuine bugs still propagate loudly.
     """
     args = build_parser().parse_args(argv)
+    from .obs.tracer import flush_tracer
+
     try:
+        _setup_tracing(args)
         return _dispatch(args)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        flush_tracer()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ import socketserver
 import threading
 from typing import Optional, Tuple
 
+from ..obs.tracer import flush_tracer, span
 from .engine import PlacementEngine
 from .knobs import resolve_serve_backlog, resolve_serve_port
 from .protocol import (
@@ -77,8 +78,10 @@ class _Handler(socketserver.StreamRequestHandler):
                 ):
                     return
                 continue
-            job = self.server.engine.submit(query)
-            if not job.wait(self.server.request_timeout_s):
+            with span("serve.request", cat="serve", op=query.op):
+                job = self.server.engine.submit(query)
+                timed_out = not job.wait(self.server.request_timeout_s)
+            if timed_out:
                 logger.warning("%s: %s timed out", peer, query.op)
                 if not self._send(peer, error_frame(
                     ERR_TIMEOUT,
@@ -195,6 +198,9 @@ class PlacementDaemon:
         self._server.shutdown()
         self._server.server_close()
         self.engine.stop()
+        # A tracer installed with a path (``--trace``/SIBYL_TRACE_PATH)
+        # gets its spans on disk even if the driver never flushes.
+        flush_tracer()
         logger.info("placement daemon stopped")
 
     def _initiate_shutdown(self) -> None:

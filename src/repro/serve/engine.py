@@ -34,11 +34,14 @@ from __future__ import annotations
 import logging
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import span
 from ..rl.c51 import C51LaneStack, C51Network
 from ..rl.dqn import DQNLaneStack
 from ..rl.optim import fusion_signature
@@ -65,11 +68,18 @@ logger = logging.getLogger("repro.serve")
 
 @dataclass
 class Job:
-    """One submitted query plus the event its submitter waits on."""
+    """One submitted query plus the event its submitter waits on.
+
+    ``t_submit``/``t_begin`` are ``time.perf_counter()`` stamps taken
+    at submission and at the start of the job's serving round; the
+    difference is the queue wait the ``place`` response reports.
+    """
 
     query: Query
     done: threading.Event = field(default_factory=threading.Event)
     response: Optional[Dict[str, Any]] = None
+    t_submit: float = 0.0
+    t_begin: float = 0.0
 
     def resolve(self, response: Dict[str, Any]) -> None:
         """Install the response and wake the waiting submitter."""
@@ -143,6 +153,12 @@ class PlacementEngine:
             "reloads": 0,
         }
         self.shutting_down = False
+        #: Wall-clock instruments behind the ``metrics`` protocol op:
+        #: request-phase histograms and trainer occupancy.  Always on —
+        #: the serve layer is outside the determinism scope, and the
+        #: introspection surface must not depend on ``SIBYL_OBS``.
+        self.metrics = MetricsRegistry(enabled=True)
+        self._t_start = time.perf_counter()
         #: Called (on the engine thread) once a ``shutdown`` op drains;
         #: the daemon uses it to stop the socket server.
         self.on_shutdown = None
@@ -186,6 +202,7 @@ class PlacementEngine:
     def submit(self, query: Query) -> Job:
         """Enqueue a validated query; returns the job to wait on."""
         job = Job(query)
+        job.t_submit = time.perf_counter()
         self.inbox.put(("job", job))
         return job
 
@@ -260,9 +277,13 @@ class PlacementEngine:
         structured error instead of a hung socket.
         """
         self.counters["rounds"] += 1
+        t_begin = time.perf_counter()
+        for job in jobs:
+            job.t_begin = t_begin
         try:
-            pending = self.place_begin(jobs)
-            self.place_commit(jobs, pending)
+            with span("serve.round", cat="serve", jobs=len(jobs)):
+                pending = self.place_begin(jobs)
+                self.place_commit(jobs, pending)
         except Exception as exc:
             logger.warning("serving round failed: %s", exc, exc_info=True)
             self.place_abort(jobs)
@@ -310,11 +331,18 @@ class PlacementEngine:
                     actions[id(pending_job)] = int(greedy[row])
                 group.pending.clear()
         to_train: List[TenantLane] = []
+        queue_hist = self.metrics.histogram("serve_queue_ms")
+        service_hist = self.metrics.histogram("serve_service_ms")
+        now = time.perf_counter()
         for job in jobs:
             lane = self.lanes[job.query.tenant]
             action = lane.agent.place_commit(actions.get(id(job)))
             seq, result = lane.complete(job.query.fields["request"], action)
             self.counters["served"] += 1
+            queue_ms = (job.t_begin - job.t_submit) * 1e3
+            service_ms = (now - job.t_begin) * 1e3
+            queue_hist.observe(queue_ms)
+            service_hist.observe(service_ms)
             job.resolve(ok_frame({
                 "op": "place",
                 "tenant": lane.name,
@@ -323,9 +351,14 @@ class PlacementEngine:
                 "device": result.device,
                 "latency_s": result.latency_s,
                 "eviction_time_s": result.eviction_time_s,
+                "timing": {
+                    "queue_ms": round(queue_ms, 4),
+                    "service_ms": round(service_ms, 4),
+                },
             }, id=job.query.id))
             if lane.agent.train_pending:
                 lane.held = True
+                lane.hold_started = now
                 to_train.append(lane)
         if to_train:
             self._dispatch_training(to_train)
@@ -366,16 +399,19 @@ class PlacementEngine:
             self._train_queue.put(tuple(names))
 
     def _trainer(self) -> None:
+        busy = self.metrics.counter("trainer_busy_s")
         while True:
             names = self._train_queue.get()
             if names is None:
                 return
             agents = [self.lanes[name].agent for name in names]
+            t0 = time.perf_counter()
             try:
-                if len(agents) == 1:
-                    agents[0].train_commit()
-                else:
-                    fused_train_event(agents)
+                with span("serve.train", cat="serve", lanes=len(names)):
+                    if len(agents) == 1:
+                        agents[0].train_commit()
+                    else:
+                        fused_train_event(agents)
             except Exception as exc:
                 logger.warning(
                     "training event failed for %s: %s", names, exc,
@@ -384,16 +420,23 @@ class PlacementEngine:
                 for agent in agents:
                     if agent.train_pending:
                         agent.train_abort()
+            busy.add(time.perf_counter() - t0)
             self.inbox.put(("trained", names))
 
     def _on_trained(self, names) -> None:
         self.counters["train_events"] += len(names)
         if len(names) > 1:
             self.counters["fused_train_events"] += 1
+        # Held-lane accounting happens here and only here: one
+        # ``serve_hold_ms`` observation per trained lane per event, so
+        # the histogram count always equals the train_events counter.
+        hold_hist = self.metrics.histogram("serve_hold_ms")
+        now = time.perf_counter()
         for name in names:
             lane = self.lanes.get(name)
             if lane is None:
                 continue
+            hold_hist.observe((now - lane.hold_started) * 1e3)
             lane.held = False
             deferred, lane.deferred = lane.deferred, []
             for job in deferred:
@@ -410,6 +453,8 @@ class PlacementEngine:
             self._checkpoint_op(job)
         elif op == "stats":
             self._stats(job)
+        elif op == "metrics":
+            self._metrics_op(job)
         else:  # drain / shutdown: quiescence barriers
             if op == "shutdown":
                 self.shutting_down = True
@@ -505,6 +550,40 @@ class PlacementEngine:
             "op": "stats",
             "train_mode": self.train_mode,
             "counters": dict(self.counters),
+            "tenants": {
+                name: lane.stats() for name, lane in self.lanes.items()
+            },
+        }, id=job.query.id))
+
+    def _metrics_op(self, job: Job) -> None:
+        """The ``metrics`` op: live counters + wall-clock breakdown.
+
+        Supersets ``stats`` with the introspection surface: queue
+        depth, held lanes, request-phase histograms (queue wait,
+        service, training hold), and trainer occupancy — the fraction
+        of the workers' wall time spent inside training commits.
+        """
+        uptime_s = time.perf_counter() - self._t_start
+        busy_s = float(self.metrics.counter("trainer_busy_s").value)
+        workers = len(self._workers)
+        snapshot = self.metrics.snapshot()
+        job.resolve(ok_frame({
+            "op": "metrics",
+            "train_mode": self.train_mode,
+            "uptime_s": round(uptime_s, 6),
+            "workers": workers,
+            "counters": dict(self.counters),
+            "queue_depth": sum(
+                len(lane.queue) for lane in self.lanes.values()
+            ),
+            "held_lanes": sum(
+                1 for lane in self.lanes.values() if lane.held
+            ),
+            "trainer_busy_s": round(busy_s, 6),
+            "trainer_occupancy": round(
+                busy_s / (uptime_s * workers), 6
+            ) if uptime_s > 0 else 0.0,
+            "timings": snapshot["histograms"],
             "tenants": {
                 name: lane.stats() for name, lane in self.lanes.items()
             },

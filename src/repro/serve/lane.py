@@ -64,6 +64,10 @@ class TenantLane:
         self.queue: Deque = deque()
         #: True while a training event is in flight on a trainer thread.
         self.held = False
+        #: ``time.perf_counter()`` stamp of the moment the lane was
+        #: held for training; the engine turns it into one
+        #: ``serve_hold_ms`` observation at release.
+        self.hold_started = 0.0
         #: Control jobs (save/reload/close) deferred until release.
         self.deferred: List = []
 

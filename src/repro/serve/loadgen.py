@@ -79,6 +79,10 @@ class _TenantClient:
         self.timeout_s = timeout_s
         self.send_at: Dict[int, float] = {}
         self.recv_at: Dict[int, float] = {}
+        #: Server-reported per-request phase timings (milliseconds),
+        #: from the ``timing`` field of each ``place`` response.
+        self.service_ms: List[float] = []
+        self.queue_ms: List[float] = []
         self.errors = 0
         self.failure: Optional[str] = None
         self.sock = socket.create_connection((host, port), timeout=timeout_s)
@@ -136,6 +140,10 @@ class _TenantClient:
                 reply = json.loads(line)
                 if reply.get("ok"):
                     self.recv_at[reply["id"]] = now
+                    timing = reply.get("timing")
+                    if timing is not None:
+                        self.service_ms.append(timing["service_ms"])
+                        self.queue_ms.append(timing["queue_ms"])
                 else:
                     self.errors += 1
         except OSError as exc:
@@ -164,9 +172,12 @@ def run_loadgen(
 
     With no ``host``/``port`` an in-process daemon is spawned on an
     ephemeral port and torn down afterwards.  Returns the benchmark
-    record: ``p50_ms``/``p99_ms`` placement latency, sustained
-    ``req_s``, plus totals (the ``serve`` section schema of
-    ``BENCH_hotpath.json``).
+    record: ``p50_ms``/``p99_ms`` *sojourn* latency (client wire time:
+    queueing at the daemon included), ``service_p50/p99_ms`` and
+    ``queue_p50/p99_ms`` separated out of the sojourn via the server's
+    per-response ``timing`` breakdown, sustained ``req_s``, totals (the
+    ``serve`` section schema of ``BENCH_hotpath.json``), and the
+    daemon's own ``metrics`` op snapshot under ``server``.
     """
     daemon = None
     if host is None or port is None:
@@ -174,6 +185,7 @@ def run_loadgen(
 
         daemon = PlacementDaemon(port=0).start()
         host, port = daemon.address
+    server_metrics = None
     try:
         clients = [
             _TenantClient(
@@ -187,6 +199,7 @@ def run_loadgen(
             client.start()
         for client in clients:
             client.join()
+        server_metrics = _fetch_metrics(host, port, timeout_s)
     finally:
         if daemon is not None:
             daemon.close()
@@ -206,6 +219,8 @@ def run_loadgen(
         default=float("nan"),
     )
     elapsed = last_recv - first_send
+    service_ms = sorted(s for c in clients for s in c.service_ms)
+    queue_ms = sorted(s for c in clients for s in c.queue_ms)
     return {
         "tenants": tenants,
         "requests_per_tenant": requests,
@@ -214,7 +229,38 @@ def run_loadgen(
         "failures": failures,
         "p50_ms": percentile(latencies, 50.0) * 1e3,
         "p99_ms": percentile(latencies, 99.0) * 1e3,
+        "service_p50_ms": percentile(service_ms, 50.0),
+        "service_p99_ms": percentile(service_ms, 99.0),
+        "queue_p50_ms": percentile(queue_ms, 50.0),
+        "queue_p99_ms": percentile(queue_ms, 99.0),
         "req_s": answered / elapsed if elapsed > 0 else float("nan"),
+        "server": server_metrics,
+    }
+
+
+def _fetch_metrics(
+    host: str, port: int, timeout_s: float
+) -> Optional[Dict[str, Any]]:
+    """One-shot ``metrics`` op over a fresh control connection.
+
+    Best-effort: the load report must survive a daemon that died under
+    load, so any failure returns ``None`` instead of raising.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout_s) as sock:
+            sock.sendall(encode_frame({"op": "metrics"}))
+            reply = json.loads(sock.makefile("rb").readline())
+    except (OSError, ValueError):
+        return None
+    if not reply.get("ok"):
+        return None
+    return {
+        "uptime_s": reply.get("uptime_s"),
+        "workers": reply.get("workers"),
+        "trainer_busy_s": reply.get("trainer_busy_s"),
+        "trainer_occupancy": reply.get("trainer_occupancy"),
+        "queue_depth": reply.get("queue_depth"),
+        "counters": reply.get("counters"),
     }
 
 
@@ -236,10 +282,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--head", default="c51", choices=("c51", "dqn"))
     parser.add_argument("--quick", action="store_true",
                         help="smoke-test sizing: 2 tenants x 60 requests")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace-event span file here")
     args = parser.parse_args(argv)
     tenants, requests = args.tenants, args.requests
     if args.quick:
         tenants, requests = 2, 60
+    from ..obs.tracer import flush_tracer, install_tracer, tracer_from_env
+
+    if args.trace:
+        install_tracer(args.trace)
+    else:
+        tracer_from_env()
     record = run_loadgen(
         host=args.host,
         port=args.port,
@@ -249,6 +303,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         pace_s=args.pace,
         head=args.head,
     )
+    flush_tracer()
     print(json.dumps(record, indent=2, sort_keys=True))
     return 1 if record["failures"] else 0
 

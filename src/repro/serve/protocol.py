@@ -51,8 +51,8 @@ __all__ = [
 MAX_FRAME_BYTES = 1 << 20
 
 #: The protocol's operations.
-OPS = ("ping", "open", "place", "save", "reload", "stats", "drain",
-       "shutdown")
+OPS = ("ping", "open", "place", "save", "reload", "stats", "metrics",
+       "drain", "shutdown")
 
 #: Hyper-parameter overrides accepted by ``open`` (whitelist — the
 #: values feed ``dataclasses.replace`` on the Table 2 defaults).
@@ -226,7 +226,7 @@ def parse_query(obj: Dict[str, Any]) -> Query:
             f"unknown op {op!r}; expected one of {', '.join(OPS)}",
         )
     query = Query(op=op, id=obj.get("id"))
-    if op in ("ping", "stats", "drain", "shutdown"):
+    if op in ("ping", "stats", "metrics", "drain", "shutdown"):
         return query
     query.tenant = _tenant_name(obj)
     if op == "place":

@@ -241,20 +241,23 @@ def run_seeded_normalized(
     with_oracle: bool = False,
     align_window: Optional[int] = None,
     stats: Optional[Dict[str, int]] = None,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, Dict[str, float]]]:
     """Run one cell's whole seed axis through a single lane-engine call.
 
     ``traces[i]`` and ``lineups[i]`` belong to ``seeds[i]``; every
     (seed, policy) pair becomes one lane of one
-    :func:`repro.sim.lanes.run_lanes` call, so all seeds' RL lanes
-    share fused inference forwards and fused training events.  Returns
-    one :func:`repro.sim.runner.run_normalized`-shaped dict per seed —
+    :func:`repro.sim.lanes.run_lanes` call, so kernel-eligible lanes
+    divert to the SoA engines and the rest share fused lockstep
+    inference forwards and fused training events.  Returns one
+    :func:`repro.sim.runner.run_normalized`-shaped dict per seed —
     bit-identical to running that seed's lineup alone, because lane
     results never depend on co-lanes.  ``with_oracle`` adds each seed's
     best-of-horizons Oracle entry exactly as the single-seed sweep
     cells do.  ``stats`` is forwarded to ``run_lanes`` for engine
-    counters (see there); use it to *observe* that the seed axis really
-    shares fused forwards.
+    counters (see there) and ``backend`` overrides the engine choice —
+    pin ``backend="off"`` to observe lockstep fusion across the seed
+    axis itself.
     """
     seeds = list(seeds)
     traces = list(traces)
@@ -294,7 +297,9 @@ def run_seeded_normalized(
         for trace, lineup in zip(traces, lineups)
         for policy in lineup
     ]
-    results = run_lanes(specs, align_window=align_window, stats=stats)
+    results = run_lanes(
+        specs, align_window=align_window, stats=stats, backend=backend
+    )
     out: List[Dict[str, Dict[str, float]]] = []
     cursor = 0
     for trace, lineup, reference in zip(traces, lineups, references):

@@ -147,13 +147,20 @@ def kernel_eligible(run) -> bool:
     return True
 
 
-def run_kernel_lanes(runs: List, backend: Optional[str] = None) -> List:
+def run_kernel_lanes(runs: List, backend: Optional[str] = None, sink=None) -> List:
     """Drive the eligible lanes of ``runs`` to completion; return the rest.
 
     ``backend`` overrides the environment knob.  With the engine
     disabled (``off``) every run is returned for the caller's lockstep
     path.  Lanes share no state, so they are executed one after another;
     each finishes bit-identical to a serial ``run_policy``.
+
+    ``sink`` (an :class:`repro.obs.sink.ObservationSink`) receives the
+    same tick-domain counters the lockstep engine emits — per-lane
+    ``ticks``, one-row ``fused_forwards``/``fused_rows``,
+    ``train_events`` — plus ``kernel_barriers``, the number of
+    Python-boundary crossings (inference + train gates) the SoA engines
+    paid.
     """
     engine = get_backend(backend)
     if engine is None:
@@ -165,6 +172,6 @@ def run_kernel_lanes(runs: List, backend: Optional[str] = None) -> List:
         from .engine_c import run_lanes_c as run_batch
     else:
         from .engine_numpy import run_lanes_numpy as run_batch
-    run_batch(eligible)
+    run_batch(eligible, sink=sink)
     chosen = set(map(id, eligible))
     return [run for run in runs if id(run) not in chosen]

@@ -42,6 +42,7 @@ import numpy as np
 
 from ...hss.hdd import HDDDevice
 from ...hss.ssd import SSDDevice
+from ...obs.tracer import span as _span
 from .soa import LaneSoA, TraceSoA
 
 __all__ = ["available", "unavailable_reason", "run_lanes_c", "run_one_c"]
@@ -192,7 +193,8 @@ def _load() -> Optional[ctypes.CDLL]:
                 "gcc", "-O2", "-shared", "-fPIC", "-ffp-contract=off",
                 "-o", tmp, src, "-lm",
             ]
-            proc = subprocess.run(cmd, capture_output=True, text=True)
+            with _span("kernel.build", cat="kernel", digest=digest):
+                proc = subprocess.run(cmd, capture_output=True, text=True)
             if proc.returncode != 0:
                 os.unlink(tmp)
                 _build_error = f"compiler failed: {proc.stderr.strip()[:500]}"
@@ -673,39 +675,60 @@ class _KernelRun:
             lanes.snapshot(lane, run, float(cd[CD_REWARD_SUM]))
 
 
-def run_one_c(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
+def run_one_c(
+    run, lanes: Optional[LaneSoA] = None, lane: int = 0, sink=None
+) -> None:
     """Drive one eligible ``PolicyRun`` to completion through the
-    compiled kernel, bit-identically to serial ``run_policy``."""
+    compiled kernel, bit-identically to serial ``run_policy``.
+
+    ``sink`` receives the engine counters (see ``run_kernel_lanes``);
+    the barrier statuses the C loop returns are counted for free in the
+    dispatch loop below, so ``kernel_barriers`` prices the Python
+    boundary exactly.
+    """
     lib = _load()
     trace = TraceSoA.from_run(run)
     if lib is None or not _kernel_ready(run, trace):
         from .engine_numpy import run_one_numpy
 
         run._iter = iter(trace.requests)
-        run_one_numpy(run, lanes=lanes, lane=lane)
+        run_one_numpy(run, lanes=lanes, lane=lane, sink=sink)
         return
 
     state = _KernelRun(run, trace)
-    while True:
-        status = lib.sib_run(state.ptrs)
-        if status == _ST_DONE:
-            break
-        if status == _ST_NEED_INFERENCE:
-            state.handle_inference()
-        elif status == _ST_TRAIN_GATE:
-            state.handle_train_gate()
-        else:
-            raise RuntimeError(
-                "compiled tick kernel aborted "
-                f"(err={int(state.ci[CI_ERR])}, i={int(state.ci[CI_I])})"
-            )
+    n_inference = 0
+    n_train = 0
+    with _span("kernel.invoke", cat="kernel", lane=lane, requests=trace.n):
+        while True:
+            status = lib.sib_run(state.ptrs)
+            if status == _ST_DONE:
+                break
+            if status == _ST_NEED_INFERENCE:
+                n_inference += 1
+                state.handle_inference()
+            elif status == _ST_TRAIN_GATE:
+                n_train += 1
+                state.handle_train_gate()
+            else:
+                raise RuntimeError(
+                    "compiled tick kernel aborted "
+                    f"(err={int(state.ci[CI_ERR])}, i={int(state.ci[CI_I])})"
+                )
     state.export(lanes, lane)
+    if sink is not None:
+        sink.count("ticks", trace.n)
+        if n_inference:
+            sink.count("fused_forwards", n_inference)
+            sink.count("fused_rows", n_inference)
+            sink.record_max("max_fused_rows", 1)
+        sink.count("train_events", n_train)
+        sink.count("kernel_barriers", n_inference + n_train)
 
 
-def run_lanes_c(runs: List, lanes: Optional[LaneSoA] = None) -> LaneSoA:
+def run_lanes_c(runs: List, lanes: Optional[LaneSoA] = None, sink=None) -> LaneSoA:
     """Drive every run to completion through the compiled engine."""
     if lanes is None:
         lanes = LaneSoA.for_runs(runs)
     for lane, run in enumerate(runs):
-        run_one_c(run, lanes=lanes, lane=lane)
+        run_one_c(run, lanes=lanes, lane=lane, sink=sink)
     return lanes

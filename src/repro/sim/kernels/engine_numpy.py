@@ -50,12 +50,12 @@ _READ = OpType.READ
 _CACHE_LIMIT = 1 << 16
 
 
-def run_lanes_numpy(runs: List, lanes: Optional[LaneSoA] = None) -> LaneSoA:
+def run_lanes_numpy(runs: List, lanes: Optional[LaneSoA] = None, sink=None) -> LaneSoA:
     """Drive every run to completion through the reference engine."""
     if lanes is None:
         lanes = LaneSoA.for_runs(runs)
     for lane, run in enumerate(runs):
-        run_one_numpy(run, lanes=lanes, lane=lane)
+        run_one_numpy(run, lanes=lanes, lane=lane, sink=sink)
     return lanes
 
 
@@ -237,7 +237,9 @@ def _make_update_util(hss, device):
     return update
 
 
-def run_one_numpy(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
+def run_one_numpy(
+    run, lanes: Optional[LaneSoA] = None, lane: int = 0, sink=None
+) -> None:
     """Drive one eligible ``PolicyRun`` to completion, bit-identically.
 
     The body is the serial loop ``step() → place → serve → feedback``
@@ -246,6 +248,10 @@ def run_one_numpy(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
     throughout, so ``run.result()`` and all post-run state (weights,
     optimizer moments, replay contents, memo, RNG) are exactly what the
     serial path produces.
+
+    ``sink`` receives the engine counters after the loop: tick-domain
+    integers accumulated in plain locals, so observation adds nothing
+    to the per-request path (and nothing to the float stream).
     """
     policy = run.policy
     hss = run.hss
@@ -321,6 +327,8 @@ def run_one_numpy(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
     completion_s = run._completion_s
     warmup_end = run._warmup_end
     reward_sum = 0.0
+    n_forwards = 0
+    n_train = 0
 
     for i in range(n_total):
         # _fetch(): warmup-window reset before request warmup_end serves.
@@ -400,6 +408,7 @@ def run_one_numpy(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
                 action = int(best_action(obs))
                 memo[obs_key] = action
                 cache_obs[obs_key] = obs
+                n_forwards += 1
         action_counts[action] += 1
 
         # ---- _complete(): closed-loop issue-time clamp ----------------
@@ -565,6 +574,7 @@ def run_one_numpy(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
         if seen % train_interval == 0 and len(entries) >= batch_size:
             policy.train_begin()
             policy.train_commit()
+            n_train += 1
             # train_commit rebinds the agent's action memo; re-bind the
             # loop's references (the inference net is mutated in place,
             # but re-bind it too so that stays a non-assumption).
@@ -581,3 +591,13 @@ def run_one_numpy(run, lanes: Optional[LaneSoA] = None, lane: int = 0) -> None:
     tracker._clock = clock
     if lanes is not None:
         lanes.snapshot(lane, run, reward_sum)
+    if sink is not None:
+        # Same names the lockstep engine emits; a SoA lane is its own
+        # tick stream, and every forward carries exactly one row.
+        sink.count("ticks", n_total)
+        if n_forwards:
+            sink.count("fused_forwards", n_forwards)
+            sink.count("fused_rows", n_forwards)
+            sink.record_max("max_fused_rows", 1)
+        sink.count("train_events", n_train)
+        sink.count("kernel_barriers", n_forwards + n_train)

@@ -56,9 +56,22 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # guarded: repro.obs resolves its knobs via this module
+    from ..obs.sink import ObservationSink
 
 from ..baselines.base import PlacementPolicy
 from ..hss.request import Request
@@ -324,7 +337,12 @@ class _LaneGroup:
                 self.train_queue[row] = 0
                 held.add(id(run))
 
-    def flush_due(self, held: Set[int], window: int) -> None:
+    def flush_due(
+        self,
+        held: Set[int],
+        window: int,
+        sink: Optional["ObservationSink"] = None,
+    ) -> None:
         """Flush aligned event buckets; age the ones still waiting."""
         if not self.train_queue:
             return
@@ -342,15 +360,24 @@ class _LaneGroup:
                     if row_key == key
                 )
             if due:
-                self._flush(sorted(rows), held)
+                self._flush(sorted(rows), held, sink)
             else:
                 for row in rows:
                     self.train_queue[row] += 1
 
-    def _flush(self, rows: List[int], held: Set[int]) -> None:
+    def _flush(
+        self,
+        rows: List[int],
+        held: Set[int],
+        sink: Optional["ObservationSink"] = None,
+    ) -> None:
         for row in rows:
             del self.train_queue[row]
             held.discard(id(self.runs[row]))
+        if sink is not None:
+            sink.count("train_events", len(rows))
+            if len(rows) > 1:
+                sink.count("fused_train_events")
         agents = [self.runs[row].policy for row in rows]
         if len(agents) == 1:
             # A lone event gains nothing from stacking; the serial
@@ -380,6 +407,7 @@ def run_lanes(
     align_window: Optional[int] = None,
     stats: Optional[Dict[str, int]] = None,
     backend: Optional[str] = None,
+    sink: Optional["ObservationSink"] = None,
 ) -> List[RunResult]:
     """Advance all lanes in lockstep; results in spec order.
 
@@ -392,37 +420,53 @@ def run_lanes(
     (default: the ``SIBYL_TRAIN_ALIGN`` environment variable, else 0 =
     fuse same-tick events only).
 
-    ``stats``, when given, is filled with engine counters — pure
-    observation, never behaviour: ``ticks`` (lockstep rounds that
-    advanced at least one RL lane), ``fused_forwards`` (stacked
-    inference calls; at most one per architecture group per tick),
-    ``fused_rows`` (total lane-observations those forwards carried), and
-    ``max_fused_rows`` (widest single forward).  ``fused_rows >
-    fused_forwards`` is the smoking gun that independent lanes — e.g.
-    the seed replicas of a multi-seed campaign — actually shared
-    batched inference instead of each paying its own forward.
+    ``stats``, when given, is filled with engine counters; ``sink``
+    accepts any :class:`repro.obs.sink.ObservationSink` for the same
+    stream, and when ``SIBYL_OBS=on`` the counts also feed the
+    process-wide metrics registry.  All three are pure observation,
+    never behaviour: ``ticks`` (lockstep rounds that advanced at least
+    one RL lane; per-lane request count on the SoA engines),
+    ``fused_forwards`` (stacked inference calls; at most one per
+    architecture group per tick), ``fused_rows`` (total
+    lane-observations those forwards carried), ``max_fused_rows``
+    (widest single forward), ``train_events`` /
+    ``fused_train_events`` (training commits, and how many flushes
+    stacked more than one lane), and ``kernel_barriers``
+    (Python-boundary crossings of the SoA engines; 0 on the lockstep
+    path).  ``fused_rows > fused_forwards`` is the smoking gun that
+    independent lanes — e.g. the seed replicas of a multi-seed
+    campaign — actually shared batched inference instead of each
+    paying its own forward.
+
+    Observation never forces an engine: eligible Sibyl lanes divert to
+    the SoA kernels (bit-identical by contract) whether or not counters
+    are requested, and the kernels feed the same sink.  A kernel-run
+    lane reports its own per-request ticks and one-row forwards, so
+    multi-lane totals differ from the shared lockstep rounds — pin
+    ``backend="off"`` to observe lockstep fusion itself.
     """
+    from ..obs import engine_sink
+    from ..obs.sink import ENGINE_COUNTERS, ENGINE_MAXIMA, DictSink, combine_sinks
+
     if align_window is None:
         align_window = resolve_train_align()
-    if stats is not None:
-        stats.setdefault("ticks", 0)
-        stats.setdefault("fused_forwards", 0)
-        stats.setdefault("fused_rows", 0)
-        stats.setdefault("max_fused_rows", 0)
+    sink = combine_sinks(
+        DictSink(stats) if stats is not None else None, sink, engine_sink()
+    )
+    if sink is not None:
+        for name in ENGINE_COUNTERS:
+            sink.count(name, 0)
+        for name in ENGINE_MAXIMA:
+            sink.record_max(name, 0)
     runs = [spec.make_run() for spec in specs]
 
     # SoA tick-engine diversion: eligible Sibyl lanes run to completion
     # through repro.sim.kernels (bit-identical by contract) and drop out
-    # of the lockstep loop below; everything else stays.  The engine
-    # counters describe the lockstep loop, so an observed run (``stats``
-    # given) keeps every lane on it.  ``backend`` overrides the
-    # ``SIBYL_BACKEND`` environment knob.
-    if stats is None:
-        from . import kernels
+    # of the lockstep loop below; everything else stays.  ``backend``
+    # overrides the ``SIBYL_BACKEND`` environment knob.
+    from . import kernels
 
-        remaining = kernels.run_kernel_lanes(runs, backend=backend)
-    else:
-        remaining = list(runs)
+    remaining = kernels.run_kernel_lanes(runs, backend=backend, sink=sink)
 
     # Partition: lanes whose policy exposes the externally-driven
     # inference hook (SibylAgent) *and* a head the stacks know how to
@@ -457,8 +501,7 @@ def run_lanes(
             if active_plain:
                 active_plain = [run for run in active_plain if run.step()]
             if active_rl:
-                if stats is not None:
-                    stats["ticks"] += 1
+                advanced = False
                 next_rl: List[PolicyRun] = []
                 for run in active_rl:
                     if id(run) in held:
@@ -467,6 +510,7 @@ def run_lanes(
                     obs = run.step_begin()
                     if obs is LANE_DONE:
                         continue
+                    advanced = True
                     next_rl.append(run)
                     # obs None: exploration draw or action-memo hit —
                     # the step already completed inline in step_begin.
@@ -474,14 +518,15 @@ def run_lanes(
                         group, row = group_row[id(run)]
                         group.obs[row] = obs
                         group.pending.append((run, row))
+                if advanced and sink is not None:
+                    sink.count("ticks")
                 for group in groups:
                     if group.pending:
-                        if stats is not None:
+                        if sink is not None:
                             rows = len(group.pending)
-                            stats["fused_forwards"] += 1
-                            stats["fused_rows"] += rows
-                            if rows > stats["max_fused_rows"]:
-                                stats["max_fused_rows"] = rows
+                            sink.count("fused_forwards")
+                            sink.count("fused_rows", rows)
+                            sink.record_max("max_fused_rows", rows)
                         actions = group.stack.best_actions(group.obs)
                         for run, row in group.pending:
                             run.step_finish(int(actions[row]))
@@ -492,7 +537,7 @@ def run_lanes(
                 # lanes whose inference weights changed.
                 for group in groups:
                     group.collect_pending(held)
-                    group.flush_due(held, align_window)
+                    group.flush_due(held, align_window, sink)
                 for group in groups:
                     group.resync()
                 active_rl = next_rl

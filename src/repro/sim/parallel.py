@@ -67,6 +67,8 @@ from typing import (
     Tuple,
 )
 
+from ..obs.metrics import active_registry
+from ..obs.tracer import span
 from .lanes import resolve_count_env, resolve_lanes
 
 __all__ = ["Cell", "run_many", "iter_many", "run_grid", "resolve_workers"]
@@ -175,23 +177,33 @@ def _execute_iter(
     workers = resolve_workers(len(cells), max_workers)
     if workers == 0:
         for cell in cells:
-            yield cell, cell.run()
+            with span("campaign.cell", cat="campaign", key=str(cell.key)):
+                result = cell.run()
+            yield cell, result
         return
     pack = resolve_lanes(1) if lane_pack is None else max(1, int(lane_pack))
     chunks = [cells[i:i + max(1, pack)] for i in range(0, len(cells), max(1, pack))]
     workers = min(workers, len(chunks))
     if workers <= 1:
         for chunk in chunks:
-            for cell, result in zip(chunk, _run_cell_pack(chunk)):
+            with span("campaign.pack", cat="campaign", cells=len(chunk)):
+                results = _run_cell_pack(chunk)
+            for cell, result in zip(chunk, results):
                 yield cell, result
         return
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(_run_cell_pack, chunk): chunk for chunk in chunks
-        }
+        with span(
+            "campaign.dispatch", cat="campaign",
+            chunks=len(chunks), workers=workers,
+        ):
+            futures = {
+                pool.submit(_run_cell_pack, chunk): chunk for chunk in chunks
+            }
         for future in as_completed(futures):
             chunk = futures[future]
-            for cell, result in zip(chunk, future.result()):
+            with span("campaign.collect", cat="campaign", cells=len(chunk)):
+                results = future.result()
+            for cell, result in zip(chunk, results):
                 yield cell, result
 
 
@@ -214,7 +226,11 @@ def _iter_with_store(
 
     store = resolve_store(store)
     cells = list(cells)
-    fingerprints = [store.fingerprint(cell.fn, cell.kwargs) for cell in cells]
+    registry = active_registry()
+    with span("store.fingerprint", cat="store", cells=len(cells)):
+        fingerprints = [
+            store.fingerprint(cell.fn, cell.kwargs) for cell in cells
+        ]
     journaled = [
         (cell.key, fp)
         for cell, fp in zip(cells, fingerprints)
@@ -226,18 +242,29 @@ def _iter_with_store(
     pending: List[Cell] = []
     fingerprint_of: Dict[int, Optional[str]] = {}
     for cell, fp in zip(cells, fingerprints):
-        hit = MISS if fp is None else store.get(fp)
+        if fp is None:
+            hit = MISS
+        else:
+            with span("store.get", cat="store", key=str(cell.key)):
+                hit = store.get(fp)
         if hit is MISS:
             pending.append(cell)
             fingerprint_of[id(cell)] = fp
+            if registry is not None:
+                registry.counter("store_misses").inc()
         else:
+            if registry is not None:
+                registry.counter("store_hits").inc()
             yield cell, hit
     for cell, result in _execute_iter(
         pending, max_workers=max_workers, lane_pack=lane_pack
     ):
         fp = fingerprint_of[id(cell)]
         if fp is not None:
-            store.put(fp, result, fn=cell.fn, key=cell.key)
+            with span("store.put", cat="store", key=str(cell.key)):
+                store.put(fp, result, fn=cell.fn, key=cell.key)
+            if registry is not None:
+                registry.counter("store_puts").inc()
         yield cell, result
     store.finish_campaign(journal)
 

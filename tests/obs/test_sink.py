@@ -1,0 +1,62 @@
+"""Unit tests for observation sinks (repro.obs.sink)."""
+
+from repro.obs.sink import (
+    ENGINE_COUNTERS,
+    ENGINE_MAXIMA,
+    DictSink,
+    ObservationSink,
+    TeeSink,
+    combine_sinks,
+)
+
+
+class TestDictSink:
+    def test_counts_create_and_accumulate(self):
+        stats = {}
+        sink = DictSink(stats)
+        sink.count("ticks")
+        sink.count("ticks", 4)
+        assert stats == {"ticks": 5}
+
+    def test_record_max_keeps_high_water_mark(self):
+        stats = {}
+        sink = DictSink(stats)
+        sink.record_max("max_fused_rows", 3)
+        sink.record_max("max_fused_rows", 2)
+        assert stats == {"max_fused_rows": 3}
+
+
+class TestTeeSink:
+    def test_fans_out_to_every_sink(self):
+        a, b = {}, {}
+        tee = TeeSink([DictSink(a), DictSink(b)])
+        tee.count("ticks", 2)
+        tee.record_max("max_fused_rows", 4)
+        assert a == b == {"ticks": 2, "max_fused_rows": 4}
+
+
+class TestCombineSinks:
+    def test_none_only_collapses_to_none(self):
+        assert combine_sinks(None, None) is None
+
+    def test_single_sink_returned_directly(self):
+        sink = DictSink({})
+        assert combine_sinks(None, sink, None) is sink
+
+    def test_multiple_sinks_teed(self):
+        a, b = DictSink({}), DictSink({})
+        combined = combine_sinks(a, b)
+        assert isinstance(combined, TeeSink)
+        assert combined.sinks == (a, b)
+
+
+class TestProtocol:
+    def test_base_class_is_usable_noop(self):
+        sink = ObservationSink()
+        sink.count("anything", 3)
+        sink.record_max("anything", 1)
+
+    def test_canonical_names_cover_both_kinds(self):
+        assert "ticks" in ENGINE_COUNTERS
+        assert "kernel_barriers" in ENGINE_COUNTERS
+        assert ENGINE_MAXIMA == ("max_fused_rows",)

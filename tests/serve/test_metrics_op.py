@@ -1,0 +1,132 @@
+"""The ``metrics`` introspection op under concurrent load.
+
+Contracts (ISSUE 10, satellite 3):
+
+* counters are monotonic across snapshots taken while tenants stream;
+* queue depth returns to zero after a drain barrier;
+* held-lane time is accounted exactly once per training event — the
+  ``serve_hold_ms`` histogram count equals the ``train_events``
+  counter, no matter how many tenants trained concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.loadgen import synthetic_stream
+
+from serve_harness import FAST_HP, Client
+
+N_REQUESTS = 120
+N_TENANTS = 3
+
+
+class _Streamer(threading.Thread):
+    """One tenant streaming its full synthetic request sequence."""
+
+    def __init__(self, address, index: int) -> None:
+        super().__init__(daemon=True)
+        self.address = address
+        self.name_ = f"tenant-{index}"
+        self.frames = synthetic_stream(seed=200 + index, n=N_REQUESTS)
+        self.seed = index
+        self.error = None
+
+    def run(self) -> None:
+        try:
+            with Client(self.address) as client:
+                opened = client.rpc({
+                    "op": "open", "tenant": self.name_,
+                    "seed": self.seed, "hyperparams": FAST_HP,
+                })
+                assert opened["ok"], opened
+                for frame in self.frames:
+                    reply = client.rpc({**frame, "tenant": self.name_})
+                    assert reply["ok"], reply
+        except Exception as exc:  # surfaced by the main thread
+            self.error = exc
+
+
+def _metrics(client: Client) -> dict:
+    reply = client.rpc({"op": "metrics"})
+    assert reply["ok"], reply
+    return reply
+
+
+def test_metrics_under_concurrent_load(daemon):
+    """Stream N tenants while polling ``metrics``; then drain and check
+    the final accounting identities."""
+    address = daemon.address
+    streamers = [_Streamer(address, i) for i in range(N_TENANTS)]
+    for s in streamers:
+        s.start()
+
+    with Client(address) as poller:
+        served_seen = []
+        while any(s.is_alive() for s in streamers):
+            snap = _metrics(poller)
+            served_seen.append(snap["counters"]["served"])
+            assert snap["queue_depth"] >= 0
+            assert snap["held_lanes"] >= 0
+        for s in streamers:
+            s.join()
+            assert s.error is None, s.error
+
+        # Counters are monotonic across every observed snapshot.
+        assert served_seen == sorted(served_seen)
+
+        assert poller.rpc({"op": "drain"})["ok"]
+        final = _metrics(poller)
+
+        # Queue depth returns to zero once the drain barrier resolves.
+        assert final["queue_depth"] == 0
+        assert final["held_lanes"] == 0
+
+        counters = final["counters"]
+        assert counters["served"] == N_TENANTS * N_REQUESTS
+        assert counters["errors"] == 0
+        # FAST_HP trains every 20 requests per tenant.
+        assert counters["train_events"] > 0
+
+        # Held-lane time is accounted exactly once per training event.
+        hold = final["timings"]["serve_hold_ms"]
+        assert hold["count"] == counters["train_events"]
+
+        # Every placement passed through both request-phase histograms.
+        assert final["timings"]["serve_service_ms"]["count"] == counters["served"]
+        assert final["timings"]["serve_queue_ms"]["count"] == counters["served"]
+
+        # Trainer occupancy is a fraction of workers' wall time.
+        assert final["workers"] >= 1
+        assert final["uptime_s"] > 0
+        assert 0.0 <= final["trainer_occupancy"] <= 1.0
+        assert final["trainer_busy_s"] >= 0.0
+
+
+def test_metrics_shape_on_idle_daemon(daemon):
+    """The op resolves on a fresh daemon with an empty but complete
+    surface (no tenants, zero depth, empty timings)."""
+    with Client(daemon.address) as client:
+        snap = _metrics(client)
+        assert snap["op"] == "metrics"
+        assert snap["tenants"] == {}
+        assert snap["queue_depth"] == 0
+        assert snap["held_lanes"] == 0
+        assert snap["trainer_busy_s"] == 0.0
+        assert isinstance(snap["timings"], dict)
+
+
+def test_place_replies_carry_timing(daemon):
+    """Each ok placement reply reports its queue/service split — the
+    fields the load generator folds into its sojourn-time breakdown."""
+    with Client(daemon.address) as client:
+        opened = client.rpc({
+            "op": "open", "tenant": "t0", "seed": 0, "hyperparams": FAST_HP,
+        })
+        assert opened["ok"], opened
+        for frame in synthetic_stream(seed=7, n=10):
+            reply = client.rpc({**frame, "tenant": "t0"})
+            assert reply["ok"], reply
+            timing = reply["timing"]
+            assert timing["queue_ms"] >= 0.0
+            assert timing["service_ms"] >= 0.0

@@ -190,12 +190,15 @@ class TestSeedAxisRidesLanes:
         one fused forward per tick, carrying multiple seeds' rows."""
         seeds = (0, 1, 2, 3)
         stats = {}
+        # backend="off": kernel-eligible lanes would otherwise divert to
+        # the SoA engines; this test observes lockstep fusion itself.
         run_seeded_normalized(
             seeds,
             [make_trace("rsrch_0", n_requests=N, seed=s) for s in seeds],
             [[SibylAgent(seed=s)] for s in seeds],
             config="H&M",
             stats=stats,
+            backend="off",
         )
         assert stats["ticks"] > 0
         # One fused forward per tick across the whole seed axis (single
